@@ -1,0 +1,140 @@
+(* bench/main.exe — regenerates every table and figure of the paper and
+   (optionally) times the pipeline stages with Bechamel.
+
+   Usage:
+     bench/main.exe                      reproduce everything (full suite)
+     bench/main.exe table2 fig4          specific experiments
+     bench/main.exe --limit 8 all        cap loops per benchmark
+     bench/main.exe micro                Bechamel micro-benchmarks
+                                         (one Test.make per table/figure) *)
+
+let usage () =
+  prerr_endline
+    "usage: main.exe [--limit N] [all|table1|fig2|table2|fig4|table3|fig5|fig6|ablation|micro]...";
+  exit 2
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one per table/figure, timing the unit of
+   work that experiment repeats (a schedule, a simulation, ...). *)
+
+let micro () =
+  let open Bechamel in
+  let open Toolkit in
+  let params = Ts_isa.Spmt_params.default in
+  let cfg4 = Ts_spmt.Config.default in
+  let motivating = Ts_workload.Motivating.ddg () in
+  let swim = List.hd (Ts_workload.Spec_suite.loops (Ts_workload.Spec_suite.find "swim")) in
+  let equake = List.hd Ts_workload.Doacross.equake.Ts_workload.Doacross.loops in
+  let equake_kernel =
+    (Ts_tms.Tms.schedule_sweep ~params equake).Ts_tms.Tms.kernel
+  in
+  let equake_sms = (Ts_sms.Sms.schedule equake).Ts_sms.Sms.kernel in
+  let plan = Ts_spmt.Address_plan.create equake in
+  let tests =
+    [
+      (* Table 1 is configuration only: time its pretty-printer. *)
+      Test.make ~name:"table1:render-config"
+        (Staged.stage (fun () ->
+             ignore (Format.asprintf "%a" Ts_spmt.Config.pp Ts_spmt.Config.default)));
+      (* Figure 2: SMS and TMS on the motivating example. *)
+      Test.make ~name:"fig2:sms+tms-motivating"
+        (Staged.stage (fun () ->
+             ignore (Ts_sms.Sms.schedule motivating);
+             ignore (Ts_tms.Tms.schedule_sweep ~params motivating)));
+      (* Table 2's unit of work: scheduling one suite loop both ways. *)
+      Test.make ~name:"table2:schedule-suite-loop"
+        (Staged.stage (fun () ->
+             ignore (Ts_sms.Sms.schedule swim);
+             ignore (Ts_tms.Tms.schedule_sweep ~params swim)));
+      (* Figure 4's unit of work: one SpMT simulation of a scheduled loop. *)
+      Test.make ~name:"fig4:simulate-400-iters"
+        (Staged.stage (fun () ->
+             ignore (Ts_spmt.Sim.run ~plan cfg4 equake_kernel ~trip:400)));
+      (* Table 3: DOACROSS analysis metrics. *)
+      Test.make ~name:"table3:loop-metrics"
+        (Staged.stage (fun () ->
+             ignore (Ts_ddg.Mii.mii equake);
+             ignore (Ts_ddg.Mii.ldp equake);
+             ignore (Ts_ddg.Scc.count_non_trivial equake)));
+      (* Figure 5: the single-threaded baseline simulation. *)
+      Test.make ~name:"fig5:single-threaded-400-iters"
+        (Staged.stage (fun () ->
+             ignore (Ts_spmt.Single.run ~plan cfg4 equake ~trip:400)));
+      (* Figure 6: stall/communication accounting (simulation + analysis). *)
+      Test.make ~name:"fig6:sim-with-accounting"
+        (Staged.stage (fun () ->
+             let st = Ts_spmt.Sim.run ~plan cfg4 equake_sms ~trip:400 in
+             ignore st.Ts_spmt.Sim.stall_breakdown));
+      (* Ablation: TMS at P_max = 0 plus a synchronised-memory run. *)
+      Test.make ~name:"ablation:nospec-schedule+sim"
+        (Staged.stage (fun () ->
+             let r = Ts_tms.Tms.schedule ~p_max:0.0 ~params equake in
+             ignore
+               (Ts_spmt.Sim.run ~plan ~sync_mem:true cfg4 r.Ts_tms.Tms.kernel
+                  ~trip:400)));
+    ]
+  in
+  let test = Test.make_grouped ~name:"tsms" ~fmt:"%s %s" tests in
+  let benchmark () =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+    in
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~stabilize:false ()
+    in
+    let raw = Benchmark.all cfg instances test in
+    let results =
+      List.map (fun instance -> Analyze.all ols instance raw) instances
+    in
+    Analyze.merge ols instances results
+  in
+  let results = benchmark () in
+  (* Plain-text report: nanoseconds per run, OLS estimate. *)
+  print_endline "Bechamel micro-benchmarks (monotonic clock, ns/run):";
+  Hashtbl.iter
+    (fun _ tbl ->
+      let rows =
+        Hashtbl.fold (fun name result acc -> (name, result) :: acc) tbl []
+        |> List.sort (fun (a, _) (b, _) -> compare a b)
+      in
+      List.iter
+        (fun (name, result) ->
+          match Bechamel.Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "  %-40s %12.0f\n" name est
+          | _ -> Printf.printf "  %-40s (no estimate)\n" name)
+        rows)
+    results
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let limit = ref None in
+  let names = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--limit" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some v when v > 0 -> limit := Some v
+        | _ -> usage ());
+        parse rest
+    | "--help" :: _ | "-h" :: _ -> usage ()
+    | name :: rest ->
+        names := name :: !names;
+        parse rest
+  in
+  parse args;
+  let names = match List.rev !names with [] -> [ "all" ] | ns -> ns in
+  List.iter
+    (fun name ->
+      if name = "micro" then micro ()
+      else
+        try
+          Ts_harness.Experiments.run ?limit:!limit ~names:[ name ] (fun block ->
+              print_string block;
+              print_newline ())
+        with Invalid_argument msg ->
+          prerr_endline ("bench: " ^ msg);
+          usage ())
+    names

@@ -1,0 +1,244 @@
+(* tsms — command-line front end.
+
+   Subcommands:
+     schedule    run SMS and TMS on a .ddg loop and print both kernels
+     simulate    schedule a .ddg loop and simulate it on the SpMT machine
+     compare     all four schedulers plus the single core, one table
+     dot         emit Graphviz for a .ddg loop
+     suite       print scheduling statistics for a synthetic benchmark
+     experiments regenerate the paper's tables and figures *)
+
+open Cmdliner
+
+let read_loop path =
+  try Ok (Ts_ddg.Parse.of_file path) with
+  | Ts_ddg.Parse.Error (ln, msg) ->
+      Error (Printf.sprintf "%s:%d: %s" path ln msg)
+  | Sys_error msg -> Error msg
+
+let loop_arg =
+  let doc = "Loop description in the .ddg format (see Ts_ddg.Parse)." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"LOOP.ddg" ~doc)
+
+let ncore_arg =
+  let doc = "Number of SpMT cores." in
+  Arg.(value & opt int 4 & info [ "cores" ] ~docv:"N" ~doc)
+
+let p_max_arg =
+  let doc = "Misspeculation threshold P_max for TMS (0..1)." in
+  Arg.(value & opt (some float) None & info [ "p-max" ] ~docv:"P" ~doc)
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+      prerr_endline ("tsms: " ^ msg);
+      exit 1
+
+let print_kernel tag (k : Ts_modsched.Kernel.t) ~c_reg_com =
+  Format.printf "%s %a" tag Ts_modsched.Kernel.pp k;
+  Printf.printf
+    "%s: II=%d, stages=%d, MaxLive=%d, C_delay=%d, copies=%d, SEND/RECV pairs/iter=%d\n\n"
+    tag k.Ts_modsched.Kernel.ii k.Ts_modsched.Kernel.n_stages
+    (Ts_modsched.Kernel.max_live k)
+    (Ts_modsched.Kernel.c_delay k ~c_reg_com)
+    (Ts_modsched.Kernel.copies_needed k)
+    (Ts_modsched.Kernel.send_recv_pairs_per_iter k)
+
+let code_arg =
+  let doc = "Also print the generated thread program (SEND/RECV/copies)." in
+  Arg.(value & flag & info [ "code" ] ~doc)
+
+let unroll_arg =
+  let doc = "Unroll the loop body this many times before scheduling." in
+  Arg.(value & opt int 1 & info [ "unroll" ] ~docv:"K" ~doc)
+
+let schedule_cmd =
+  let run loop ncore p_max code unroll =
+    let g = or_die (read_loop loop) in
+    let g = if unroll > 1 then Ts_ddg.Unroll.by g ~factor:unroll else g in
+    let params = Ts_isa.Spmt_params.with_ncore Ts_isa.Spmt_params.default ncore in
+    Printf.printf "loop %s: %d instructions, ResII=%d, RecII=%d, MII=%d, LDP=%d, SCCs=%d\n\n"
+      g.Ts_ddg.Ddg.name (Ts_ddg.Ddg.n_nodes g) (Ts_ddg.Mii.res_ii g)
+      (Ts_ddg.Mii.rec_ii g) (Ts_ddg.Mii.mii g) (Ts_ddg.Mii.ldp g)
+      (Ts_ddg.Scc.count_non_trivial g);
+    let sms = Ts_sms.Sms.schedule g in
+    print_kernel "SMS" sms.Ts_sms.Sms.kernel ~c_reg_com:params.c_reg_com;
+    let tms =
+      match p_max with
+      | Some p -> Ts_tms.Tms.schedule ~p_max:p ~params g
+      | None -> Ts_tms.Tms.schedule_sweep ~params g
+    in
+    print_kernel "TMS" tms.Ts_tms.Tms.kernel ~c_reg_com:params.c_reg_com;
+    Printf.printf
+      "TMS search: P_max=%g, F_min=%.2f, threshold C_delay=%d, misspec P_M=%.4f, %d attempts%s\n"
+      tms.Ts_tms.Tms.p_max tms.Ts_tms.Tms.f_min tms.Ts_tms.Tms.c_delay_threshold
+      tms.Ts_tms.Tms.misspec tms.Ts_tms.Tms.attempts
+      (if tms.Ts_tms.Tms.fell_back then " (fell back to SMS)" else "");
+    if code then begin
+      print_newline ();
+      Format.printf "%a" Ts_modsched.Codegen.pp
+        (Ts_modsched.Codegen.of_kernel tms.Ts_tms.Tms.kernel)
+    end
+  in
+  let doc = "Schedule a loop with SMS and TMS and print both kernels." in
+  Cmd.v (Cmd.info "schedule" ~doc)
+    Term.(const run $ loop_arg $ ncore_arg $ p_max_arg $ code_arg $ unroll_arg)
+
+let simulate_cmd =
+  let trip_arg =
+    Arg.(value & opt int 2000 & info [ "trip" ] ~docv:"N" ~doc:"Iterations to simulate.")
+  in
+  let warmup_arg =
+    Arg.(value & opt int 512 & info [ "warmup" ] ~docv:"N" ~doc:"Warmup iterations excluded from the numbers.")
+  in
+  let timeline_arg =
+    Arg.(value & flag & info [ "timeline" ] ~doc:"Draw an ASCII execution timeline of the TMS run.")
+  in
+  let run loop ncore trip warmup timeline =
+    let g = or_die (read_loop loop) in
+    let cfg = Ts_spmt.Config.with_ncore Ts_spmt.Config.default ncore in
+    let params = cfg.Ts_spmt.Config.params in
+    let plan = Ts_spmt.Address_plan.create g in
+    let sms = Ts_sms.Sms.schedule g in
+    let tms = Ts_tms.Tms.schedule_sweep ~params g in
+    let report tag (st : Ts_spmt.Sim.stats) =
+      Printf.printf
+        "%-6s %8d cycles (%6.2f/iter)  sync stalls %7d  SEND/RECV %6d  squashes %4d (%.3f%%)\n"
+        tag st.cycles
+        (float_of_int st.cycles /. float_of_int trip)
+        st.sync_stall_cycles st.send_recv_pairs st.squashes
+        (st.misspec_rate *. 100.0)
+    in
+    Printf.printf "simulating %s for %d iterations on %d cores (warmup %d):\n"
+      g.Ts_ddg.Ddg.name trip ncore warmup;
+    report "SMS" (Ts_spmt.Sim.run ~plan ~warmup cfg sms.Ts_sms.Sms.kernel ~trip);
+    report "TMS" (Ts_spmt.Sim.run ~plan ~warmup cfg tms.Ts_tms.Tms.kernel ~trip);
+    let single = Ts_spmt.Single.run ~plan ~warmup cfg g ~trip in
+    Printf.printf "%-6s %8d cycles (%6.2f/iter)\n" "1T" single.Ts_spmt.Single.cycles
+      (float_of_int single.Ts_spmt.Single.cycles /. float_of_int trip);
+    if timeline then begin
+      print_newline ();
+      let obs =
+        Ts_spmt.Timeline.collect ~n_threads:(4 * ncore) ~warmup:(min warmup 512)
+          cfg tms.Ts_tms.Tms.kernel
+      in
+      print_string (Ts_spmt.Timeline.render ~ncore obs)
+    end
+  in
+  let doc = "Schedule a loop and simulate SMS/TMS/single-threaded execution." in
+  Cmd.v (Cmd.info "simulate" ~doc)
+    Term.(const run $ loop_arg $ ncore_arg $ trip_arg $ warmup_arg $ timeline_arg)
+
+let dot_cmd =
+  let run loop =
+    let g = or_die (read_loop loop) in
+    print_string (Ts_ddg.Dot.to_string g)
+  in
+  let doc = "Emit Graphviz DOT for a loop's data dependence graph." in
+  Cmd.v (Cmd.info "dot" ~doc) Term.(const run $ loop_arg)
+
+let suite_cmd =
+  let bench_arg =
+    let doc = "Benchmark name (wupwise, swim, ... apsi) or 'all'." in
+    Arg.(value & pos 0 string "all" & info [] ~docv:"BENCH" ~doc)
+  in
+  let limit_arg =
+    Arg.(value & opt (some int) None & info [ "limit" ] ~docv:"N" ~doc:"Loops per benchmark.")
+  in
+  let run bench limit =
+    let params = Ts_isa.Spmt_params.default in
+    let benches =
+      if bench = "all" then Ts_workload.Spec_suite.benchmarks
+      else
+        match
+          List.find_opt
+            (fun (b : Ts_workload.Spec_suite.bench) -> b.name = bench)
+            Ts_workload.Spec_suite.benchmarks
+        with
+        | Some b -> [ b ]
+        | None ->
+            prerr_endline ("tsms: unknown benchmark " ^ bench);
+            exit 1
+    in
+    let rows =
+      List.map
+        (fun b ->
+          Ts_harness.Table2.row_of_runs ~params b
+            (Ts_harness.Suite.run_bench ?limit ~params b))
+        benches
+    in
+    print_string (Ts_harness.Table2.render rows)
+  in
+  let doc = "Schedule a synthetic benchmark's loops and print Table 2 rows." in
+  Cmd.v (Cmd.info "suite" ~doc) Term.(const run $ bench_arg $ limit_arg)
+
+let compare_cmd =
+  let run loop ncore =
+    let g = or_die (read_loop loop) in
+    let cfg = Ts_spmt.Config.with_ncore Ts_spmt.Config.default ncore in
+    let params = cfg.Ts_spmt.Config.params in
+    let plan = Ts_spmt.Address_plan.create g in
+    let trip = 2000 and warmup = 512 in
+    let variants =
+      [
+        ("sms", (Ts_sms.Sms.schedule g).Ts_sms.Sms.kernel);
+        ("ims", (Ts_sms.Ims.schedule g).Ts_sms.Ims.kernel);
+        ("ts-sms", (Ts_tms.Tms.schedule_sweep ~params g).Ts_tms.Tms.kernel);
+        ("ts-ims", (Ts_tms.Tms_ims.schedule ~params g).Ts_tms.Tms.kernel);
+      ]
+    in
+    let open Ts_base.Tablefmt in
+    let t =
+      create
+        ~title:(Printf.sprintf "%s on %d cores, %d iterations" g.Ts_ddg.Ddg.name ncore trip)
+        [ ("scheduler", Left); ("II", Right); ("C_delay", Right); ("MaxLive", Right);
+          ("cycles/iter", Right); ("sync stalls", Right); ("misspec", Right) ]
+    in
+    List.iter
+      (fun (name, k) ->
+        let st = Ts_spmt.Sim.run ~plan ~warmup cfg k ~trip in
+        add_row t
+          [ name; cell_int k.Ts_modsched.Kernel.ii;
+            cell_int (Ts_modsched.Kernel.c_delay k ~c_reg_com:params.c_reg_com);
+            cell_int (Ts_modsched.Kernel.max_live k);
+            cell_f2 (float_of_int st.Ts_spmt.Sim.cycles /. float_of_int trip);
+            cell_int st.Ts_spmt.Sim.sync_stall_cycles;
+            Printf.sprintf "%.3f%%" (st.Ts_spmt.Sim.misspec_rate *. 100.0) ])
+      variants;
+    let single = Ts_spmt.Single.run ~plan ~warmup cfg g ~trip in
+    add_sep t;
+    add_row t
+      [ "1-core"; "-"; "-"; "-";
+        cell_f2 (float_of_int single.Ts_spmt.Single.cycles /. float_of_int trip);
+        "-"; "-" ];
+    print t
+  in
+  let doc = "Compare all four schedulers (and the single core) on one loop." in
+  Cmd.v (Cmd.info "compare" ~doc) Term.(const run $ loop_arg $ ncore_arg)
+
+let experiments_cmd =
+  let names_arg =
+    let doc =
+      "Experiments to run: table1 fig2 table2 fig4 table3 fig5 fig6 ablation, or 'all'."
+    in
+    Arg.(value & pos_all string [ "all" ] & info [] ~docv:"NAME" ~doc)
+  in
+  let limit_arg =
+    Arg.(value & opt (some int) None & info [ "limit" ] ~docv:"N" ~doc:"Loops per benchmark for table2/fig4.")
+  in
+  let run names limit =
+    try
+      Ts_harness.Experiments.run ?limit ~names (fun block ->
+          print_string block;
+          print_newline ())
+    with Invalid_argument msg ->
+      prerr_endline ("tsms: " ^ msg);
+      exit 1
+  in
+  let doc = "Regenerate the paper's tables and figures." in
+  Cmd.v (Cmd.info "experiments" ~doc) Term.(const run $ names_arg $ limit_arg)
+
+let () =
+  let doc = "thread-sensitive modulo scheduling for SpMT multicores (ICPP'08 reproduction)" in
+  let info = Cmd.info "tsms" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ schedule_cmd; simulate_cmd; compare_cmd; dot_cmd; suite_cmd; experiments_cmd ]))

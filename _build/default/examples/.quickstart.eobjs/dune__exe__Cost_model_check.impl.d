@@ -1,0 +1,1 @@
+examples/cost_model_check.ml: List Printf Ts_base Ts_ddg Ts_modsched Ts_spmt Ts_tms Ts_workload

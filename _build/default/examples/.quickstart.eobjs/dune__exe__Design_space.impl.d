@@ -1,0 +1,1 @@
+examples/design_space.ml: List Printf Ts_base Ts_ddg Ts_isa Ts_modsched Ts_sms Ts_spmt Ts_tms Ts_workload

@@ -1,0 +1,1 @@
+examples/doacross_stencil.ml: Printf Ts_base Ts_ddg Ts_modsched Ts_sms Ts_spmt Ts_tms

@@ -1,0 +1,52 @@
+(* Cost-model validation: Section 4.2's analytical T against the simulator.
+
+   For a sample of suite loops, compare the model's per-iteration estimate
+   T/N = T_nomiss/N + T_mis_spec/N (computed from the TMS schedule's
+   achieved C_delay and P_M) against the measured steady-state
+   cycles/iteration. The model is the objective TMS minimises, so how well
+   it tracks the simulator bounds how good TMS's choices can be.
+
+     dune exec examples/cost_model_check.exe *)
+
+let () =
+  let cfg = Ts_spmt.Config.default in
+  let params = cfg.Ts_spmt.Config.params in
+  let open Ts_base.Tablefmt in
+  let t =
+    create ~title:"cost model vs simulator (TMS schedules, cycles/iteration)"
+      [ ("loop", Left); ("II", Right); ("C_delay", Right); ("P_M", Right);
+        ("model", Right); ("simulated", Right); ("error", Right) ]
+  in
+  let errors = ref [] in
+  List.iter
+    (fun bench_name ->
+      let bench = Ts_workload.Spec_suite.find bench_name in
+      let loops = Ts_workload.Spec_suite.loops bench in
+      List.iteri
+        (fun i g ->
+          if i < 3 then begin
+            let r = Ts_tms.Tms.schedule_sweep ~params g in
+            let k = r.Ts_tms.Tms.kernel in
+            let trip = 1200 in
+            let st = Ts_spmt.Sim.run ~warmup:512 cfg k ~trip in
+            let model =
+              Ts_tms.Cost_model.estimate params ~ii:k.Ts_modsched.Kernel.ii
+                ~c_delay:r.Ts_tms.Tms.achieved_c_delay ~p_m:r.Ts_tms.Tms.misspec
+                ~n:trip
+              /. float_of_int trip
+            in
+            let sim = float_of_int st.Ts_spmt.Sim.cycles /. float_of_int trip in
+            let err = (sim -. model) /. sim *. 100.0 in
+            errors := abs_float err :: !errors;
+            add_row t
+              [ g.Ts_ddg.Ddg.name;
+                string_of_int k.Ts_modsched.Kernel.ii;
+                string_of_int r.Ts_tms.Tms.achieved_c_delay;
+                Printf.sprintf "%.3f" r.Ts_tms.Tms.misspec;
+                cell_f1 model; cell_f1 sim; cell_pct err ]
+          end)
+        loops)
+    [ "wupwise"; "swim"; "art"; "equake"; "fma3d" ];
+  print t;
+  Printf.printf "\nmean absolute error: %.1f%%\n"
+    (Ts_base.Stats.mean !errors)

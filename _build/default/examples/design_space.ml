@@ -1,0 +1,83 @@
+(* Design-space sweep: how the TMS/SMS trade-off moves with the machine.
+
+   The paper evaluates one point (4 cores, 3-cycle SEND/RECV); its
+   conclusion sketches extensions. This example re-runs a representative
+   DOACROSS loop across core counts and ring latencies, and across P_max,
+   to show where thread-sensitivity pays off:
+
+   - more cores raise the value of a small C_delay (the T_lb/ncore term
+     shrinks, so the serial C_delay term dominates sooner);
+   - a slower interconnect inflates every sync(x, y) and with it the
+     whole TMS advantage;
+   - P_max trades misspeculation for TLP.
+
+     dune exec examples/design_space.exe *)
+
+let loop () = List.hd Ts_workload.Doacross.equake.Ts_workload.Doacross.loops
+
+let simulate cfg kernel plan =
+  Ts_spmt.Sim.run ~plan ~warmup:512 cfg kernel ~trip:1500
+
+let () =
+  let g = loop () in
+  let plan = Ts_spmt.Address_plan.create g in
+  Printf.printf "loop: %s (%d instructions, MII %d)\n\n" g.Ts_ddg.Ddg.name
+    (Ts_ddg.Ddg.n_nodes g) (Ts_ddg.Mii.mii g);
+
+  let open Ts_base.Tablefmt in
+  let t =
+    create ~title:"core count and ring latency sweep (TMS vs SMS, cycles/iteration)"
+      [ ("cores", Right); ("C_reg_com", Right); ("SMS II/Cd", Right);
+        ("TMS II/Cd", Right); ("SMS c/i", Right); ("TMS c/i", Right);
+        ("TMS gain", Right) ]
+  in
+  List.iter
+    (fun ncore ->
+      List.iter
+        (fun c_reg_com ->
+          let params =
+            { Ts_isa.Spmt_params.default with ncore; c_reg_com }
+          in
+          let cfg = { Ts_spmt.Config.default with params } in
+          let sms = (Ts_sms.Sms.schedule g).Ts_sms.Sms.kernel in
+          let tms_r = Ts_tms.Tms.schedule_sweep ~params g in
+          let tms = tms_r.Ts_tms.Tms.kernel in
+          let s1 = simulate cfg sms plan and s2 = simulate cfg tms plan in
+          let per (st : Ts_spmt.Sim.stats) =
+            float_of_int st.cycles /. 1500.0
+          in
+          add_row t
+            [ string_of_int ncore; string_of_int c_reg_com;
+              Printf.sprintf "%d/%d" sms.Ts_modsched.Kernel.ii
+                (Ts_modsched.Kernel.c_delay sms ~c_reg_com);
+              Printf.sprintf "%d/%d" tms.Ts_modsched.Kernel.ii
+                tms_r.Ts_tms.Tms.achieved_c_delay;
+              cell_f1 (per s1); cell_f1 (per s2);
+              cell_pct
+                (Ts_base.Stats.speedup_percent
+                   ~baseline:(float_of_int s1.Ts_spmt.Sim.cycles)
+                   ~improved:(float_of_int s2.Ts_spmt.Sim.cycles)) ])
+        [ 1; 3; 6 ])
+    [ 2; 4; 8 ];
+  print t;
+
+  print_newline ();
+  let t2 =
+    create ~title:"P_max sweep (4 cores): speculation vs synchronisation"
+      [ ("P_max", Right); ("TMS II", Right); ("C_delay", Right);
+        ("predicted P_M", Right); ("measured misspec", Right); ("cycles/iter", Right) ]
+  in
+  let cfg = Ts_spmt.Config.default in
+  List.iter
+    (fun p_max ->
+      let r = Ts_tms.Tms.schedule ~p_max ~params:cfg.Ts_spmt.Config.params g in
+      let st = simulate cfg r.Ts_tms.Tms.kernel plan in
+      add_row t2
+        [ Printf.sprintf "%g" p_max;
+          string_of_int r.Ts_tms.Tms.kernel.Ts_modsched.Kernel.ii;
+          string_of_int r.Ts_tms.Tms.achieved_c_delay;
+          Printf.sprintf "%.4f" r.Ts_tms.Tms.misspec;
+          Printf.sprintf "%.4f" st.Ts_spmt.Sim.misspec_rate;
+          cell_f1 (float_of_int st.Ts_spmt.Sim.cycles /. 1500.0) ])
+    [ 0.0; 0.005; 0.02; 0.05; 0.25; 1.0 ];
+  print t2

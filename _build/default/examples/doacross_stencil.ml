@@ -1,0 +1,142 @@
+(* Two DOACROSS loops with very different SpMT fortunes.
+
+   Loop A is a tight first-order stencil, a.(i) <- c1*a.(i-1) + c2*b.(i):
+   its cross-iteration store-to-load dependence always aliases, so it must
+   be synchronised, and the synchronisation delay is as long as the whole
+   recurrence — no schedule can make SpMT beat a single core here. The
+   example shows TMS recognising that (it degenerates to an SMS-like
+   schedule rather than inflating II for nothing).
+
+   Loop B is an indirect update, a.(idx i) <- f (a.(idx i), ...), over a
+   large table: profiling says consecutive iterations almost never touch
+   the same entry (p = 0.03), so TMS speculates the dependence and
+   pipelines the loop across the cores, where the single core is limited
+   by its issue width and memory ports.
+
+   Both loops are written in the textual .ddg format (a parser demo);
+   `tsms schedule <file>` accepts the same text from a file.
+
+     dune exec examples/doacross_stencil.exe *)
+
+let tight_stencil =
+  {|
+loop tight_stencil
+machine spmt
+node adr_a  ialu
+node adr_b  ialu
+node ld_prev load
+node ld_b    load
+node mul1    fmul
+node mul2    fmul
+node sum     fadd
+node st_a    store
+edge adr_a adr_a reg 1
+edge adr_b adr_b reg 1
+edge adr_a ld_prev reg 0
+edge adr_a st_a reg 0
+edge adr_b ld_b reg 0
+edge ld_prev mul1 reg 0
+edge ld_b mul2 reg 0
+edge mul1 sum reg 0
+edge mul2 sum reg 0
+edge sum st_a reg 0
+edge st_a ld_prev mem 1 1.0
+|}
+
+let indirect_update =
+  {|
+loop indirect_update
+machine spmt
+# gather the index and four neighbours
+node adr_i ialu
+node ld_ix load
+node adr0  ialu
+node adr1  ialu
+node adr2  ialu
+node adr3  ialu
+node ld0   load
+node ld1   load
+node ld2   load
+node ld3   load
+# read-modify-write of the table entry
+node ld_t  load
+node w0    fmul
+node w1    fmul
+node w2    fmul
+node w3    fmul
+node s01   fadd
+node s23   fadd
+node s     fadd
+node upd   fadd
+node st_t  store
+# a running norm on the side
+node nacc  fadd
+edge adr_i adr_i reg 1
+edge adr_i ld_ix reg 0
+edge ld_ix adr0 reg 0
+edge ld_ix adr1 reg 0
+edge ld_ix adr2 reg 0
+edge ld_ix adr3 reg 0
+edge adr0 ld0 reg 0
+edge adr1 ld1 reg 0
+edge adr2 ld2 reg 0
+edge adr3 ld3 reg 0
+edge ld_ix ld_t reg 0
+edge ld0 w0 reg 0
+edge ld1 w1 reg 0
+edge ld2 w2 reg 0
+edge ld3 w3 reg 0
+edge w0 s01 reg 0
+edge w1 s01 reg 0
+edge w2 s23 reg 0
+edge w3 s23 reg 0
+edge s01 s reg 0
+edge s23 s reg 0
+edge ld_t upd reg 0
+edge s upd reg 0
+edge upd st_t reg 0
+edge s nacc reg 0
+edge nacc nacc reg 1
+# consecutive iterations rarely hit the same table entry
+edge st_t ld_t mem 1 0.03
+|}
+
+let run_one text =
+  let g = Ts_ddg.Parse.of_string text in
+  let cfg = Ts_spmt.Config.default in
+  let params = cfg.Ts_spmt.Config.params in
+  Printf.printf "== %s: %d instructions, MII=%d (ResII=%d, RecII=%d) ==\n"
+    g.Ts_ddg.Ddg.name (Ts_ddg.Ddg.n_nodes g) (Ts_ddg.Mii.mii g)
+    (Ts_ddg.Mii.res_ii g) (Ts_ddg.Mii.rec_ii g);
+  let sms = (Ts_sms.Sms.schedule g).Ts_sms.Sms.kernel in
+  let tms_r = Ts_tms.Tms.schedule_sweep ~params g in
+  let tms = tms_r.Ts_tms.Tms.kernel in
+  Printf.printf "SMS: II=%d, C_delay=%d | TMS: II=%d, C_delay=%d, P_M=%.3f\n"
+    sms.Ts_modsched.Kernel.ii
+    (Ts_modsched.Kernel.c_delay sms ~c_reg_com:params.c_reg_com)
+    tms.Ts_modsched.Kernel.ii tms_r.Ts_tms.Tms.achieved_c_delay
+    tms_r.Ts_tms.Tms.misspec;
+  let plan = Ts_spmt.Address_plan.create g in
+  let trip = 3000 and warmup = 512 in
+  let s_sms = Ts_spmt.Sim.run ~plan ~warmup cfg sms ~trip in
+  let s_tms = Ts_spmt.Sim.run ~plan ~warmup cfg tms ~trip in
+  let s_1t = Ts_spmt.Single.run ~plan ~warmup cfg g ~trip in
+  let per c = float_of_int c /. float_of_int trip in
+  Printf.printf
+    "  single-threaded %6.2f c/i | SMS %6.2f c/i | TMS %6.2f c/i (%d squashes)\n"
+    (per s_1t.Ts_spmt.Single.cycles) (per s_sms.Ts_spmt.Sim.cycles)
+    (per s_tms.Ts_spmt.Sim.cycles) s_tms.Ts_spmt.Sim.squashes;
+  Printf.printf "  TMS over single-threaded: %+.1f%%\n\n"
+    (Ts_base.Stats.speedup_percent
+       ~baseline:(float_of_int s_1t.Ts_spmt.Single.cycles)
+       ~improved:(float_of_int s_tms.Ts_spmt.Sim.cycles))
+
+let () =
+  run_one tight_stencil;
+  run_one indirect_update;
+  Printf.printf
+    "Loop A's recurrence spans its whole body, so per-thread synchronisation\n\
+     costs more than just running it on one core: SpMT parallelisation is\n\
+     not worth it, and a compiler using the Section 4.2 cost model would\n\
+     reject it. Loop B's carried dependence is speculation-friendly: TMS\n\
+     hides it and the four cores split the resource-bound body.\n"

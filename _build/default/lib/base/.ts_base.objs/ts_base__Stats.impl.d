@@ -1,0 +1,1 @@
+lib/base/stats.ml: Float List

@@ -1,0 +1,1 @@
+lib/base/tablefmt.ml: Buffer List Printf String

@@ -1,0 +1,11 @@
+let div_floor a b =
+  assert (b > 0);
+  if a >= 0 then a / b else -(((-a) + b - 1) / b)
+
+let div_ceil a b =
+  assert (b > 0);
+  if a >= 0 then (a + b - 1) / b else -((-a) / b)
+
+let modulo a b =
+  let m = a mod b in
+  if m < 0 then m + b else m

@@ -1,0 +1,14 @@
+(** Integer division helpers with well-defined rounding for negatives.
+
+    OCaml's [/] truncates toward zero; modulo arithmetic over schedule
+    cycles (which may be negative during construction) needs floor/ceiling
+    semantics. *)
+
+val div_floor : int -> int -> int
+(** [div_floor a b] rounds toward negative infinity. [b > 0]. *)
+
+val div_ceil : int -> int -> int
+(** [div_ceil a b] rounds toward positive infinity. [b > 0]. *)
+
+val modulo : int -> int -> int
+(** [modulo a b] is the representative of [a] in [\[0, b)]. [b > 0]. *)

@@ -1,0 +1,33 @@
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let mean_int xs = mean (List.map float_of_int xs)
+
+let geomean = function
+  | [] -> 0.0
+  | xs ->
+      let logsum =
+        List.fold_left
+          (fun acc x ->
+            assert (x > 0.0);
+            acc +. log x)
+          0.0 xs
+      in
+      exp (logsum /. float_of_int (List.length xs))
+
+let weighted_mean vws =
+  let num = List.fold_left (fun acc (v, w) -> acc +. (v *. w)) 0.0 vws in
+  let den = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 vws in
+  assert (den > 0.0);
+  num /. den
+
+let percent_change base v = (v -. base) /. base *. 100.0
+
+let speedup_percent ~baseline ~improved =
+  assert (improved > 0.0);
+  ((baseline /. improved) -. 1.0) *. 100.0
+
+let clamp ~lo ~hi x = if x < lo then lo else if x > hi then hi else x
+
+let round1 x = Float.round (x *. 10.0) /. 10.0

@@ -1,0 +1,28 @@
+(** Small statistics helpers used when aggregating per-loop metrics into the
+    per-benchmark rows the paper reports. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0 for the empty list. *)
+
+val mean_int : int list -> float
+(** Arithmetic mean of integers; 0 for the empty list. *)
+
+val geomean : float list -> float
+(** Geometric mean; 0 for the empty list. All inputs must be positive. *)
+
+val weighted_mean : (float * float) list -> float
+(** [weighted_mean \[(v, w); ...\]] with positive total weight. *)
+
+val percent_change : float -> float -> float
+(** [percent_change base v] is [(v - base) / base * 100]. *)
+
+val speedup_percent : baseline:float -> improved:float -> float
+(** [speedup_percent ~baseline ~improved] is the paper's "speedup of X over
+    Y" convention: [(baseline / improved - 1) * 100], i.e. +100% means twice
+    as fast. *)
+
+val clamp : lo:float -> hi:float -> float -> float
+(** Clamp into [\[lo, hi\]]. *)
+
+val round1 : float -> float
+(** Round to one decimal place (used when printing table rows). *)

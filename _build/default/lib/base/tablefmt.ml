@@ -1,0 +1,82 @@
+type align = Left | Right
+
+type row = Cells of string list | Sep
+
+type t = {
+  title : string option;
+  cols : (string * align) list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ?title cols = { title; cols; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.cols then
+    invalid_arg "Tablefmt.add_row: cell count mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_sep t = t.rows <- Sep :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let headers = List.map fst t.cols in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun acc r ->
+            match r with
+            | Sep -> acc
+            | Cells cs -> max acc (String.length (List.nth cs i)))
+          (String.length h) rows)
+      headers
+  in
+  let pad align w s =
+    let n = w - String.length s in
+    if n <= 0 then s
+    else
+      match align with
+      | Left -> s ^ String.make n ' '
+      | Right -> String.make n ' ' ^ s
+  in
+  let line_of cells =
+    let padded =
+      List.map2
+        (fun (w, (_, a)) c -> pad a w c)
+        (List.combine widths t.cols)
+        cells
+    in
+    "| " ^ String.concat " | " padded ^ " |"
+  in
+  let sep_line =
+    "+" ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths) ^ "+"
+  in
+  let buf = Buffer.create 1024 in
+  (match t.title with
+  | Some title ->
+      Buffer.add_string buf title;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  Buffer.add_string buf sep_line;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (line_of headers);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf sep_line;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun r ->
+      (match r with
+      | Sep -> Buffer.add_string buf sep_line
+      | Cells cs -> Buffer.add_string buf (line_of cs));
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.add_string buf sep_line;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let cell_int = string_of_int
+let cell_f1 x = Printf.sprintf "%.1f" x
+let cell_f2 x = Printf.sprintf "%.2f" x
+let cell_pct x = Printf.sprintf "%.1f%%" x

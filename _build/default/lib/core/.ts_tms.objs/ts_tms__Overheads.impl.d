@@ -1,0 +1,1 @@
+lib/core/overheads.ml: Array Cost_model List Ts_ddg Ts_modsched

@@ -1,0 +1,1 @@
+lib/core/overheads.mli: Ts_ddg Ts_modsched

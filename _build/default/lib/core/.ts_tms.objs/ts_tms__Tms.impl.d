@@ -1,0 +1,1 @@
+lib/core/tms.ml: Array Cost_model List Overheads Ts_base Ts_ddg Ts_isa Ts_modsched Ts_sms

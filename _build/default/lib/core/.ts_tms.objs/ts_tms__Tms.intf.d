@@ -1,0 +1,1 @@
+lib/core/tms.mli: Ts_ddg Ts_isa Ts_modsched

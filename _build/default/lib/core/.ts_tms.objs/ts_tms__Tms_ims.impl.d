@@ -1,0 +1,1 @@
+lib/core/tms_ims.ml: Array Cost_model Overheads Tms Ts_ddg Ts_isa Ts_modsched Ts_sms

@@ -1,0 +1,1 @@
+lib/core/tms_ims.mli: Tms Ts_ddg Ts_isa Ts_modsched

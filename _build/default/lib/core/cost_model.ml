@@ -1,0 +1,47 @@
+type t = Ts_isa.Spmt_params.t
+
+let f_value (p : t) ~ii ~c_delay =
+  let t_lb = ii + p.c_commit + max p.c_spawn c_delay in
+  let serial = max p.c_spawn (max p.c_commit c_delay) in
+  max (float_of_int serial) (float_of_int t_lb /. float_of_int p.ncore)
+
+let f_min_start (p : t) ~mii = f_value p ~ii:mii ~c_delay:(1 + p.c_reg_com)
+
+let t_nomiss p ~ii ~c_delay ~n = f_value p ~ii ~c_delay *. float_of_int n
+
+let p_m probs = 1.0 -. List.fold_left (fun acc pe -> acc *. (1.0 -. pe)) 1.0 probs
+
+let misspec_penalty (p : t) ~ii ~c_delay =
+  float_of_int (ii + p.c_inv - max 0 (c_delay - p.c_spawn))
+
+let t_mis_spec p ~ii ~c_delay ~p_m ~n =
+  misspec_penalty p ~ii ~c_delay *. p_m *. float_of_int n
+
+let estimate p ~ii ~c_delay ~p_m ~n =
+  t_nomiss p ~ii ~c_delay ~n +. t_mis_spec p ~ii ~c_delay ~p_m ~n
+
+let f_groups (p : t) ~mii ~ii_max ~cd_max =
+  let cd_min = 1 + p.c_reg_com in
+  let tbl = Hashtbl.create 64 in
+  for ii = mii to ii_max do
+    for cd = cd_min to cd_max do
+      let f = f_value p ~ii ~c_delay:cd in
+      let key = int_of_float (Float.round (f *. float_of_int p.ncore)) in
+      let cur = try Hashtbl.find tbl key with Not_found -> [] in
+      Hashtbl.replace tbl key ((ii, cd) :: cur)
+    done
+  done;
+  Hashtbl.fold (fun k pts acc -> (k, pts) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.map (fun (key, pts) ->
+         let best = Hashtbl.create 8 in
+         List.iter
+           (fun (ii, cd) ->
+             let cur = try Hashtbl.find best ii with Not_found -> min_int in
+             if cd > cur then Hashtbl.replace best ii cd)
+           pts;
+         let points =
+           Hashtbl.fold (fun ii cd acc -> (ii, cd) :: acc) best []
+           |> List.sort compare
+         in
+         (float_of_int key /. float_of_int p.ncore, points))

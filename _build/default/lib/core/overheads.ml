@@ -1,0 +1,24 @@
+module K = Ts_modsched.Kernel
+
+let preserved (k : K.t) ~c_reg_com ~reg_deps (e : Ts_ddg.Ddg.edge) =
+  let dker = K.d_ker k e in
+  assert (dker >= 1);
+  let need =
+    float_of_int (k.row.(e.src) + Ts_ddg.Ddg.latency k.g e.src - k.row.(e.dst))
+    /. float_of_int dker
+  in
+  List.exists
+    (fun (r : Ts_ddg.Ddg.edge) ->
+      k.row.(r.src) < k.row.(e.src)
+      && float_of_int (K.sync k ~c_reg_com r) >= need)
+    reg_deps
+
+let non_preserved_mem_deps k ~c_reg_com =
+  let reg_deps = K.inter_iter_reg_deps k in
+  List.filter
+    (fun e -> not (preserved k ~c_reg_com ~reg_deps e))
+    (K.inter_iter_mem_deps k)
+
+let misspec_prob k ~c_reg_com =
+  Cost_model.p_m
+    (List.map (fun (e : Ts_ddg.Ddg.edge) -> e.prob) (non_preserved_mem_deps k ~c_reg_com))

@@ -1,0 +1,30 @@
+(** Inter-thread overhead analysis of a kernel (Definitions 2–4).
+
+    Given a finished kernel, classify its inter-iteration dependences the
+    way the TMS admission conditions do: register dependences are
+    synchronised and each costs a {!Ts_modsched.Kernel.sync} delay; memory
+    dependences are speculated, and a speculated dependence is harmless
+    when it is {e preserved} — some synchronised dependence already forces
+    enough lag between consecutive threads that the producer store is
+    guaranteed to complete before the consumer load issues. *)
+
+val preserved :
+  Ts_modsched.Kernel.t ->
+  c_reg_com:int ->
+  reg_deps:Ts_ddg.Ddg.edge list ->
+  Ts_ddg.Ddg.edge -> bool
+(** Definition 3. [preserved k ~c_reg_com ~reg_deps e] holds when some
+    [u -> v] in [reg_deps] satisfies both [row u < row x] (the paper's
+    guard: the synchronising producer issues earlier than the store in the
+    kernel) and
+    [sync (u, v) >= (row x + lat x - row y) / d_ker (x, y)] — the
+    per-thread lag the synchronisation enforces covers the lag the memory
+    dependence needs, compounded over the [d_ker] threads it spans. *)
+
+val non_preserved_mem_deps :
+  Ts_modsched.Kernel.t -> c_reg_com:int -> Ts_ddg.Ddg.edge list
+(** The kernel's set [M]: inter-iteration memory dependences not preserved
+    by the kernel's full inter-iteration register dependence set. *)
+
+val misspec_prob : Ts_modsched.Kernel.t -> c_reg_com:int -> float
+(** [P_M] (equation 3) over {!non_preserved_mem_deps}. *)

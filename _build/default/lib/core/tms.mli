@@ -1,0 +1,85 @@
+(** Thread-sensitive modulo scheduling (Figure 3) — the paper's
+    contribution.
+
+    TMS wraps the SMS inner loop with two changes:
+
+    + instead of minimising II alone, it minimises the cost-model objective
+      [F (II, C_delay)] ({!Cost_model.f_value}): candidate
+      [(II, C_delay)] pairs are tried in increasing order of [F], starting
+      from [F (MII, 1 + c_reg_com)];
+    + an issue slot is admitted only if, with respect to the already
+      scheduled instructions, (C1) every new inter-iteration register
+      dependence has [sync <= C_delay], and (C2) when the node introduces
+      new inter-iteration memory dependences, the misspeculation frequency
+      of all non-preserved memory dependences stays within [P_max].
+
+    Within one [F] value we try, for each II, the largest admissible
+    [C_delay] (any schedule admitted under a smaller [C_delay] with the
+    same [F] is admitted under the larger one, and the objective value is
+    identical), in increasing II order.
+
+    If the whole [(II, C_delay)] grid is exhausted — possible only when a
+    memory dependence's probability alone exceeds [P_max] and no
+    synchronised dependence can preserve it — TMS degenerates to SMS, as
+    the paper's does implicitly once [C_delay] and [P_max] reach their
+    upper bounds. *)
+
+type result = {
+  kernel : Ts_modsched.Kernel.t;
+  mii : int;
+  c_delay_threshold : int;  (** the admitted threshold the search used *)
+  achieved_c_delay : int;  (** the schedule's actual max {!Ts_modsched.Kernel.sync} *)
+  p_max : float;
+  misspec : float;  (** [P_M] of the final kernel (equation 3) *)
+  f_min : float;  (** objective value of the returned schedule *)
+  attempts : int;  (** [(II, C_delay)] schedule attempts made *)
+  fell_back : bool;  (** [true] if the SMS fallback was returned *)
+}
+
+val default_p_max : float
+(** 0.05 — a handful of misspeculations per hundred iterations at most;
+    the paper reports observed misspeculation frequencies below 0.1%. *)
+
+val schedule :
+  ?p_max:float ->
+  ?max_ii:int ->
+  params:Ts_isa.Spmt_params.t ->
+  Ts_ddg.Ddg.t ->
+  result
+(** Run TMS. [max_ii] bounds the II grid (default
+    {!Ts_ddg.Mii.ii_upper_bound}). *)
+
+val try_schedule :
+  Ts_ddg.Ddg.t ->
+  order:(int * Ts_modsched.Sched.direction) list ->
+  ii:int ->
+  c_delay:int ->
+  p_max:float ->
+  c_reg_com:int ->
+  Ts_modsched.Kernel.t option
+(** One TMS attempt at a fixed [(II, C_delay)] (Figure 3 lines 8-15),
+    exposed for tests and for the ablation benches. *)
+
+val admissible :
+  Ts_modsched.Sched.t ->
+  int ->
+  cycle:int ->
+  c_delay:int ->
+  p_max:float ->
+  c_reg_com:int ->
+  bool
+(** The bare [ISSUE_SLOT_SELECTION] predicate (Figure 3 lines 18-28):
+    resource fit, C1 on the new inter-iteration register dependences, C2
+    on the resulting misspeculation frequency. Exposed so other base
+    schedulers can be made thread-sensitive (see {!Tms_ims}) and for
+    tests. *)
+
+val schedule_sweep :
+  ?p_maxes:float list ->
+  params:Ts_isa.Spmt_params.t ->
+  Ts_ddg.Ddg.t ->
+  result
+(** Section 4.3: "several values for [P_max] can be tried so that the best
+    schedule for a loop can be picked". Runs {!schedule} for each value
+    (default [\[0.01; 0.05; 0.25\]]) and keeps the schedule with the lowest
+    cost-model estimate {!Cost_model.estimate}. *)

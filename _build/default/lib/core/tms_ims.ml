@@ -1,0 +1,67 @@
+module K = Ts_modsched.Kernel
+
+type result = Tms.result = {
+  kernel : K.t;
+  mii : int;
+  c_delay_threshold : int;
+  achieved_c_delay : int;
+  p_max : float;
+  misspec : float;
+  f_min : float;
+  attempts : int;
+  fell_back : bool;
+}
+
+let schedule ?(p_max = Tms.default_p_max) ?max_ii ~params g =
+  let mii = Ts_ddg.Mii.mii g in
+  let ii_max =
+    match max_ii with
+    | Some m -> m
+    | None -> min (Ts_ddg.Mii.ii_upper_bound g) (max (Ts_ddg.Mii.ldp g) mii + 8)
+  in
+  let max_lat =
+    Array.fold_left (fun acc (nd : Ts_ddg.Ddg.node) -> max acc nd.latency) 1 g.nodes
+  in
+  let c_reg_com = params.Ts_isa.Spmt_params.c_reg_com in
+  let cd_max = ii_max - 1 + max_lat + c_reg_com in
+  let groups = Cost_model.f_groups params ~mii ~ii_max ~cd_max in
+  let attempts = ref 0 in
+  let finish ~fell_back ~c_delay_threshold ~f_min kernel =
+    {
+      kernel;
+      mii;
+      c_delay_threshold;
+      achieved_c_delay = K.c_delay kernel ~c_reg_com;
+      p_max;
+      misspec = Overheads.misspec_prob kernel ~c_reg_com;
+      f_min;
+      attempts = !attempts;
+      fell_back;
+    }
+  in
+  let rec walk = function
+    | [] ->
+        (* grid exhausted: plain IMS fallback *)
+        let ims = Ts_sms.Ims.schedule g in
+        let kernel = ims.Ts_sms.Ims.kernel in
+        let f_min =
+          Cost_model.f_value params ~ii:kernel.K.ii
+            ~c_delay:(max 1 (K.c_delay kernel ~c_reg_com))
+        in
+        finish ~fell_back:true ~c_delay_threshold:cd_max ~f_min kernel
+    | (f, points) :: rest ->
+        let rec try_points = function
+          | [] -> walk rest
+          | (ii, cd) :: more -> (
+              incr attempts;
+              let admissible s v ~cycle =
+                Tms.admissible s v ~cycle ~c_delay:cd ~p_max ~c_reg_com
+              in
+              match Ts_sms.Ims.try_ii ~admissible g ~ii with
+              | Some kernel ->
+                  finish ~fell_back:false ~c_delay_threshold:cd ~f_min:f kernel
+              | None -> try_points more)
+        in
+        try_points points
+  in
+  walk groups

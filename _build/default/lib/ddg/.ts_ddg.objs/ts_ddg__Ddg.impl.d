@@ -1,0 +1,1 @@
+lib/ddg/ddg.ml: Array Format List Printf Ts_isa

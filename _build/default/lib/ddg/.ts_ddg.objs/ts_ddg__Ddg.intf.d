@@ -1,0 +1,1 @@
+lib/ddg/ddg.mli: Format Ts_isa

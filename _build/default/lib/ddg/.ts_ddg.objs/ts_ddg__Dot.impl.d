@@ -1,0 +1,1 @@
+lib/ddg/dot.ml: Array Buffer Ddg Fun Printf Ts_isa

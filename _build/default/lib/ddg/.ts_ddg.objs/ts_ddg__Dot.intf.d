@@ -1,0 +1,1 @@
+lib/ddg/dot.mli: Ddg

@@ -1,0 +1,1 @@
+lib/ddg/mii.ml: Array Ddg Hashtbl List Printf Queue Ts_isa

@@ -1,0 +1,1 @@
+lib/ddg/parse.ml: Array Buffer Ddg Fun Hashtbl List Printf String Ts_isa

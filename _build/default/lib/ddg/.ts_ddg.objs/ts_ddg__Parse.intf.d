@@ -1,0 +1,1 @@
+lib/ddg/parse.mli: Ddg

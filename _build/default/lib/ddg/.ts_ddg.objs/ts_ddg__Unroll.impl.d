@@ -1,0 +1,1 @@
+lib/ddg/unroll.ml: Array Ddg Printf

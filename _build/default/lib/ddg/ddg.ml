@@ -1,0 +1,123 @@
+type dep_kind = Reg | Mem
+
+type node = { id : int; name : string; op : Ts_isa.Opcode.t; latency : int }
+
+type edge = { src : int; dst : int; kind : dep_kind; distance : int; prob : float }
+
+type t = {
+  name : string;
+  machine : Ts_isa.Machine.t;
+  nodes : node array;
+  edges : edge array;
+  succs : edge list array;
+  preds : edge list array;
+}
+
+let n_nodes t = Array.length t.nodes
+let node t i = t.nodes.(i)
+let latency t i = t.nodes.(i).latency
+
+let mem_edges t =
+  Array.to_list t.edges |> List.filter (fun e -> e.kind = Mem)
+
+let reg_edges t =
+  Array.to_list t.edges |> List.filter (fun e -> e.kind = Reg)
+
+let n_mem_ops t =
+  Array.fold_left
+    (fun acc n -> if Ts_isa.Opcode.is_mem n.op then acc + 1 else acc)
+    0 t.nodes
+
+let check_edges name nodes edges =
+  let n = Array.length nodes in
+  let fail fmt = Printf.ksprintf invalid_arg ("Ddg %s: " ^^ fmt) name in
+  Array.iter
+    (fun e ->
+      if e.src < 0 || e.src >= n || e.dst < 0 || e.dst >= n then
+        fail "edge %d -> %d references a missing node" e.src e.dst;
+      if e.distance < 0 then fail "edge %d -> %d has negative distance" e.src e.dst;
+      if not (e.prob > 0.0 && e.prob <= 1.0) then
+        fail "edge %d -> %d has probability %g outside (0, 1]" e.src e.dst e.prob;
+      if e.src = e.dst && e.distance = 0 then
+        fail "node %d depends on itself within an iteration" e.src;
+      match e.kind with
+      | Reg ->
+          if e.prob <> 1.0 then
+            fail "register dependence %d -> %d must have probability 1" e.src e.dst;
+          let op = nodes.(e.src).op in
+          if op = Ts_isa.Opcode.Store || op = Ts_isa.Opcode.Branch then
+            fail "register dependence sourced at %s node %d (produces no value)"
+              (Ts_isa.Opcode.to_string op) e.src
+      | Mem ->
+          if nodes.(e.src).op <> Ts_isa.Opcode.Store then
+            fail "memory dependence %d -> %d must be sourced at a store" e.src e.dst;
+          if nodes.(e.dst).op <> Ts_isa.Opcode.Load then
+            fail "memory dependence %d -> %d must sink at a load" e.src e.dst)
+    edges
+
+let make ~name ~machine ~nodes ~edges =
+  check_edges name nodes edges;
+  let n = Array.length nodes in
+  let succs = Array.make n [] and preds = Array.make n [] in
+  (* Build adjacency in edge order (stable, deterministic). *)
+  Array.iter
+    (fun e ->
+      succs.(e.src) <- e :: succs.(e.src);
+      preds.(e.dst) <- e :: preds.(e.dst))
+    edges;
+  Array.iteri (fun i l -> succs.(i) <- List.rev l) succs;
+  Array.iteri (fun i l -> preds.(i) <- List.rev l) preds;
+  { name; machine; nodes; edges; succs; preds }
+
+let validate t = check_edges t.name t.nodes t.edges
+
+module Builder = struct
+  type b = {
+    bname : string;
+    bmachine : Ts_isa.Machine.t;
+    mutable bnodes : node list; (* reversed *)
+    mutable bedges : edge list; (* reversed *)
+    mutable count : int;
+  }
+
+  let create ?(name = "loop") machine =
+    { bname = name; bmachine = machine; bnodes = []; bedges = []; count = 0 }
+
+  let add b ?name ?latency op =
+    let id = b.count in
+    let name = match name with Some s -> s | None -> Printf.sprintf "n%d" id in
+    let latency =
+      match latency with Some l -> l | None -> Ts_isa.Machine.latency b.bmachine op
+    in
+    b.bnodes <- { id; name; op; latency } :: b.bnodes;
+    b.count <- id + 1;
+    id
+
+  let dep b ?(dist = 0) ?(prob = 1.0) src dst =
+    b.bedges <- { src; dst; kind = Reg; distance = dist; prob } :: b.bedges
+
+  let mem_dep b ?(dist = 1) ?(prob = 1.0) src dst =
+    b.bedges <- { src; dst; kind = Mem; distance = dist; prob } :: b.bedges
+
+  let build b =
+    make ~name:b.bname ~machine:b.bmachine
+      ~nodes:(Array.of_list (List.rev b.bnodes))
+      ~edges:(Array.of_list (List.rev b.bedges))
+end
+
+let pp ppf t =
+  Format.fprintf ppf "loop %s (machine %s, %d nodes, %d edges)@." t.name
+    t.machine.Ts_isa.Machine.name (n_nodes t) (Array.length t.edges);
+  Array.iter
+    (fun (nd : node) ->
+      Format.fprintf ppf "  %s: %a (lat %d)@." nd.name Ts_isa.Opcode.pp nd.op
+        nd.latency)
+    t.nodes;
+  Array.iter
+    (fun e ->
+      Format.fprintf ppf "  %s -> %s [%s, d=%d%s]@." t.nodes.(e.src).name
+        t.nodes.(e.dst).name
+        (match e.kind with Reg -> "reg" | Mem -> "mem")
+        e.distance
+        (if e.prob < 1.0 then Printf.sprintf ", p=%g" e.prob else ""))
+    t.edges

@@ -1,0 +1,83 @@
+(** Data dependence graphs for innermost loops.
+
+    A DDG describes one loop body: nodes are instructions, edges are flow
+    dependences annotated with an iteration {e distance} (0 = within the
+    same iteration) and, for memory dependences, the profiled probability
+    that the dependence actually occurs at run time (Section 4.2 of the
+    paper). Register dependences always hold, so their probability is 1.
+
+    Only flow (true) dependences are represented, matching the paper: its
+    Definition 4 restricts both [RegDep] and [MemDep] to flow dependences,
+    and anti/output register dependences are eliminated by the renaming
+    post-pass of Section 3. *)
+
+type dep_kind = Reg | Mem
+
+type node = {
+  id : int;  (** dense index, [0 .. n_nodes - 1] *)
+  name : string;  (** label for printing, e.g. ["n0"] *)
+  op : Ts_isa.Opcode.t;
+  latency : int;  (** result latency; defaults to the machine's *)
+}
+
+type edge = {
+  src : int;
+  dst : int;
+  kind : dep_kind;
+  distance : int;  (** iteration distance, [>= 0] *)
+  prob : float;  (** dependence probability; [1.0] for register deps *)
+}
+
+type t = private {
+  name : string;
+  machine : Ts_isa.Machine.t;
+  nodes : node array;
+  edges : edge array;
+  succs : edge list array;  (** outgoing edges per node *)
+  preds : edge list array;  (** incoming edges per node *)
+}
+
+val n_nodes : t -> int
+val node : t -> int -> node
+val latency : t -> int -> int
+(** Latency of node [i]. *)
+
+val mem_edges : t -> edge list
+(** All memory dependence edges. *)
+
+val reg_edges : t -> edge list
+(** All register dependence edges. *)
+
+val n_mem_ops : t -> int
+(** Number of load/store nodes. *)
+
+(** Incremental construction with validation at [build] time. *)
+module Builder : sig
+  type b
+
+  val create : ?name:string -> Ts_isa.Machine.t -> b
+
+  val add : b -> ?name:string -> ?latency:int -> Ts_isa.Opcode.t -> int
+  (** Append an instruction; returns its node id. [latency] overrides the
+      machine's default (used to replicate the paper's Figure 1 numbers). *)
+
+  val dep : b -> ?dist:int -> ?prob:float -> int -> int -> unit
+  (** [dep b x y] adds a register flow dependence [x -> y]. Default
+      [dist = 0]. [prob] must be 1.0 (the default) for register deps. *)
+
+  val mem_dep : b -> ?dist:int -> ?prob:float -> int -> int -> unit
+  (** [mem_dep b x y] adds a memory flow dependence from store [x] to load
+      [y]. Default [dist = 1], [prob = 1.0]. *)
+
+  val build : b -> t
+  (** Validate and freeze. Raises [Invalid_argument] on: dangling node ids,
+      negative distances, probabilities outside (0, 1], register
+      dependences sourced at a store or a branch, memory dependences not of
+      the store-to-load form, or a zero-distance self dependence. *)
+end
+
+val validate : t -> unit
+(** Re-run the [Builder.build] checks (useful after parsing). *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line human-readable dump. *)

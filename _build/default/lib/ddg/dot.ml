@@ -1,0 +1,29 @@
+let to_string (g : Ddg.t) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "digraph %S {\n" g.name);
+  Array.iter
+    (fun (nd : Ddg.node) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %d [label=\"%s\\n%s/%d\"];\n" nd.id nd.name
+           (Ts_isa.Opcode.to_string nd.op) nd.latency))
+    g.nodes;
+  Array.iter
+    (fun (e : Ddg.edge) ->
+      let style = match e.kind with Ddg.Reg -> "solid" | Ddg.Mem -> "dashed" in
+      let label =
+        match e.kind with
+        | Ddg.Reg -> if e.distance > 0 then Printf.sprintf "d=%d" e.distance else ""
+        | Ddg.Mem -> Printf.sprintf "d=%d p=%g" e.distance e.prob
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  %d -> %d [style=%s, label=\"%s\"];\n" e.src e.dst style
+           label))
+    g.edges;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let to_file g path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string g))

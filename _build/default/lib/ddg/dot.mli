@@ -1,0 +1,9 @@
+(** Graphviz export of DDGs (debugging aid and documentation figures). *)
+
+val to_string : Ddg.t -> string
+(** DOT source: register dependences as solid edges, memory dependences as
+    dashed edges; inter-iteration edges are labelled with their distance
+    and memory edges with their probability. *)
+
+val to_file : Ddg.t -> string -> unit
+(** Write [to_string] to a path. *)

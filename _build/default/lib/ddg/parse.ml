@@ -1,0 +1,139 @@
+exception Error of int * string
+
+let fail ln fmt = Printf.ksprintf (fun m -> raise (Error (ln, m))) fmt
+
+let tokens line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+type pending_edge = {
+  ln : int;
+  src : string;
+  dst : string;
+  kind : Ddg.dep_kind;
+  distance : int;
+  prob : float;
+}
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let name = ref "loop" in
+  let machine = ref Ts_isa.Machine.spmt_core in
+  let machine_set = ref false in
+  let nodes = ref [] in
+  (* (line, name, opcode, latency option), reversed *)
+  let edges = ref [] in
+  let parse_int ln what s =
+    match int_of_string_opt s with
+    | Some v -> v
+    | None -> fail ln "%s: expected an integer, got %S" what s
+  in
+  let parse_float ln what s =
+    match float_of_string_opt s with
+    | Some v -> v
+    | None -> fail ln "%s: expected a number, got %S" what s
+  in
+  List.iteri
+    (fun i line ->
+      let ln = i + 1 in
+      match tokens line with
+      | [] -> ()
+      | [ "loop"; n ] -> name := n
+      | [ "machine"; m ] -> (
+          match Ts_isa.Machine.by_name m with
+          | Some mc ->
+              if !nodes <> [] then fail ln "machine must precede node declarations";
+              machine := mc;
+              machine_set := true
+          | None -> fail ln "unknown machine %S" m)
+      | "node" :: n :: op :: rest -> (
+          ignore !machine_set;
+          match Ts_isa.Opcode.of_string op with
+          | None -> fail ln "unknown opcode %S" op
+          | Some opc ->
+              let lat =
+                match rest with
+                | [] -> None
+                | [ l ] -> Some (parse_int ln "latency" l)
+                | _ -> fail ln "node: too many fields"
+              in
+              if List.exists (fun (_, n', _, _) -> n' = n) !nodes then
+                fail ln "duplicate node name %S" n;
+              nodes := (ln, n, opc, lat) :: !nodes)
+      | "edge" :: src :: dst :: kind :: dist :: rest ->
+          let kind =
+            match kind with
+            | "reg" -> Ddg.Reg
+            | "mem" -> Ddg.Mem
+            | k -> fail ln "unknown dependence kind %S (want reg|mem)" k
+          in
+          let distance = parse_int ln "distance" dist in
+          let prob =
+            match rest with
+            | [] -> 1.0
+            | [ p ] -> parse_float ln "probability" p
+            | _ -> fail ln "edge: too many fields"
+          in
+          edges := { ln; src; dst; kind; distance; prob } :: !edges
+      | w :: _ -> fail ln "unknown directive %S" w)
+    lines;
+  let b = Ddg.Builder.create ~name:!name !machine in
+  let ids = Hashtbl.create 16 in
+  List.iter
+    (fun (_, n, opc, lat) ->
+      let id =
+        match lat with
+        | Some latency -> Ddg.Builder.add b ~name:n ~latency opc
+        | None -> Ddg.Builder.add b ~name:n opc
+      in
+      Hashtbl.replace ids n id)
+    (List.rev !nodes);
+  List.iter
+    (fun e ->
+      let lookup n =
+        match Hashtbl.find_opt ids n with
+        | Some id -> id
+        | None -> fail e.ln "edge references undeclared node %S" n
+      in
+      let src = lookup e.src and dst = lookup e.dst in
+      match e.kind with
+      | Ddg.Reg -> Ddg.Builder.dep b ~dist:e.distance ~prob:e.prob src dst
+      | Ddg.Mem -> Ddg.Builder.mem_dep b ~dist:e.distance ~prob:e.prob src dst)
+    (List.rev !edges);
+  try Ddg.Builder.build b with Invalid_argument m -> raise (Error (0, m))
+
+let of_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+
+let to_string (g : Ddg.t) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "loop %s\n" g.name);
+  Buffer.add_string buf (Printf.sprintf "machine %s\n" g.machine.Ts_isa.Machine.name);
+  Array.iter
+    (fun (nd : Ddg.node) ->
+      Buffer.add_string buf
+        (Printf.sprintf "node %s %s %d\n" nd.name
+           (Ts_isa.Opcode.to_string nd.op) nd.latency))
+    g.nodes;
+  Array.iter
+    (fun (e : Ddg.edge) ->
+      let kind = match e.kind with Ddg.Reg -> "reg" | Ddg.Mem -> "mem" in
+      if e.prob = 1.0 then
+        Buffer.add_string buf
+          (Printf.sprintf "edge %s %s %s %d\n" g.nodes.(e.src).name
+             g.nodes.(e.dst).name kind e.distance)
+      else
+        Buffer.add_string buf
+          (Printf.sprintf "edge %s %s %s %d %g\n" g.nodes.(e.src).name
+             g.nodes.(e.dst).name kind e.distance e.prob))
+    g.edges;
+  Buffer.contents buf

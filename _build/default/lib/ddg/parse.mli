@@ -1,0 +1,28 @@
+(** Textual [.ddg] loop format.
+
+    A small line-oriented format so loops can be written by hand, checked
+    into test fixtures, and fed to the CLI:
+
+    {v
+    # comment
+    loop dotprod
+    machine spmt
+    node acc  fadd            # optional: node NAME OPCODE [LATENCY]
+    node ld1  load
+    node st1  store
+    edge ld1 acc reg 0        # edge SRC DST KIND DISTANCE [PROB]
+    edge acc acc reg 1
+    edge st1 ld1 mem 1 0.05
+    v}
+
+    Node names must be declared before use. [machine] is optional and
+    defaults to [spmt]. *)
+
+exception Error of int * string
+(** [(line number, message)] for any syntactic or semantic problem. *)
+
+val of_string : string -> Ddg.t
+val of_file : string -> Ddg.t
+
+val to_string : Ddg.t -> string
+(** Print back in the same format ([of_string (to_string g)] round-trips). *)

@@ -1,0 +1,78 @@
+type component = int list
+
+(* Iterative Tarjan: explicit stack of (node, remaining successor list)
+   frames so deep graphs cannot overflow the OCaml stack. *)
+let compute (g : Ddg.t) : component list =
+  let n = Ddg.n_nodes g in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let components = ref [] in
+  let succ_ids v = List.map (fun (e : Ddg.edge) -> e.dst) g.succs.(v) in
+  let visit root =
+    let frames = ref [ (root, succ_ids root) ] in
+    index.(root) <- !next_index;
+    lowlink.(root) <- !next_index;
+    incr next_index;
+    stack := root :: !stack;
+    on_stack.(root) <- true;
+    while !frames <> [] do
+      match !frames with
+      | [] -> assert false
+      | (v, succs) :: rest -> (
+          match succs with
+          | w :: more ->
+              frames := (v, more) :: rest;
+              if index.(w) = -1 then begin
+                index.(w) <- !next_index;
+                lowlink.(w) <- !next_index;
+                incr next_index;
+                stack := w :: !stack;
+                on_stack.(w) <- true;
+                frames := (w, succ_ids w) :: !frames
+              end
+              else if on_stack.(w) then
+                lowlink.(v) <- min lowlink.(v) index.(w)
+          | [] ->
+              if lowlink.(v) = index.(v) then begin
+                (* v is the root of a component: pop down to v. *)
+                let rec pop acc =
+                  match !stack with
+                  | [] -> assert false
+                  | w :: tl ->
+                      stack := tl;
+                      on_stack.(w) <- false;
+                      if w = v then w :: acc else pop (w :: acc)
+                in
+                let comp = pop [] in
+                components := List.sort compare comp :: !components
+              end;
+              frames := rest;
+              (match rest with
+              | (u, _) :: _ -> lowlink.(u) <- min lowlink.(u) lowlink.(v)
+              | [] -> ()))
+    done
+  in
+  for v = 0 to n - 1 do
+    if index.(v) = -1 then visit v
+  done;
+  (* Tarjan emits components in reverse topological order of the
+     condensation already. *)
+  List.rev !components
+
+let is_non_trivial (g : Ddg.t) = function
+  | [] -> false
+  | [ v ] -> List.exists (fun (e : Ddg.edge) -> e.dst = v) g.succs.(v)
+  | _ :: _ :: _ -> true
+
+let non_trivial g = List.filter (is_non_trivial g) (compute g)
+
+let count_non_trivial g = List.length (non_trivial g)
+
+let component_of g =
+  let comps = compute g in
+  let owner = Array.make (Ddg.n_nodes g) (-1) in
+  List.iteri (fun ci comp -> List.iter (fun v -> owner.(v) <- ci) comp) comps;
+  owner

@@ -1,0 +1,25 @@
+(** Strongly-connected components of a DDG (Tarjan's algorithm).
+
+    Recurrences in a loop appear as non-trivial SCCs of its DDG; the SMS
+    node-ordering phase processes SCCs in decreasing order of their
+    recurrence-constrained II, and Table 3 reports SCC counts for the
+    selected DOACROSS loops. *)
+
+type component = int list
+(** Node ids of one component, ascending. *)
+
+val compute : Ddg.t -> component list
+(** All SCCs in reverse topological order of the condensation (i.e. a
+    component appears after every component it depends on). Singleton
+    components are included. *)
+
+val non_trivial : Ddg.t -> component list
+(** Components that contain a recurrence: more than one node, or a single
+    node with a self-dependence. *)
+
+val count_non_trivial : Ddg.t -> int
+(** [List.length (non_trivial t)] — the "#SCC" column of Table 3. *)
+
+val component_of : Ddg.t -> int array
+(** [component_of t] maps each node id to the index of its component in
+    [compute t]. *)

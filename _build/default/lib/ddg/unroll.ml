@@ -1,0 +1,34 @@
+let by (g : Ddg.t) ~factor =
+  if factor < 1 then invalid_arg "Unroll.by: factor must be >= 1";
+  let n = Ddg.n_nodes g in
+  let b =
+    Ddg.Builder.create
+      ~name:(if factor = 1 then g.name else Printf.sprintf "%s_x%d" g.name factor)
+      g.machine
+  in
+  (* copy j of node v gets id j*n + v *)
+  let ids = Array.make (factor * n) 0 in
+  for j = 0 to factor - 1 do
+    Array.iter
+      (fun (nd : Ddg.node) ->
+        ids.((j * n) + nd.id) <-
+          Ddg.Builder.add b
+            ~name:(if factor = 1 then nd.name else Printf.sprintf "%s#%d" nd.name j)
+            ~latency:nd.latency nd.op)
+      g.nodes
+  done;
+  (* A dependence u -d-> v: copy j of the consumer reads the producer from
+     source iteration (k*i + j) - d = k*(i - nd) + j', i.e. producer copy
+     j' = (j - d) mod k at new distance nd = (d - j + j') / k. *)
+  for j = 0 to factor - 1 do
+    Array.iter
+      (fun (e : Ddg.edge) ->
+        let j' = ((j - e.distance) mod factor + factor) mod factor in
+        let nd = (e.distance - j + j') / factor in
+        let src = ids.((j' * n) + e.src) and dst = ids.((j * n) + e.dst) in
+        match e.kind with
+        | Ddg.Reg -> Ddg.Builder.dep b ~dist:nd src dst
+        | Ddg.Mem -> Ddg.Builder.mem_dep b ~dist:nd ~prob:e.prob src dst)
+      g.edges
+  done;
+  Ddg.Builder.build b

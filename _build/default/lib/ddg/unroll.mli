@@ -1,0 +1,18 @@
+(** Loop unrolling on DDGs.
+
+    The paper's conclusion names unrolling as the lever for trading
+    communication against parallelism by varying thread granularity (and
+    its evaluation already uses it: art's two 11-instruction loops are
+    unrolled four times before scheduling). Unrolling by [k] replicates
+    the body [k] times and rewires every dependence: a dependence of
+    distance [d] from copy [j] lands on copy [(j - d) mod k], at a new
+    distance of [(d - j + j') / k] new iterations. Distances can only
+    shrink (divided by [k]), so carried dependences progressively become
+    intra-body and the SEND/RECV per source iteration drops — at the price
+    of a larger II and coarser misspeculation rollback. *)
+
+val by : Ddg.t -> factor:int -> Ddg.t
+(** [by g ~factor] unrolls [factor] times ([factor >= 1]; 1 returns an
+    identical copy). Node [n] of copy [j] is named ["<n>#<j>"]. The result
+    validates by construction; latencies and probabilities are
+    preserved. *)

@@ -1,0 +1,1 @@
+lib/harness/ablation.ml: Doacross_runs List Printf Ts_base Ts_spmt Ts_tms

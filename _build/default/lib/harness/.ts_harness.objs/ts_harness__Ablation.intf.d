@@ -1,0 +1,1 @@
+lib/harness/ablation.mli: Doacross_runs Ts_spmt

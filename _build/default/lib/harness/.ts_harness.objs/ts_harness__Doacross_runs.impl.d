@@ -1,0 +1,1 @@
+lib/harness/doacross_runs.ml: List Ts_ddg Ts_sms Ts_spmt Ts_tms Ts_workload

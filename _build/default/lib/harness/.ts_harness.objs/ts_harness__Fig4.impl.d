@@ -1,0 +1,1 @@
+lib/harness/fig4.ml: List Suite Ts_base Ts_sms Ts_spmt Ts_tms Ts_workload

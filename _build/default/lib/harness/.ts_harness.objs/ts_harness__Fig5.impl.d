@@ -1,0 +1,1 @@
+lib/harness/fig5.ml: Doacross_runs Fig4 List Ts_base Ts_spmt

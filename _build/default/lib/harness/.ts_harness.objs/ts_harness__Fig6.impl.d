@@ -1,0 +1,1 @@
+lib/harness/fig6.ml: Doacross_runs List Ts_base Ts_spmt

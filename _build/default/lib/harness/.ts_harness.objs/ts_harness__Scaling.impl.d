@@ -1,0 +1,1 @@
+lib/harness/scaling.ml: List Ts_base Ts_modsched Ts_sms Ts_spmt Ts_tms Ts_workload

@@ -1,0 +1,1 @@
+lib/harness/schedulers.mli: Ts_spmt

@@ -1,0 +1,1 @@
+lib/harness/suite.ml: List Ts_ddg Ts_sms Ts_tms Ts_workload

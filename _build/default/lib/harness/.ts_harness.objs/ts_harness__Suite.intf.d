@@ -1,0 +1,1 @@
+lib/harness/suite.mli: Ts_ddg Ts_isa Ts_sms Ts_tms Ts_workload

@@ -1,0 +1,1 @@
+lib/harness/table2.ml: List Suite Ts_base Ts_ddg Ts_isa Ts_modsched Ts_sms Ts_tms Ts_workload

@@ -1,0 +1,1 @@
+lib/harness/table2.mli: Suite Ts_isa Ts_workload

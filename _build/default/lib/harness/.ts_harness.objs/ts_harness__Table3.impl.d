@@ -1,0 +1,1 @@
+lib/harness/table3.ml: Doacross_runs List Ts_base Ts_ddg Ts_modsched Ts_tms

@@ -1,0 +1,1 @@
+lib/harness/unrolling.mli: Ts_spmt

@@ -1,0 +1,20 @@
+(** The Section 5.2 speculation ablation.
+
+    "Without speculation, all inter-thread memory dependences will have to
+    be synchronised, resulting in some loss of TLP … the performance gain
+    for the loop would be reduced by 19.0% for equake and 21.4% for
+    fma3d." We reproduce it by re-scheduling with [P_max = 0] (every
+    speculated dependence must be preserved, otherwise the scheduler keeps
+    escalating) and simulating with [sync_mem] (memory dependences wait
+    like register dependences, the MDT never squashes). *)
+
+type row = {
+  bench : string;
+  spec_gain : float;  (** TMS-over-single loop speedup, percent *)
+  nospec_gain : float;  (** same without speculation *)
+  gain_reduction : float;  (** percent of the gain lost, the paper's metric *)
+  misspec_rate : float;  (** measured with speculation on *)
+}
+
+val compute : cfg:Ts_spmt.Config.t -> Doacross_runs.t list -> row list
+val render : row list -> string

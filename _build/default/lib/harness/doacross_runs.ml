@@ -1,0 +1,40 @@
+type loop_data = {
+  g : Ts_ddg.Ddg.t;
+  plan : Ts_spmt.Address_plan.t;
+  sms : Ts_sms.Sms.result;
+  tms : Ts_tms.Tms.result;
+  sim_sms : Ts_spmt.Sim.stats;
+  sim_tms : Ts_spmt.Sim.stats;
+  sim_single : Ts_spmt.Single.stats;
+}
+
+type t = { sel : Ts_workload.Doacross.selected; loops : loop_data list }
+
+(* Longest address-stream wrap is 2KB / 4B = 512 iterations: after that
+   every stream is cache-resident and the measurement is steady-state. *)
+let warmup = 512
+
+let compute ~cfg =
+  let params = cfg.Ts_spmt.Config.params in
+  List.map
+    (fun (sel : Ts_workload.Doacross.selected) ->
+      let loops =
+        List.map
+          (fun g ->
+            let plan = Ts_spmt.Address_plan.create g in
+            let sms = Ts_sms.Sms.schedule g in
+            let tms = Ts_tms.Tms.schedule_sweep ~params g in
+            let trip = sel.trip in
+            {
+              g;
+              plan;
+              sms;
+              tms;
+              sim_sms = Ts_spmt.Sim.run ~plan ~warmup cfg sms.Ts_sms.Sms.kernel ~trip;
+              sim_tms = Ts_spmt.Sim.run ~plan ~warmup cfg tms.Ts_tms.Tms.kernel ~trip;
+              sim_single = Ts_spmt.Single.run ~plan ~warmup cfg g ~trip;
+            })
+          sel.loops
+      in
+      { sel; loops })
+    Ts_workload.Doacross.all

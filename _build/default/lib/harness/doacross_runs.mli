@@ -1,0 +1,22 @@
+(** Shared scheduling + simulation pass over the Table 3 DOACROSS loops,
+    reused by Table 3, Figure 5, Figure 6 and the speculation ablation. *)
+
+type loop_data = {
+  g : Ts_ddg.Ddg.t;
+  plan : Ts_spmt.Address_plan.t;
+  sms : Ts_sms.Sms.result;
+  tms : Ts_tms.Tms.result;
+  sim_sms : Ts_spmt.Sim.stats;
+  sim_tms : Ts_spmt.Sim.stats;
+  sim_single : Ts_spmt.Single.stats;
+}
+
+type t = { sel : Ts_workload.Doacross.selected; loops : loop_data list }
+
+val warmup : int
+(** Warmup iterations excluded from every measurement (long enough for all
+    address streams to wrap and the caches to reach steady state). *)
+
+val compute : cfg:Ts_spmt.Config.t -> t list
+(** Schedule and simulate all seven loops (SMS, TMS, single-threaded, one
+    shared address plan per loop). *)

@@ -1,0 +1,70 @@
+type row = {
+  bench : string;
+  loop_speedup : float;
+  program_speedup : float;
+  sms_cycles : int;
+  tms_cycles : int;
+}
+
+let program_speedup_of ~coverage ~loop_speedup_pct =
+  let s = 1.0 +. (loop_speedup_pct /. 100.0) in
+  ((1.0 /. ((coverage /. s) +. (1.0 -. coverage))) -. 1.0) *. 100.0
+
+let compute ?limit ~cfg () =
+  let params = cfg.Ts_spmt.Config.params in
+  List.map
+    (fun (bench : Ts_workload.Spec_suite.bench) ->
+      let runs = Suite.run_bench ?limit ~params bench in
+      let totals =
+        List.map
+          (fun (r : Suite.loop_run) ->
+            let plan = Ts_spmt.Address_plan.create r.g in
+            let trip = bench.trip in
+            let warmup = 512 in
+            let sms = Ts_spmt.Sim.run ~plan ~warmup cfg r.sms.Ts_sms.Sms.kernel ~trip in
+            let tms = Ts_spmt.Sim.run ~plan ~warmup cfg r.tms.Ts_tms.Tms.kernel ~trip in
+            (sms.Ts_spmt.Sim.cycles, tms.Ts_spmt.Sim.cycles))
+          runs
+      in
+      let sms_cycles = List.fold_left (fun a (s, _) -> a + s) 0 totals in
+      let tms_cycles = List.fold_left (fun a (_, t) -> a + t) 0 totals in
+      let loop_speedup =
+        Ts_base.Stats.speedup_percent
+          ~baseline:(float_of_int sms_cycles)
+          ~improved:(float_of_int tms_cycles)
+      in
+      {
+        bench = bench.name;
+        loop_speedup;
+        program_speedup =
+          program_speedup_of ~coverage:bench.coverage ~loop_speedup_pct:loop_speedup;
+        sms_cycles;
+        tms_cycles;
+      })
+    Ts_workload.Spec_suite.benchmarks
+
+let averages rows =
+  ( Ts_base.Stats.mean (List.map (fun r -> r.loop_speedup) rows),
+    Ts_base.Stats.mean (List.map (fun r -> r.program_speedup) rows) )
+
+let render rows =
+  let open Ts_base.Tablefmt in
+  let t =
+    create ~title:"Figure 4: speedups of TMS over SMS (quad-core SpMT)"
+      [
+        ("Benchmark", Left); ("SMS cycles", Right); ("TMS cycles", Right);
+        ("Loop speedup", Right); ("Program speedup", Right);
+      ]
+  in
+  List.iter
+    (fun r ->
+      add_row t
+        [
+          r.bench; cell_int r.sms_cycles; cell_int r.tms_cycles;
+          cell_pct r.loop_speedup; cell_pct r.program_speedup;
+        ])
+    rows;
+  let lavg, pavg = averages rows in
+  add_sep t;
+  add_row t [ "average"; ""; ""; cell_pct lavg; cell_pct pavg ];
+  render t

@@ -1,0 +1,63 @@
+type row = {
+  bench : string;
+  loop_speedup : float;
+  program_speedup : float;
+  single_cycles : int;
+  tms_cycles : int;
+}
+
+let compute (runs : Doacross_runs.t list) =
+  List.map
+    (fun (r : Doacross_runs.t) ->
+      let single_cycles =
+        List.fold_left
+          (fun a l -> a + l.Doacross_runs.sim_single.Ts_spmt.Single.cycles)
+          0 r.loops
+      in
+      let tms_cycles =
+        List.fold_left
+          (fun a l -> a + l.Doacross_runs.sim_tms.Ts_spmt.Sim.cycles)
+          0 r.loops
+      in
+      let loop_speedup =
+        Ts_base.Stats.speedup_percent
+          ~baseline:(float_of_int single_cycles)
+          ~improved:(float_of_int tms_cycles)
+      in
+      {
+        bench = r.sel.bench;
+        loop_speedup;
+        program_speedup =
+          Fig4.program_speedup_of ~coverage:r.sel.coverage
+            ~loop_speedup_pct:loop_speedup;
+        single_cycles;
+        tms_cycles;
+      })
+    runs
+
+let averages rows =
+  ( Ts_base.Stats.mean (List.map (fun r -> r.loop_speedup) rows),
+    Ts_base.Stats.mean (List.map (fun r -> r.program_speedup) rows) )
+
+let render rows =
+  let open Ts_base.Tablefmt in
+  let t =
+    create
+      ~title:"Figure 5: speedups of TMS over single-threaded code (DOACROSS loops)"
+      [
+        ("Benchmark", Left); ("1T cycles", Right); ("TMS cycles", Right);
+        ("Loop speedup", Right); ("Program speedup", Right);
+      ]
+  in
+  List.iter
+    (fun r ->
+      add_row t
+        [
+          r.bench; cell_int r.single_cycles; cell_int r.tms_cycles;
+          cell_pct r.loop_speedup; cell_pct r.program_speedup;
+        ])
+    rows;
+  let lavg, pavg = averages rows in
+  add_sep t;
+  add_row t [ "average"; ""; ""; cell_pct lavg; cell_pct pavg ];
+  render t

@@ -1,0 +1,18 @@
+(** Figure 5: speedups of TMS over single-threaded code on the selected
+    DOACROSS loops.
+
+    The paper reports loop speedups between 37% and 210% (average 73%)
+    and program speedups up to 24% (equake, thanks to its 58.5% loop
+    coverage; average 12%). *)
+
+type row = {
+  bench : string;
+  loop_speedup : float;  (** percent *)
+  program_speedup : float;  (** percent *)
+  single_cycles : int;
+  tms_cycles : int;
+}
+
+val compute : Doacross_runs.t list -> row list
+val averages : row list -> float * float
+val render : row list -> string

@@ -1,0 +1,76 @@
+type row = {
+  bench : string;
+  sms_stall : int;
+  tms_stall : int;
+  stall_norm : float;
+  sms_pairs : int;
+  tms_pairs : int;
+  pairs_increase : float;
+  extra_pairs_per_iter : float;
+  sms_comm : int;
+  tms_comm : int;
+  comm_norm : float;
+}
+
+let compute (runs : Doacross_runs.t list) =
+  List.map
+    (fun (r : Doacross_runs.t) ->
+      let sum f = List.fold_left (fun a l -> a + f l) 0 r.loops in
+      let sms_stall = sum (fun l -> l.Doacross_runs.sim_sms.Ts_spmt.Sim.sync_stall_cycles) in
+      let tms_stall = sum (fun l -> l.Doacross_runs.sim_tms.Ts_spmt.Sim.sync_stall_cycles) in
+      let sms_pairs = sum (fun l -> l.Doacross_runs.sim_sms.Ts_spmt.Sim.send_recv_pairs) in
+      let tms_pairs = sum (fun l -> l.Doacross_runs.sim_tms.Ts_spmt.Sim.send_recv_pairs) in
+      let sms_comm =
+        sum (fun l -> l.Doacross_runs.sim_sms.Ts_spmt.Sim.communication_overhead)
+      in
+      let tms_comm =
+        sum (fun l -> l.Doacross_runs.sim_tms.Ts_spmt.Sim.communication_overhead)
+      in
+      let committed =
+        sum (fun l -> l.Doacross_runs.sim_tms.Ts_spmt.Sim.committed)
+      in
+      let norm a b = if b = 0 then 1.0 else float_of_int a /. float_of_int b in
+      {
+        bench = r.sel.bench;
+        sms_stall;
+        tms_stall;
+        stall_norm = norm tms_stall sms_stall;
+        sms_pairs;
+        tms_pairs;
+        pairs_increase =
+          (if sms_pairs = 0 then 0.0
+           else Ts_base.Stats.percent_change (float_of_int sms_pairs) (float_of_int tms_pairs));
+        extra_pairs_per_iter =
+          float_of_int (tms_pairs - sms_pairs) /. float_of_int (max 1 committed);
+        sms_comm;
+        tms_comm;
+        comm_norm = norm tms_comm sms_comm;
+      })
+    runs
+
+let render rows =
+  let open Ts_base.Tablefmt in
+  let t =
+    create
+      ~title:
+        "Figure 6: synchronisation of TMS vs SMS (a: stalls, b: SEND/RECV pairs, c: communication overhead)"
+      [
+        ("Benchmark", Left);
+        ("SMS stalls", Right); ("TMS stalls", Right); ("a) TMS/SMS", Right);
+        ("SMS pairs", Right); ("TMS pairs", Right); ("b) increase", Right);
+        ("extra/iter", Right);
+        ("SMS comm", Right); ("TMS comm", Right); ("c) TMS/SMS", Right);
+      ]
+  in
+  List.iter
+    (fun r ->
+      add_row t
+        [
+          r.bench;
+          cell_int r.sms_stall; cell_int r.tms_stall; cell_f2 r.stall_norm;
+          cell_int r.sms_pairs; cell_int r.tms_pairs; cell_pct r.pairs_increase;
+          cell_f1 r.extra_pairs_per_iter;
+          cell_int r.sms_comm; cell_int r.tms_comm; cell_f2 r.comm_norm;
+        ])
+    rows;
+  render t

@@ -1,0 +1,28 @@
+(** Figure 6: synchronisation behaviour of TMS vs SMS on the selected
+    DOACROSS loops.
+
+    (a) synchronisation stalls under TMS, normalised to SMS (the paper
+    sees reductions above 50% for art, equake and fma3d, less for the
+    recurrence-bound lucas);
+    (b) the percentage increase in dynamically executed SEND/RECV pairs
+    under TMS (TMS trades a little communication for TLP; even lucas adds
+    only about three pairs per iteration);
+    (c) communication overhead (stall cycles + C_reg_com per pair),
+    normalised to SMS — down despite (b). *)
+
+type row = {
+  bench : string;
+  sms_stall : int;
+  tms_stall : int;
+  stall_norm : float;  (** TMS / SMS, in [0, ...) — Fig. 6(a) *)
+  sms_pairs : int;
+  tms_pairs : int;
+  pairs_increase : float;  (** percent — Fig. 6(b) *)
+  extra_pairs_per_iter : float;  (** absolute SEND/RECV pairs added per iteration *)
+  sms_comm : int;
+  tms_comm : int;
+  comm_norm : float;  (** TMS / SMS — Fig. 6(c) *)
+}
+
+val compute : Doacross_runs.t list -> row list
+val render : row list -> string

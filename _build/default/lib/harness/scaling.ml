@@ -1,0 +1,66 @@
+module K = Ts_modsched.Kernel
+
+type row = {
+  bench : string;
+  ncore : int;
+  sms_cpi : float;
+  tms_cpi : float;
+  tms_gain : float;
+  model_floor : float;
+}
+
+let compute ?(ncores = [ 2; 4; 8; 16 ]) () =
+  let trip = 1500 and warmup = 512 in
+  List.concat_map
+    (fun (sel : Ts_workload.Doacross.selected) ->
+      let g = List.hd sel.loops in
+      let plan = Ts_spmt.Address_plan.create g in
+      let sms = (Ts_sms.Sms.schedule g).Ts_sms.Sms.kernel in
+      List.map
+        (fun ncore ->
+          let cfg = Ts_spmt.Config.with_ncore Ts_spmt.Config.default ncore in
+          let params = cfg.Ts_spmt.Config.params in
+          let tms = Ts_tms.Tms.schedule_sweep ~params g in
+          let tk = tms.Ts_tms.Tms.kernel in
+          let s_sms = Ts_spmt.Sim.run ~plan ~warmup cfg sms ~trip in
+          let s_tms = Ts_spmt.Sim.run ~plan ~warmup cfg tk ~trip in
+          let cpi (st : Ts_spmt.Sim.stats) =
+            float_of_int st.cycles /. float_of_int trip
+          in
+          {
+            bench = sel.bench;
+            ncore;
+            sms_cpi = cpi s_sms;
+            tms_cpi = cpi s_tms;
+            tms_gain =
+              Ts_base.Stats.speedup_percent
+                ~baseline:(float_of_int s_sms.Ts_spmt.Sim.cycles)
+                ~improved:(float_of_int s_tms.Ts_spmt.Sim.cycles);
+            model_floor =
+              Ts_tms.Cost_model.f_value params ~ii:tk.K.ii
+                ~c_delay:(max 1 tms.Ts_tms.Tms.achieved_c_delay);
+          })
+        ncores)
+    Ts_workload.Doacross.all
+
+let render rows =
+  let open Ts_base.Tablefmt in
+  let t =
+    create ~title:"Core-count scaling (insight: the serial C_delay floor)"
+      [
+        ("Benchmark", Left); ("cores", Right); ("SMS c/i", Right);
+        ("TMS c/i", Right); ("TMS gain", Right); ("model floor", Right);
+      ]
+  in
+  let last = ref "" in
+  List.iter
+    (fun r ->
+      if !last <> "" && !last <> r.bench then add_sep t;
+      last := r.bench;
+      add_row t
+        [
+          r.bench; cell_int r.ncore; cell_f1 r.sms_cpi; cell_f1 r.tms_cpi;
+          cell_pct r.tms_gain; cell_f1 r.model_floor;
+        ])
+    rows;
+  render t

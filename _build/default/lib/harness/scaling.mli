@@ -1,0 +1,25 @@
+(** Insights experiment: core-count scaling.
+
+    Section 5 closes by analysing where further speedups would come from;
+    the cost model says the serial component [max(C_spn, C_ci, C_delay)]
+    caps scaling once [T_lb / ncore] falls below it. This bench measures
+    the DOACROSS loops on 2/4/8/16 cores under SMS and TMS: TMS keeps
+    scaling until its small C_delay becomes the wall, while SMS hits its
+    large C_delay almost immediately — the gap between the two grows with
+    the core count. *)
+
+type row = {
+  bench : string;
+  ncore : int;
+  sms_cpi : float;  (** SMS cycles per iteration *)
+  tms_cpi : float;
+  tms_gain : float;  (** percent speedup of TMS over SMS *)
+  model_floor : float;  (** the cost model's serial floor for the TMS schedule *)
+}
+
+val compute : ?ncores:int list -> unit -> row list
+(** Default core counts: 2, 4, 8, 16. One representative loop per DOACROSS
+    benchmark; schedules are re-derived per core count (the cost model
+    depends on [ncore]). *)
+
+val render : row list -> string

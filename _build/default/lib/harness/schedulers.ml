@@ -1,0 +1,69 @@
+module K = Ts_modsched.Kernel
+
+type row = {
+  loop : string;
+  variant : string;
+  ii : int;
+  c_delay : int;
+  misspec_static : float;
+  cycles_per_iter : float;
+  misspec_dynamic : float;
+}
+
+let compute ~cfg =
+  let params = cfg.Ts_spmt.Config.params in
+  let c_reg_com = params.Ts_isa.Spmt_params.c_reg_com in
+  let trip = 1500 and warmup = 512 in
+  List.concat_map
+    (fun (sel : Ts_workload.Doacross.selected) ->
+      let g = List.hd sel.loops in
+      let plan = Ts_spmt.Address_plan.create g in
+      let variants =
+        [
+          ("sms", (Ts_sms.Sms.schedule g).Ts_sms.Sms.kernel);
+          ("ims", (Ts_sms.Ims.schedule g).Ts_sms.Ims.kernel);
+          ("ts-sms", (Ts_tms.Tms.schedule_sweep ~params g).Ts_tms.Tms.kernel);
+          ("ts-sms-c1", (Ts_tms.Tms.schedule ~p_max:1.0 ~params g).Ts_tms.Tms.kernel);
+          ("ts-ims", (Ts_tms.Tms_ims.schedule ~params g).Ts_tms.Tms.kernel);
+        ]
+      in
+      List.map
+        (fun (variant, k) ->
+          let st = Ts_spmt.Sim.run ~plan ~warmup cfg k ~trip in
+          {
+            loop = g.Ts_ddg.Ddg.name;
+            variant;
+            ii = k.K.ii;
+            c_delay = K.c_delay k ~c_reg_com;
+            misspec_static = Ts_tms.Overheads.misspec_prob k ~c_reg_com;
+            cycles_per_iter = float_of_int st.Ts_spmt.Sim.cycles /. float_of_int trip;
+            misspec_dynamic = st.Ts_spmt.Sim.misspec_rate;
+          })
+        variants)
+    Ts_workload.Doacross.all
+
+let render rows =
+  let open Ts_base.Tablefmt in
+  let t =
+    create
+      ~title:
+        "Scheduler ablation: base algorithm (SMS vs IMS) and admission conditions"
+      [
+        ("Loop", Left); ("Variant", Left); ("II", Right); ("C_delay", Right);
+        ("P_M", Right); ("cycles/iter", Right); ("misspec", Right);
+      ]
+  in
+  let last = ref "" in
+  List.iter
+    (fun r ->
+      if !last <> "" && !last <> r.loop then add_sep t;
+      last := r.loop;
+      add_row t
+        [
+          r.loop; r.variant; cell_int r.ii; cell_int r.c_delay;
+          Printf.sprintf "%.3f" r.misspec_static;
+          cell_f2 r.cycles_per_iter;
+          Printf.sprintf "%.3f%%" (r.misspec_dynamic *. 100.0);
+        ])
+    rows;
+  render t

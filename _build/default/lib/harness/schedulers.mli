@@ -1,0 +1,24 @@
+(** Scheduler ablation: base algorithm and admission conditions.
+
+    Two claims get exercised here. First, Section 4.1's "TMS is not tied to
+    any existing modulo scheduling algorithm": the same Figure 3 search runs
+    over SMS and over Rau's IMS, and both reach similar C_delay and similar
+    simulated performance. Second, the admission conditions matter
+    separately: C1 alone (P_max = 1, speculate everything) already removes
+    most synchronisation stalls, while C2 reins the misspeculation the
+    unbounded variant incurs. *)
+
+type row = {
+  loop : string;
+  variant : string;  (** "sms", "ims", "ts-sms", "ts-sms-c1" (P_max = 1), "ts-ims" *)
+  ii : int;
+  c_delay : int;
+  misspec_static : float;  (** P_M predicted by the schedule *)
+  cycles_per_iter : float;  (** simulated on the quad-core machine *)
+  misspec_dynamic : float;  (** measured squash rate *)
+}
+
+val compute : cfg:Ts_spmt.Config.t -> row list
+(** Five variants over one representative loop per DOACROSS benchmark. *)
+
+val render : row list -> string

@@ -1,0 +1,19 @@
+type loop_run = {
+  g : Ts_ddg.Ddg.t;
+  sms : Ts_sms.Sms.result;
+  tms : Ts_tms.Tms.result;
+}
+
+let schedule_loop ~params g =
+  let sms = Ts_sms.Sms.schedule g in
+  let tms = Ts_tms.Tms.schedule_sweep ~params g in
+  { g; sms; tms }
+
+let run_bench ?limit ~params bench =
+  let loops = Ts_workload.Spec_suite.loops bench in
+  let loops =
+    match limit with
+    | None -> loops
+    | Some k -> List.filteri (fun i _ -> i < k) loops
+  in
+  List.map (schedule_loop ~params) loops

@@ -1,0 +1,21 @@
+(** Shared scheduling pass over the synthetic SPECfp2000 suite.
+
+    Table 2 and Figure 4 both need every loop of every benchmark scheduled
+    by SMS and by TMS; this module runs that once and the experiment
+    modules aggregate it. *)
+
+type loop_run = {
+  g : Ts_ddg.Ddg.t;
+  sms : Ts_sms.Sms.result;
+  tms : Ts_tms.Tms.result;
+}
+
+val schedule_loop : params:Ts_isa.Spmt_params.t -> Ts_ddg.Ddg.t -> loop_run
+(** SMS plus the TMS [P_max] sweep on one loop. *)
+
+val run_bench :
+  ?limit:int ->
+  params:Ts_isa.Spmt_params.t ->
+  Ts_workload.Spec_suite.bench ->
+  loop_run list
+(** All (or the first [limit]) loops of a benchmark, scheduled both ways. *)

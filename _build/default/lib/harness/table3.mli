@@ -1,0 +1,24 @@
+(** Table 3: the selected DOACROSS loops and their TMS schedules.
+
+    Per benchmark: loop count, loop coverage (LC), average instruction
+    count, average non-trivial SCC count, average MII, average LDP, and
+    the TMS schedule's average II, MaxLive (ML) and C_delay (D). Shape:
+    art and lucas are recurrence-bound (MII well above #inst / issue
+    width); lucas's C_delay is of the order of its II (its recurrence
+    spans the whole kernel) while the others keep D far below II. *)
+
+type row = {
+  bench : string;
+  n_loops : int;
+  coverage : float;
+  avg_inst : float;
+  avg_scc : float;
+  avg_mii : float;
+  avg_ldp : float;
+  tms_ii : float;
+  tms_maxlive : float;
+  tms_c_delay : float;
+}
+
+val compute : Doacross_runs.t list -> row list
+val render : row list -> string

@@ -1,0 +1,69 @@
+module K = Ts_modsched.Kernel
+
+type row = {
+  bench : string;
+  factor : int;
+  ii : int;
+  ii_per_iter : float;
+  pairs_per_iter : float;
+  c_delay : int;
+  cycles_per_iter : float;
+  misspec : float;
+}
+
+let compute ?(factors = [ 1; 2; 3; 4 ]) ~cfg () =
+  let params = cfg.Ts_spmt.Config.params in
+  let iterations = 2400 in
+  List.concat_map
+    (fun (sel : Ts_workload.Doacross.selected) ->
+      let g0 = List.hd sel.loops in
+      List.filter_map
+        (fun factor ->
+          let g = Ts_ddg.Unroll.by g0 ~factor in
+          match Ts_tms.Tms.schedule_sweep ~params g with
+          | exception Ts_sms.Sms.No_schedule _ -> None
+          | r ->
+              let k = r.Ts_tms.Tms.kernel in
+              let trip = iterations / factor in
+              let st = Ts_spmt.Sim.run ~warmup:(512 / factor) cfg k ~trip in
+              Some
+                {
+                  bench = sel.bench;
+                  factor;
+                  ii = k.K.ii;
+                  ii_per_iter = float_of_int k.K.ii /. float_of_int factor;
+                  pairs_per_iter =
+                    float_of_int (K.send_recv_pairs_per_iter k)
+                    /. float_of_int factor;
+                  c_delay = r.Ts_tms.Tms.achieved_c_delay;
+                  cycles_per_iter =
+                    float_of_int st.Ts_spmt.Sim.cycles
+                    /. float_of_int (trip * factor);
+                  misspec = st.Ts_spmt.Sim.misspec_rate;
+                })
+        factors)
+    Ts_workload.Doacross.all
+
+let render rows =
+  let open Ts_base.Tablefmt in
+  let t =
+    create
+      ~title:
+        "Unrolling sweep (future work, Sec 6): thread granularity vs communication"
+      [
+        ("Benchmark", Left); ("x", Right); ("II", Right); ("II/iter", Right);
+        ("pairs/iter", Right); ("C_delay", Right); ("cycles/iter", Right);
+        ("misspec", Right);
+      ]
+  in
+  List.iter
+    (fun r ->
+      add_row t
+        [
+          r.bench; cell_int r.factor; cell_int r.ii; cell_f1 r.ii_per_iter;
+          cell_f1 r.pairs_per_iter; cell_int r.c_delay;
+          cell_f2 r.cycles_per_iter;
+          Printf.sprintf "%.3f%%" (r.misspec *. 100.0);
+        ])
+    rows;
+  render t

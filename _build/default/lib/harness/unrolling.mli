@@ -1,0 +1,25 @@
+(** Future-work experiment: unrolling as a communication/parallelism knob.
+
+    The paper's conclusion proposes incorporating loop unrolling into TMS
+    "to trade off between communication and parallelism by varying thread
+    granularities". This bench runs TMS over each DOACROSS loop unrolled
+    1-4 times and reports, per source iteration: II (granularity), SEND/RECV
+    pairs (communication), simulated cycles, and the misspeculation rate
+    (rollback cost grows with granularity). *)
+
+type row = {
+  bench : string;
+  factor : int;
+  ii : int;  (** kernel II of the unrolled body *)
+  ii_per_iter : float;  (** II / factor — granularity-normalised *)
+  pairs_per_iter : float;  (** SEND/RECV pairs per source iteration *)
+  c_delay : int;
+  cycles_per_iter : float;  (** simulated, per source iteration *)
+  misspec : float;  (** squashes per committed thread *)
+}
+
+val compute : ?factors:int list -> cfg:Ts_spmt.Config.t -> unit -> row list
+(** One row per (loop, factor); factors default to [1; 2; 3; 4]. Uses one
+    representative loop per DOACROSS benchmark. *)
+
+val render : row list -> string

@@ -1,0 +1,1 @@
+lib/isa/spmt_params.ml: Format

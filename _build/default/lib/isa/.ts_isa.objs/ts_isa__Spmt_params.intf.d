@@ -1,0 +1,1 @@
+lib/isa/spmt_params.mli: Format

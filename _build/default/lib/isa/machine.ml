@@ -1,0 +1,78 @@
+type fu = Fu_ialu | Fu_imul | Fu_falu | Fu_fmul | Fu_mem | Fu_br
+
+let fu_all = [ Fu_ialu; Fu_imul; Fu_falu; Fu_fmul; Fu_mem; Fu_br ]
+
+let fu_to_string = function
+  | Fu_ialu -> "ialu"
+  | Fu_imul -> "imul"
+  | Fu_falu -> "falu"
+  | Fu_fmul -> "fmul"
+  | Fu_mem -> "mem"
+  | Fu_br -> "br"
+
+type op_desc = { latency : int; fu : fu; busy : int }
+
+type t = {
+  name : string;
+  issue_width : int;
+  fu_counts : (fu * int) list;
+  describe : Opcode.t -> op_desc;
+  n_registers : int;
+}
+
+let fu_count t fu =
+  match List.assoc_opt fu t.fu_counts with Some n -> n | None -> 0
+
+let latency t op = (t.describe op).latency
+
+(* SimpleScalar-flavoured latencies for the Table 1 core. The paper gives
+   cache latencies only; FU latencies follow the simulator defaults its
+   infrastructure (SimpleScalar) ships with. *)
+let spmt_core =
+  let describe : Opcode.t -> op_desc = function
+    | Ialu -> { latency = 1; fu = Fu_ialu; busy = 1 }
+    | Imul -> { latency = 3; fu = Fu_imul; busy = 1 }
+    | Fadd -> { latency = 3; fu = Fu_falu; busy = 1 }
+    | Fmul -> { latency = 4; fu = Fu_fmul; busy = 1 }
+    | Fdiv -> { latency = 16; fu = Fu_fmul; busy = 16 }
+    | Load -> { latency = 3; fu = Fu_mem; busy = 1 }
+    | Store -> { latency = 1; fu = Fu_mem; busy = 1 }
+    | Copy -> { latency = 1; fu = Fu_ialu; busy = 1 }
+    | Branch -> { latency = 1; fu = Fu_br; busy = 1 }
+  in
+  {
+    name = "spmt";
+    issue_width = 4;
+    fu_counts =
+      [ (Fu_ialu, 4); (Fu_imul, 1); (Fu_falu, 2); (Fu_fmul, 1); (Fu_mem, 2); (Fu_br, 1) ];
+    describe;
+    n_registers = 64;
+  }
+
+(* Figure 1's example machine: the single multiplier is unpipelined with a
+   4-cycle occupancy, so one mul in the loop body yields ResII = 4. *)
+let toy =
+  let describe : Opcode.t -> op_desc = function
+    | Ialu -> { latency = 1; fu = Fu_ialu; busy = 1 }
+    | Imul -> { latency = 4; fu = Fu_imul; busy = 4 }
+    | Fadd -> { latency = 1; fu = Fu_falu; busy = 1 }
+    | Fmul -> { latency = 4; fu = Fu_fmul; busy = 4 }
+    | Fdiv -> { latency = 8; fu = Fu_fmul; busy = 8 }
+    | Load -> { latency = 2; fu = Fu_mem; busy = 1 }
+    | Store -> { latency = 1; fu = Fu_mem; busy = 1 }
+    | Copy -> { latency = 1; fu = Fu_ialu; busy = 1 }
+    | Branch -> { latency = 1; fu = Fu_br; busy = 1 }
+  in
+  {
+    name = "toy";
+    issue_width = 4;
+    fu_counts =
+      [ (Fu_ialu, 2); (Fu_imul, 1); (Fu_falu, 1); (Fu_fmul, 1); (Fu_mem, 1); (Fu_br, 1) ];
+    describe;
+    n_registers = 32;
+  }
+
+let by_name = function
+  | "spmt" -> Some spmt_core
+  | "toy" -> Some toy
+  | _ -> None

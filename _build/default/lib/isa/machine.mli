@@ -1,0 +1,53 @@
+(** Machine descriptions: functional units, latencies, issue width.
+
+    A machine description is everything the modulo scheduler needs to build
+    a modulo reservation table: how many of each functional unit a core has,
+    which unit each opcode class occupies, for how many cycles the unit is
+    busy per issue (1 when fully pipelined), and the result latency. *)
+
+type fu =
+  | Fu_ialu  (** integer ALUs *)
+  | Fu_imul  (** integer multiplier *)
+  | Fu_falu  (** floating-point adders *)
+  | Fu_fmul  (** floating-point multiplier/divider *)
+  | Fu_mem   (** memory ports *)
+  | Fu_br    (** branch unit *)
+
+val fu_all : fu list
+val fu_to_string : fu -> string
+
+type op_desc = {
+  latency : int;  (** result latency in cycles (register-file to register-file) *)
+  fu : fu;  (** functional unit class occupied *)
+  busy : int;  (** initiation interval on the unit: 1 = fully pipelined *)
+}
+
+type t = {
+  name : string;
+  issue_width : int;  (** instructions issued per cycle, all classes combined *)
+  fu_counts : (fu * int) list;  (** units available per class *)
+  describe : Opcode.t -> op_desc;  (** per-opcode resource/latency data *)
+  n_registers : int;
+      (** architectural registers available to the kernel; a schedule whose
+          MaxLive exceeds this would spill, and GCC's modulo scheduler
+          rejects it *)
+}
+
+val fu_count : t -> fu -> int
+(** Number of units of a class (0 when the class is absent). *)
+
+val latency : t -> Opcode.t -> int
+(** Shorthand for [(describe op).latency]. *)
+
+val spmt_core : t
+(** One core of the Table 1 quad-core SpMT system: 4-wide issue, two memory
+    ports, SimpleScalar-like latencies (ialu 1, imul 3, fadd 3, fmul 4,
+    fdiv 16 unpipelined, load 3 = L1 hit, store 1, branch 1). *)
+
+val toy : t
+(** The small machine of the paper's Figure 1 motivating example: 2-wide,
+    one unit per class, mul latency 4 on an unpipelined multiplier (so one
+    mul per loop gives ResII = 4), load latency 2, everything else 1. *)
+
+val by_name : string -> t option
+(** Look up ["spmt"] or ["toy"] (used by the [.ddg] parser and the CLI). *)

@@ -1,0 +1,32 @@
+type t = Ialu | Imul | Fadd | Fmul | Fdiv | Load | Store | Copy | Branch
+
+let all = [ Ialu; Imul; Fadd; Fmul; Fdiv; Load; Store; Copy; Branch ]
+
+let to_string = function
+  | Ialu -> "ialu"
+  | Imul -> "imul"
+  | Fadd -> "fadd"
+  | Fmul -> "fmul"
+  | Fdiv -> "fdiv"
+  | Load -> "load"
+  | Store -> "store"
+  | Copy -> "copy"
+  | Branch -> "branch"
+
+let of_string = function
+  | "ialu" -> Some Ialu
+  | "imul" -> Some Imul
+  | "fadd" -> Some Fadd
+  | "fmul" -> Some Fmul
+  | "fdiv" -> Some Fdiv
+  | "load" | "ld" -> Some Load
+  | "store" | "st" -> Some Store
+  | "copy" -> Some Copy
+  | "branch" | "br" -> Some Branch
+  | _ -> None
+
+let is_mem = function
+  | Load | Store -> true
+  | Ialu | Imul | Fadd | Fmul | Fdiv | Copy | Branch -> false
+
+let pp ppf op = Format.pp_print_string ppf (to_string op)

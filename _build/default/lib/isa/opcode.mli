@@ -1,0 +1,29 @@
+(** Instruction opcode classes.
+
+    The scheduler does not need full instruction semantics — only the
+    latency/resource class of each operation and whether it touches memory.
+    This is the same abstraction level GCC's modulo scheduler works at once
+    the DDG has been built. *)
+
+type t =
+  | Ialu  (** integer ALU op: add, sub, logic, compare *)
+  | Imul  (** integer multiply *)
+  | Fadd  (** floating-point add/sub/convert *)
+  | Fmul  (** floating-point multiply *)
+  | Fdiv  (** floating-point divide / sqrt (long, unpipelined) *)
+  | Load  (** memory load *)
+  | Store (** memory store *)
+  | Copy  (** register-to-register copy (inserted by the post-pass) *)
+  | Branch (** loop back-branch and compare-and-branch *)
+
+val all : t list
+(** Every opcode class, in declaration order. *)
+
+val to_string : t -> string
+val of_string : string -> t option
+(** Parse the lowercase name used by the [.ddg] textual format. *)
+
+val is_mem : t -> bool
+(** [true] for {!Load} and {!Store}. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,16 @@
+type t = {
+  ncore : int;
+  c_reg_com : int;
+  c_spawn : int;
+  c_commit : int;
+  c_inv : int;
+}
+
+let default = { ncore = 4; c_reg_com = 3; c_spawn = 3; c_commit = 2; c_inv = 15 }
+let two_core = { default with ncore = 2 }
+let with_ncore t ncore = { t with ncore }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "{ ncore = %d; c_reg_com = %d; c_spawn = %d; c_commit = %d; c_inv = %d }"
+    t.ncore t.c_reg_com t.c_spawn t.c_commit t.c_inv

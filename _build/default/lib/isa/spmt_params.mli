@@ -1,0 +1,26 @@
+(** SpMT cost parameters shared by the TMS cost model and the simulator.
+
+    These are the Table 1 values the scheduler itself needs: the number of
+    cores, the SEND/RECV register-communication latency [c_reg_com]
+    (Definition 2), and the spawn / commit / invalidation overheads of the
+    Section 4.2 cost model. The full simulator configuration (caches, MDT,
+    write buffer) lives in [Ts_spmt.Config] and embeds one of these. *)
+
+type t = {
+  ncore : int;  (** cores participating in the loop (paper: 4) *)
+  c_reg_com : int;  (** SEND + hop + RECV latency (paper: 3) *)
+  c_spawn : int;  (** thread spawn overhead [C_spn] (paper: 3) *)
+  c_commit : int;  (** head-thread commit overhead [C_ci] (paper: 2) *)
+  c_inv : int;  (** squash/invalidation overhead [C_inv] (paper: 15) *)
+}
+
+val default : t
+(** The Table 1 quad-core configuration. *)
+
+val two_core : t
+(** The Figure 2 walkthrough uses two cores; identical costs otherwise. *)
+
+val with_ncore : t -> int -> t
+(** Same costs, different core count (used by the scaling ablations). *)
+
+val pp : Format.formatter -> t -> unit

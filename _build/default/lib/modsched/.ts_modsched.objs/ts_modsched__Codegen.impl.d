@@ -1,0 +1,1 @@
+lib/modsched/codegen.ml: Array Format Fun Kernel List Ts_base Ts_ddg Ts_isa

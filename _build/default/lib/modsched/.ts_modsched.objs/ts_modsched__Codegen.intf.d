@@ -1,0 +1,1 @@
+lib/modsched/codegen.mli: Format Kernel

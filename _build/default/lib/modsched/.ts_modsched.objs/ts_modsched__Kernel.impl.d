@@ -1,0 +1,1 @@
+lib/modsched/kernel.ml: Array Format Fun List Mrt Printf Sched String Ts_base Ts_ddg Ts_isa

@@ -1,0 +1,1 @@
+lib/modsched/kernel.mli: Format Sched Ts_ddg

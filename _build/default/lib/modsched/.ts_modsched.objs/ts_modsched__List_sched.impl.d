@@ -1,0 +1,1 @@
+lib/modsched/list_sched.ml: Array Hashtbl List Printf Ts_ddg Ts_isa

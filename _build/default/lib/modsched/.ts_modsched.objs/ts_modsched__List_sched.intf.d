@@ -1,0 +1,1 @@
+lib/modsched/list_sched.mli: Ts_ddg

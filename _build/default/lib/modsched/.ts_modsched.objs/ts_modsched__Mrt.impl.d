@@ -1,0 +1,1 @@
+lib/modsched/mrt.ml: Array Hashtbl List Printf Ts_isa

@@ -1,0 +1,1 @@
+lib/modsched/mrt.mli: Ts_isa

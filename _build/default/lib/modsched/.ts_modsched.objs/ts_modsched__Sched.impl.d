@@ -1,0 +1,1 @@
+lib/modsched/sched.ml: Array List Mrt Printf Ts_ddg

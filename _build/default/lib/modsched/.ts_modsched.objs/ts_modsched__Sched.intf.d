@@ -1,0 +1,1 @@
+lib/modsched/sched.mli: Ts_ddg

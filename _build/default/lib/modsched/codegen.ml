@@ -1,0 +1,98 @@
+type inst =
+  | Spawn
+  | Op of int
+  | Recv of { value : int; hop : int }
+  | Send of { value : int; hop : int }
+  | Copy of { value : int; hop : int }
+
+type t = {
+  kernel : Kernel.t;
+  listing : (int * inst) list;
+  n_sends : int;
+  n_recvs : int;
+  n_copies : int;
+}
+
+let of_kernel (k : Kernel.t) =
+  let g = k.Kernel.g in
+  let items = ref [] in
+  let add row i = items := (row, i) :: !items in
+  add 0 Spawn;
+  Array.iter (fun (nd : Ts_ddg.Ddg.node) -> add k.Kernel.row.(nd.id) (Op nd.id)) g.nodes;
+  (* Earliest same-thread consumer row per (value, hop): the RECV must sit
+     no later than that. A hop-h RECV serves consumers at kernel distance
+     h. *)
+  let sends = ref 0 and recvs = ref 0 and copies = ref 0 in
+  List.iter
+    (fun (v, hops) ->
+      let lat = Ts_ddg.Ddg.latency g v in
+      let send1_row = Ts_base.Intmath.modulo (k.Kernel.row.(v) + lat) k.Kernel.ii in
+      for hop = 1 to hops do
+        (* consumers served by this hop *)
+        let consumer_rows =
+          List.filter_map
+            (fun (e : Ts_ddg.Ddg.edge) ->
+              if e.kind = Ts_ddg.Ddg.Reg && e.src = v && Kernel.d_ker k e = hop
+              then Some k.Kernel.row.(e.dst)
+              else None)
+            g.succs.(v)
+        in
+        let recv_row =
+          match consumer_rows with
+          | [] -> 0 (* pure relay hop: receive at thread start *)
+          | rows -> List.fold_left min (List.hd rows) rows
+        in
+        add recv_row (Recv { value = v; hop });
+        incr recvs;
+        if hop = 1 then add send1_row (Send { value = v; hop })
+        else begin
+          (* relay: copy the received value and forward it *)
+          add recv_row (Copy { value = v; hop });
+          incr copies;
+          add recv_row (Send { value = v; hop })
+        end;
+        incr sends
+      done)
+    (Kernel.producers k);
+  let listing =
+    List.stable_sort (fun (r1, _) (r2, _) -> compare r1 r2) (List.rev !items)
+  in
+  { kernel = k; listing; n_sends = !sends; n_recvs = !recvs; n_copies = !copies }
+
+let thread_slice (k : Kernel.t) ~thread ~trip =
+  if trip <= 0 then invalid_arg "Codegen.thread_slice: trip must be positive";
+  let n = Ts_ddg.Ddg.n_nodes k.Kernel.g in
+  List.init n Fun.id
+  |> List.filter (fun v ->
+         let src_iter = thread - k.Kernel.stage.(v) in
+         src_iter >= 0 && src_iter < trip)
+  |> List.sort (fun a b ->
+         if k.Kernel.row.(a) <> k.Kernel.row.(b) then
+           compare k.Kernel.row.(a) k.Kernel.row.(b)
+         else compare a b)
+
+let n_threads (k : Kernel.t) ~trip = trip + k.Kernel.n_stages - 1
+
+let pp ppf t =
+  let g = t.kernel.Kernel.g in
+  let name v = (Ts_ddg.Ddg.node g v).name in
+  Format.fprintf ppf "thread program for %s (II = %d):@." g.name t.kernel.Kernel.ii;
+  let last_row = ref (-1) in
+  List.iter
+    (fun (row, i) ->
+      if row <> !last_row then begin
+        Format.fprintf ppf "  ; row %d@." row;
+        last_row := row
+      end;
+      match i with
+      | Spawn -> Format.fprintf ppf "    spawn  next_iteration@."
+      | Op v ->
+          Format.fprintf ppf "    %-6s %s@."
+            (Ts_isa.Opcode.to_string (Ts_ddg.Ddg.node g v).op)
+            (name v)
+      | Recv { value; hop } -> Format.fprintf ppf "    recv   %s (hop %d)@." (name value) hop
+      | Send { value; hop } -> Format.fprintf ppf "    send   %s (hop %d)@." (name value) hop
+      | Copy { value; hop } -> Format.fprintf ppf "    copy   %s (hop %d)@." (name value) hop)
+    t.listing;
+  Format.fprintf ppf "  ; %d sends, %d recvs, %d relay copies per iteration@."
+    t.n_sends t.n_recvs t.n_copies

@@ -1,0 +1,56 @@
+(** Thread code generation: the Section 3 post-pass, materialised.
+
+    After scheduling, the paper's compiler (a) renames overlapping
+    lifetimes with register copies so that every inter-iteration register
+    dependence has distance 1, and (b) inserts SEND/RECV pairs so each
+    value crossing threads hops between adjacent cores. This module builds
+    the actual per-thread instruction listing — the spawn, the RECVs for
+    incoming values, the body in kernel-row order, the SENDs after each
+    producer, and the relay copies for multi-hop values — so the result of
+    scheduling is inspectable as code, and the communication counts used by
+    the simulator are backed by real instruction positions. *)
+
+type inst =
+  | Spawn  (** first instruction of every thread (3 cycles) *)
+  | Op of int  (** DDG node id, at its kernel row *)
+  | Recv of { value : int; hop : int }
+      (** receive node [value]'s datum, [hop] hops from its producer
+          (1 = direct neighbour); placed just before its first consumer *)
+  | Send of { value : int; hop : int }
+      (** forward node [value]'s datum to the successor core; hop 1 sits
+          right after the producer completes, relay hops after their
+          RECV *)
+  | Copy of { value : int; hop : int }
+      (** lifetime-renaming copy backing a relay hop *)
+
+type t = {
+  kernel : Kernel.t;
+  listing : (int * inst) list;  (** (row, instruction), sorted by row *)
+  n_sends : int;
+  n_recvs : int;
+  n_copies : int;
+}
+
+val of_kernel : Kernel.t -> t
+(** Generate the thread program. Guaranteed: [n_sends = n_recvs =
+    Kernel.send_recv_pairs_per_iter]; every body op appears exactly once at
+    its kernel row; RECV of a value precedes every same-thread consumer's
+    row. *)
+
+val pp : Format.formatter -> t -> unit
+(** Assembly-like listing, one line per instruction, grouped by row. *)
+
+val thread_slice : Kernel.t -> thread:int -> trip:int -> int list
+(** Prologue/epilogue structure of the pipelined loop. When the loop runs
+    [trip] source iterations, thread [j] executes exactly the instructions
+    whose stage [s] satisfies [0 <= j - s < trip] (a stage-[s] instruction
+    in thread [j] belongs to source iteration [j - s]). The first
+    [n_stages - 1] threads are the ramp-up (prologue) and the last
+    [n_stages - 1] the drain (epilogue); every thread in between runs the
+    full kernel. Returns the node ids, in row order. The total number of
+    threads is [trip + n_stages - 1], and summing slice sizes over all
+    threads gives [trip * n_nodes] — every source instruction exactly
+    once. *)
+
+val n_threads : Kernel.t -> trip:int -> int
+(** [trip + n_stages - 1]. *)

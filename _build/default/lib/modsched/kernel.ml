@@ -1,0 +1,155 @@
+type t = {
+  g : Ts_ddg.Ddg.t;
+  ii : int;
+  time : int array;
+  row : int array;
+  stage : int array;
+  n_stages : int;
+}
+
+let check_constraints (g : Ts_ddg.Ddg.t) ~ii time =
+  Array.iter
+    (fun (e : Ts_ddg.Ddg.edge) ->
+      let lhs = time.(e.dst) and rhs = time.(e.src) + Ts_ddg.Ddg.latency g e.src - (ii * e.distance) in
+      if lhs < rhs then
+        invalid_arg
+          (Printf.sprintf
+             "Kernel: dependence %s -> %s violated (t=%d < %d) at ii=%d"
+             (Ts_ddg.Ddg.node g e.src).name (Ts_ddg.Ddg.node g e.dst).name lhs rhs ii))
+    g.edges
+
+let check_resources (g : Ts_ddg.Ddg.t) ~ii time =
+  let mrt = Mrt.create g.machine ~ii in
+  Array.iteri
+    (fun v cycle ->
+      let op = (Ts_ddg.Ddg.node g v).op in
+      if not (Mrt.fits mrt op ~cycle) then
+        invalid_arg
+          (Printf.sprintf "Kernel: resource overflow at cycle %d (node %s)" cycle
+             (Ts_ddg.Ddg.node g v).name);
+      Mrt.reserve mrt op ~cycle)
+    time
+
+let of_times g ~ii raw =
+  if Array.length raw <> Ts_ddg.Ddg.n_nodes g then
+    invalid_arg "Kernel.of_times: time array size mismatch";
+  if Array.length raw = 0 then invalid_arg "Kernel.of_times: empty loop";
+  check_constraints g ~ii raw;
+  check_resources g ~ii raw;
+  let mint = Array.fold_left min raw.(0) raw in
+  (* Normalise by a multiple of II: rows and stage differences (hence d_ker
+     and sync) are then identical to those computed on the raw schedule
+     times, which lets TMS's incremental admission checks agree exactly
+     with the final kernel's metrics. *)
+  let base = ii * Ts_base.Intmath.div_floor mint ii in
+  let time = Array.map (fun c -> c - base) raw in
+  let row = Array.map (fun c -> Ts_base.Intmath.modulo c ii) time in
+  let stage = Array.map (fun c -> Ts_base.Intmath.div_floor c ii) time in
+  let n_stages = 1 + Array.fold_left max 0 stage in
+  { g; ii; time; row; stage; n_stages }
+
+let of_schedule s = of_times (Sched.ddg s) ~ii:(Sched.ii s) (Sched.times_exn s)
+
+let validate t =
+  check_constraints t.g ~ii:t.ii t.time;
+  check_resources t.g ~ii:t.ii t.time
+
+let d_ker t (e : Ts_ddg.Ddg.edge) = e.distance + t.stage.(e.dst) - t.stage.(e.src)
+
+let inter_iter_reg_deps t =
+  List.filter (fun e -> d_ker t e >= 1) (Ts_ddg.Ddg.reg_edges t.g)
+
+let inter_iter_mem_deps t =
+  List.filter (fun e -> d_ker t e >= 1) (Ts_ddg.Ddg.mem_edges t.g)
+
+let sync t ~c_reg_com (e : Ts_ddg.Ddg.edge) =
+  t.row.(e.src) - t.row.(e.dst) + Ts_ddg.Ddg.latency t.g e.src + c_reg_com
+
+let c_delay t ~c_reg_com =
+  List.fold_left (fun acc e -> max acc (sync t ~c_reg_com e)) 0 (inter_iter_reg_deps t)
+
+(* A producer's value is born at its issue and dies at the issue of its last
+   register consumer ([+ II * d] unrolls the consumer into absolute time).
+   Values with no consumer still occupy a register for at least one cycle. *)
+let lifetimes t =
+  let n = Ts_ddg.Ddg.n_nodes t.g in
+  let res = ref [] in
+  for v = 0 to n - 1 do
+    let consumers =
+      List.filter (fun (e : Ts_ddg.Ddg.edge) -> e.kind = Ts_ddg.Ddg.Reg) t.g.succs.(v)
+    in
+    if consumers <> [] then begin
+      let birth = t.time.(v) in
+      let death =
+        List.fold_left
+          (fun acc (e : Ts_ddg.Ddg.edge) ->
+            max acc (t.time.(e.dst) + (t.ii * e.distance)))
+          (birth + 1) consumers
+      in
+      res := (v, birth, death) :: !res
+    end
+  done;
+  List.rev !res
+
+let max_live t =
+  let lts = lifetimes t in
+  let best = ref 0 in
+  for c = 0 to t.ii - 1 do
+    let live =
+      List.fold_left
+        (fun acc (_, birth, death) ->
+          (* Number of k with birth <= c + k*ii < death. *)
+          let kmax = Ts_base.Intmath.div_floor (death - 1 - c) t.ii in
+          let kmin = Ts_base.Intmath.div_ceil (birth - c) t.ii in
+          acc + max 0 (kmax - kmin + 1))
+        0 lts
+    in
+    if live > !best then best := live
+  done;
+  !best
+
+let copies_needed t =
+  List.fold_left
+    (fun acc (_, birth, death) ->
+      acc + max 0 (Ts_base.Intmath.div_ceil (death - birth) t.ii - 1))
+    0 (lifetimes t)
+
+let producers t =
+  let n = Ts_ddg.Ddg.n_nodes t.g in
+  let hops = Array.make n 0 in
+  List.iter
+    (fun (e : Ts_ddg.Ddg.edge) -> hops.(e.src) <- max hops.(e.src) (d_ker t e))
+    (inter_iter_reg_deps t);
+  let res = ref [] in
+  for v = n - 1 downto 0 do
+    if hops.(v) > 0 then res := (v, hops.(v)) :: !res
+  done;
+  !res
+
+let send_recv_pairs_per_iter t =
+  List.fold_left (fun acc (_, h) -> acc + h) 0 (producers t)
+
+let span t =
+  let best = ref 0 in
+  Array.iteri
+    (fun v c -> best := max !best (c + Ts_ddg.Ddg.latency t.g v))
+    t.time;
+  !best
+
+let pp ppf t =
+  Format.fprintf ppf "kernel of %s: ii=%d, stages=%d, maxlive=%d@." t.g.name t.ii
+    t.n_stages (max_live t);
+  for r = 0 to t.ii - 1 do
+    let here =
+      List.filter (fun v -> t.row.(v) = r) (List.init (Ts_ddg.Ddg.n_nodes t.g) Fun.id)
+    in
+    let cells =
+      List.map
+        (fun v ->
+          Printf.sprintf "%s[s%d]" (Ts_ddg.Ddg.node t.g v).name t.stage.(v))
+        here
+    in
+    Format.fprintf ppf "  row %2d: %s@." r (String.concat " " cells)
+  done
+
+let fits_registers t = max_live t <= t.g.machine.Ts_isa.Machine.n_registers

@@ -1,0 +1,92 @@
+(** Kernels: completed modulo schedules, normalised and analysed.
+
+    The kernel of a modulo-scheduled loop is the II-cycle steady-state
+    body. Issue times are normalised so the earliest instruction is at
+    cycle 0; [stage v = time v / II] and [row v = time v mod II]. The
+    kernel distance of a dependence (paper Definition 1) is
+    [d_ker (u, v) = d (u, v) + stage v - stage u]: the number of {e
+    threads} the dependence crosses in the SpMT execution model, where each
+    thread executes one kernel iteration.
+
+    Everything Section 5 measures statically lives here: the
+    synchronisation delay of register dependences (Definition 2), the
+    schedule's achieved [C_delay], MaxLive, the register-copy post-pass
+    count, and the SEND/RECV communication plan that the simulator
+    replays. *)
+
+type t = private {
+  g : Ts_ddg.Ddg.t;
+  ii : int;
+  time : int array;
+      (** issue cycles normalised by a multiple of II (min in [0, II)), so
+          rows equal the raw schedule's cycles mod II *)
+  row : int array;  (** [time.(v) mod ii] *)
+  stage : int array;  (** [time.(v) / ii] *)
+  n_stages : int;
+}
+
+val of_schedule : Sched.t -> t
+(** Normalise a complete schedule. Raises [Invalid_argument] if incomplete
+    or if any dependence constraint [t(v) >= t(u) + lat(u) - II * d] is
+    violated. *)
+
+val of_times : Ts_ddg.Ddg.t -> ii:int -> int array -> t
+(** Same, from a raw time array (used by tests). *)
+
+val d_ker : t -> Ts_ddg.Ddg.edge -> int
+(** Definition 1. Always [>= 0] for a valid kernel (a negative value would
+    mean a dependence travelling backwards in thread order). *)
+
+val inter_iter_reg_deps : t -> Ts_ddg.Ddg.edge list
+(** Register flow dependences with [d_ker >= 1]: the paper's [RegDep] set
+    over all instructions — these become synchronised SEND/RECV
+    dependences. *)
+
+val inter_iter_mem_deps : t -> Ts_ddg.Ddg.edge list
+(** Memory dependences with [d_ker >= 1]: the speculated dependences
+    tracked by the MDT. *)
+
+val sync : t -> c_reg_com:int -> Ts_ddg.Ddg.edge -> int
+(** Definition 2:
+    [sync (x, y) = row x - row y + lat x + c_reg_com]. Defined for any
+    inter-iteration register dependence (the paper states it for kernel
+    distance 1; dependences with a larger distance are relayed hop-by-hop
+    by the copy post-pass and the same per-hop bound applies). *)
+
+val c_delay : t -> c_reg_com:int -> int
+(** Achieved synchronisation delay of the schedule: the maximum [sync] over
+    [inter_iter_reg_deps], or 0 when the kernel has none (a DOALL-style
+    kernel whose threads never wait on registers). *)
+
+val max_live : t -> int
+(** Maximum number of simultaneously-live register lifetimes at any cycle
+    of the steady-state kernel (the MaxLive column of Tables 2 and 3). *)
+
+val copies_needed : t -> int
+(** Register copies the post-pass inserts: one per extra II window a value
+    stays live beyond its first, summed over producers (this also covers
+    relaying multi-hop inter-thread values through adjacent cores). *)
+
+val producers : t -> (int * int) list
+(** [(node, hops)] for every node whose value crosses threads, where
+    [hops] is the largest [d_ker] among its register consumers. Each hop
+    is one SEND/RECV pair per kernel iteration at run time. *)
+
+val send_recv_pairs_per_iter : t -> int
+(** Total SEND/RECV pairs a thread executes per iteration: the sum of
+    [hops] over [producers]. *)
+
+val span : t -> int
+(** Cycles from the first issue to the last completion of one iteration
+    ([max (time v + lat v)]); the length of a thread executed alone. *)
+
+val validate : t -> unit
+(** Re-check all dependence constraints and resource limits. *)
+
+val pp : Format.formatter -> t -> unit
+(** Kernel listing by row, with stage annotations, like Figure 2(b)/(e). *)
+
+val fits_registers : t -> bool
+(** Does the kernel's MaxLive fit the machine's register file? GCC's
+    modulo scheduler abandons schedules that would spill; the suite
+    statistics confirm TMS's larger MaxLive stays within budget. *)

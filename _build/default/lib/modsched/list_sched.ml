@@ -1,0 +1,117 @@
+type t = { g : Ts_ddg.Ddg.t; time : int array; makespan : int }
+
+(* Latency height over distance-0 edges: priority for the ready list. *)
+let heights (g : Ts_ddg.Ddg.t) =
+  let n = Ts_ddg.Ddg.n_nodes g in
+  let h = Array.make n 0 in
+  let state = Array.make n 0 in
+  (* 0 = unvisited, 1 = visiting, 2 = done *)
+  let rec visit v =
+    if state.(v) = 1 then
+      invalid_arg (Printf.sprintf "List_sched: zero-distance cycle in %s" g.name);
+    if state.(v) = 0 then begin
+      state.(v) <- 1;
+      let best = ref 0 in
+      List.iter
+        (fun (e : Ts_ddg.Ddg.edge) ->
+          if e.distance = 0 then begin
+            visit e.dst;
+            best := max !best h.(e.dst)
+          end)
+        g.succs.(v);
+      h.(v) <- Ts_ddg.Ddg.latency g v + !best;
+      state.(v) <- 2
+    end
+  in
+  for v = 0 to n - 1 do
+    visit v
+  done;
+  h
+
+let run (g : Ts_ddg.Ddg.t) =
+  let n = Ts_ddg.Ddg.n_nodes g in
+  let h = heights g in
+  let time = Array.make n (-1) in
+  (* Earliest cycle allowed by scheduled distance-0 predecessors. *)
+  let ready_at v =
+    List.fold_left
+      (fun acc (e : Ts_ddg.Ddg.edge) ->
+        if e.distance = 0 then
+          match time.(e.src) with
+          | -1 -> None
+          | tu -> (
+              let b = tu + Ts_ddg.Ddg.latency g e.src in
+              match acc with None -> None | Some a -> Some (max a b))
+        else acc)
+      (Some 0) g.preds.(v)
+  in
+  let unplaced = ref n in
+  let cycle = ref 0 in
+  (* A fresh one-cycle reservation per cycle: reuse Mrt with ii = 1 is wrong
+     for busy > 1 units, so keep explicit busy-until times per unit class. *)
+  let module M = Ts_isa.Machine in
+  let busy_until = Hashtbl.create 8 in
+  List.iter
+    (fun fu -> Hashtbl.replace busy_until fu (Array.make (max 1 (M.fu_count g.machine fu)) 0))
+    M.fu_all;
+  while !unplaced > 0 do
+    let issued = ref 0 in
+    let progressed = ref true in
+    while !issued < g.machine.M.issue_width && !progressed do
+      progressed := false;
+      (* Best ready node at this cycle. *)
+      let best = ref None in
+      for v = 0 to n - 1 do
+        if time.(v) = -1 then
+          match ready_at v with
+          | Some r when r <= !cycle -> (
+              let d = g.machine.M.describe (Ts_ddg.Ddg.node g v).op in
+              let units = Hashtbl.find busy_until d.fu in
+              let slot = ref (-1) in
+              Array.iteri (fun i b -> if !slot = -1 && b <= !cycle then slot := i) units;
+              if !slot >= 0 then
+                match !best with
+                | Some (bv, _) when h.(bv) >= h.(v) -> ()
+                | _ -> best := Some (v, !slot))
+          | _ -> ()
+      done;
+      match !best with
+      | None -> ()
+      | Some (v, slot) ->
+          let d = g.machine.M.describe (Ts_ddg.Ddg.node g v).op in
+          let units = Hashtbl.find busy_until d.fu in
+          units.(slot) <- !cycle + d.busy;
+          time.(v) <- !cycle;
+          decr unplaced;
+          incr issued;
+          progressed := true
+    done;
+    incr cycle
+  done;
+  let makespan =
+    Array.to_list time
+    |> List.mapi (fun v c -> c + Ts_ddg.Ddg.latency g v)
+    |> List.fold_left max 0
+  in
+  { g; time; makespan }
+
+let validate t =
+  let g = t.g in
+  Array.iter
+    (fun (e : Ts_ddg.Ddg.edge) ->
+      if e.distance = 0 then
+        if t.time.(e.dst) < t.time.(e.src) + Ts_ddg.Ddg.latency g e.src then
+          invalid_arg "List_sched.validate: dependence violated")
+    g.edges;
+  (* Per-cycle issue-width check. *)
+  let counts = Hashtbl.create 64 in
+  Array.iter
+    (fun c ->
+      let cur = try Hashtbl.find counts c with Not_found -> 0 in
+      Hashtbl.replace counts c (cur + 1))
+    t.time;
+  Hashtbl.iter
+    (fun _ k ->
+      if k > g.machine.Ts_isa.Machine.issue_width then
+        invalid_arg "List_sched.validate: issue width exceeded")
+    counts

@@ -1,0 +1,24 @@
+(** Greedy list scheduling of a single iteration.
+
+    The "single-threaded code" baseline of Section 5.2 runs the loop
+    unpipelined: each iteration's body is scheduled in isolation on one
+    core, respecting intra-iteration (distance-0) dependences and the
+    core's functional units, and consecutive iterations are chained by the
+    loop-carried dependences at run time (the simulator does the
+    chaining). This module produces that per-iteration schedule.
+
+    The heuristic is critical-path list scheduling: ready nodes are placed
+    cycle by cycle, highest latency-height first. *)
+
+type t = {
+  g : Ts_ddg.Ddg.t;
+  time : int array;  (** issue cycle of every node, starting at 0 *)
+  makespan : int;  (** first cycle after the last completion *)
+}
+
+val run : Ts_ddg.Ddg.t -> t
+(** Schedule one iteration. Raises [Invalid_argument] if the distance-0
+    subgraph is cyclic. *)
+
+val validate : t -> unit
+(** Check dependence and resource feasibility of the result. *)

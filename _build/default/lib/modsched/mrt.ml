@@ -1,0 +1,69 @@
+type t = {
+  machine : Ts_isa.Machine.t;
+  ii : int;
+  issue : int array; (* issue slots used per modulo cycle *)
+  fu_use : (Ts_isa.Machine.fu, int array) Hashtbl.t;
+}
+
+let create machine ~ii =
+  if ii <= 0 then invalid_arg "Mrt.create: ii must be positive";
+  let fu_use = Hashtbl.create 8 in
+  List.iter
+    (fun fu -> Hashtbl.replace fu_use fu (Array.make ii 0))
+    Ts_isa.Machine.fu_all;
+  { machine; ii; issue = Array.make ii 0; fu_use }
+
+let ii t = t.ii
+
+let modulo t c =
+  let m = c mod t.ii in
+  if m < 0 then m + t.ii else m
+
+let fits t op ~cycle =
+  let d = t.machine.Ts_isa.Machine.describe op in
+  let units = Ts_isa.Machine.fu_count t.machine d.fu in
+  let use = Hashtbl.find t.fu_use d.fu in
+  let c0 = modulo t cycle in
+  if t.issue.(c0) >= t.machine.Ts_isa.Machine.issue_width then false
+  else if d.busy > t.ii * units then false
+  else begin
+    (* When [busy > ii] an occupancy wraps around the table and lands on the
+       same cell more than once, so count per-cell demand first. *)
+    let demand = Array.make t.ii 0 in
+    for k = 0 to d.busy - 1 do
+      let c = (c0 + k) mod t.ii in
+      demand.(c) <- demand.(c) + 1
+    done;
+    let ok = ref true in
+    for c = 0 to t.ii - 1 do
+      if use.(c) + demand.(c) > units then ok := false
+    done;
+    !ok
+  end
+
+let apply t op ~cycle delta =
+  let d = t.machine.Ts_isa.Machine.describe op in
+  let use = Hashtbl.find t.fu_use d.fu in
+  let c0 = modulo t cycle in
+  t.issue.(c0) <- t.issue.(c0) + delta;
+  for k = 0 to d.busy - 1 do
+    let c = (c0 + k) mod t.ii in
+    use.(c) <- use.(c) + delta
+  done
+
+let reserve t op ~cycle =
+  if not (fits t op ~cycle) then
+    invalid_arg
+      (Printf.sprintf "Mrt.reserve: %s does not fit at cycle %d (ii=%d)"
+         (Ts_isa.Opcode.to_string op) cycle t.ii);
+  apply t op ~cycle 1
+
+let release t op ~cycle =
+  apply t op ~cycle (-1);
+  let d = t.machine.Ts_isa.Machine.describe op in
+  let use = Hashtbl.find t.fu_use d.fu in
+  Array.iter (fun v -> if v < 0 then invalid_arg "Mrt.release: not reserved") use;
+  if Array.exists (fun v -> v < 0) t.issue then
+    invalid_arg "Mrt.release: not reserved"
+
+let used_issue_slots t c = t.issue.(modulo t c)

@@ -1,0 +1,26 @@
+(** Modulo reservation table.
+
+    Tracks functional-unit and issue-slot occupancy modulo II. An
+    instruction placed at cycle [c] occupies one issue slot at [c mod II]
+    and its functional unit for [busy] consecutive modulo cycles starting
+    at [c mod II] (unpipelined units have [busy > 1]). *)
+
+type t
+
+val create : Ts_isa.Machine.t -> ii:int -> t
+
+val ii : t -> int
+
+val fits : t -> Ts_isa.Opcode.t -> cycle:int -> bool
+(** Can an instruction of this class be placed at [cycle] without exceeding
+    any unit count or the issue width? [cycle] may be any integer (it is
+    reduced modulo II). *)
+
+val reserve : t -> Ts_isa.Opcode.t -> cycle:int -> unit
+(** Claim the resources. Raises [Invalid_argument] if [fits] is false. *)
+
+val release : t -> Ts_isa.Opcode.t -> cycle:int -> unit
+(** Undo a [reserve] (used by schedulers that eject instructions). *)
+
+val used_issue_slots : t -> int -> int
+(** Issue slots currently taken at a modulo cycle (for tests/statistics). *)

@@ -1,0 +1,123 @@
+type direction = Up | Down
+
+type t = {
+  g : Ts_ddg.Ddg.t;
+  ii : int;
+  time : int option array;
+  mrt : Mrt.t;
+  asap_tbl : int array;
+  mutable placed_rev : int list;
+  mutable n_placed : int;
+}
+
+let compute_asap (g : Ts_ddg.Ddg.t) ~ii =
+  let n = Ts_ddg.Ddg.n_nodes g in
+  let asap = Array.make n 0 in
+  (* Longest path from a virtual source; II >= RecII makes all cycles
+     non-positive so relaxation converges within n rounds. *)
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun (e : Ts_ddg.Ddg.edge) ->
+        let cand = asap.(e.src) + Ts_ddg.Ddg.latency g e.src - (ii * e.distance) in
+        if cand > asap.(e.dst) then begin
+          asap.(e.dst) <- cand;
+          changed := true
+        end)
+      g.edges;
+    incr rounds;
+    if !rounds > n + 1 then
+      invalid_arg
+        (Printf.sprintf "Sched.create: ii=%d below RecII for loop %s" ii g.name)
+  done;
+  asap
+
+let create g ~ii =
+  let n = Ts_ddg.Ddg.n_nodes g in
+  {
+    g;
+    ii;
+    time = Array.make n None;
+    mrt = Mrt.create g.machine ~ii;
+    asap_tbl = compute_asap g ~ii;
+    placed_rev = [];
+    n_placed = 0;
+  }
+
+let ddg t = t.g
+let ii t = t.ii
+let time t v = t.time.(v)
+let is_scheduled t v = t.time.(v) <> None
+let n_scheduled t = t.n_placed
+let scheduled_nodes t = List.rev t.placed_rev
+let asap t v = t.asap_tbl.(v)
+
+let window ?(prefer = Up) t v =
+  let lat u = Ts_ddg.Ddg.latency t.g u in
+  let early =
+    List.fold_left
+      (fun acc (e : Ts_ddg.Ddg.edge) ->
+        match t.time.(e.src) with
+        | None -> acc
+        | Some tu ->
+            let bound = tu + lat e.src - (t.ii * e.distance) in
+            Some (match acc with None -> bound | Some a -> max a bound))
+      None t.g.preds.(v)
+  in
+  let late =
+    List.fold_left
+      (fun acc (e : Ts_ddg.Ddg.edge) ->
+        match t.time.(e.dst) with
+        | None -> acc
+        | Some ts ->
+            let bound = ts - lat v + (t.ii * e.distance) in
+            Some (match acc with None -> bound | Some a -> min a bound))
+      None t.g.succs.(v)
+  in
+  match (early, late) with
+  | None, None ->
+      (* No scheduled neighbours: start at ASAP, ascending — there is
+         nothing to be close to, and an early start keeps the stage count
+         down. *)
+      let a = t.asap_tbl.(v) in
+      Some (a, a + t.ii - 1, Up)
+  | Some e, None -> Some (e, e + t.ii - 1, Up)
+  | None, Some l -> Some (l - t.ii + 1, l, Down)
+  | Some e, Some l ->
+      let hi = min l (e + t.ii - 1) in
+      if e > hi then None else Some (e, hi, prefer)
+
+let candidate_cycles (lo, hi, dir) =
+  let rec up c = if c > hi then [] else c :: up (c + 1) in
+  let rec down c = if c < lo then [] else c :: down (c - 1) in
+  match dir with Up -> up lo | Down -> down hi
+
+let fits t v ~cycle = Mrt.fits t.mrt (Ts_ddg.Ddg.node t.g v).op ~cycle
+
+let place t v ~cycle =
+  if is_scheduled t v then
+    invalid_arg (Printf.sprintf "Sched.place: node %d already scheduled" v);
+  Mrt.reserve t.mrt (Ts_ddg.Ddg.node t.g v).op ~cycle;
+  t.time.(v) <- Some cycle;
+  t.placed_rev <- v :: t.placed_rev;
+  t.n_placed <- t.n_placed + 1
+
+let unplace t v =
+  match t.time.(v) with
+  | None -> invalid_arg (Printf.sprintf "Sched.unplace: node %d not scheduled" v)
+  | Some cycle ->
+      Mrt.release t.mrt (Ts_ddg.Ddg.node t.g v).op ~cycle;
+      t.time.(v) <- None;
+      t.placed_rev <- List.filter (fun w -> w <> v) t.placed_rev;
+      t.n_placed <- t.n_placed - 1
+
+let is_complete t = t.n_placed = Ts_ddg.Ddg.n_nodes t.g
+
+let times_exn t =
+  Array.map
+    (function
+      | Some c -> c
+      | None -> invalid_arg "Sched.times_exn: incomplete schedule")
+    t.time

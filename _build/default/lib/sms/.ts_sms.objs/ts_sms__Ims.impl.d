@@ -1,0 +1,1 @@
+lib/sms/ims.ml: Array Fun List Order Printf Ts_base Ts_ddg Ts_modsched

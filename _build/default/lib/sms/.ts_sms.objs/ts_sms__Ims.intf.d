@@ -1,0 +1,1 @@
+lib/sms/ims.mli: Ts_ddg Ts_modsched

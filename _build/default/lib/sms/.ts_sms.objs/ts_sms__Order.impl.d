@@ -1,0 +1,1 @@
+lib/sms/order.ml: Array Fun List Printf Queue Scc_priority Ts_ddg Ts_modsched

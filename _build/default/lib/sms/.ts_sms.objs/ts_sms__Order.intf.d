@@ -1,0 +1,1 @@
+lib/sms/order.mli: Ts_ddg Ts_modsched

@@ -1,0 +1,1 @@
+lib/sms/scc_priority.ml: List Ts_ddg

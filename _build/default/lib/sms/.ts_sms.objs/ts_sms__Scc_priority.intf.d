@@ -1,0 +1,1 @@
+lib/sms/scc_priority.mli: Ts_ddg

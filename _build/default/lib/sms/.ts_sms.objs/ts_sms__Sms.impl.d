@@ -1,0 +1,1 @@
+lib/sms/sms.ml: List Order Printf Ts_ddg Ts_modsched

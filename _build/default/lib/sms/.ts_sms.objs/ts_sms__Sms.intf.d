@@ -1,0 +1,1 @@
+lib/sms/sms.mli: Ts_ddg Ts_modsched

@@ -1,0 +1,7 @@
+let sorted g =
+  let comps = Ts_ddg.Scc.non_trivial g in
+  let with_ii = List.map (fun c -> (c, Ts_ddg.Mii.rec_ii_of_nodes g c)) comps in
+  List.stable_sort
+    (fun (c1, ii1) (c2, ii2) ->
+      if ii1 <> ii2 then compare ii2 ii1 else compare (List.hd c1) (List.hd c2))
+    with_ii

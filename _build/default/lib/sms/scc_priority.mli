@@ -1,0 +1,6 @@
+(** Recurrence priorities for the ordering phase. *)
+
+val sorted : Ts_ddg.Ddg.t -> (int list * int) list
+(** Non-trivial SCCs paired with their RecII, in decreasing RecII order
+    (ties: the component containing the smallest node id first). The most
+    constrained recurrence is scheduled first. *)

@@ -1,0 +1,42 @@
+type result = { kernel : Ts_modsched.Kernel.t; mii : int; attempts : int }
+
+exception No_schedule of string
+
+let try_ii g ~ii ~order =
+  let s = Ts_modsched.Sched.create g ~ii in
+  let place_one (v, prefer) =
+    match Ts_modsched.Sched.window ~prefer s v with
+    | None -> false
+    | Some w ->
+        let rec try_cycles = function
+          | [] -> false
+          | c :: rest ->
+              if Ts_modsched.Sched.fits s v ~cycle:c then begin
+                Ts_modsched.Sched.place s v ~cycle:c;
+                true
+              end
+              else try_cycles rest
+        in
+        try_cycles (Ts_modsched.Sched.candidate_cycles w)
+  in
+  if List.for_all place_one order then Some (Ts_modsched.Kernel.of_schedule s)
+  else None
+
+let schedule ?max_ii g =
+  let mii = Ts_ddg.Mii.mii g in
+  let max_ii =
+    match max_ii with Some m -> m | None -> Ts_ddg.Mii.ii_upper_bound g
+  in
+  let order = Order.compute_with_dirs g ~ii:mii in
+  let rec go ii attempts =
+    if ii > max_ii then
+      raise
+        (No_schedule
+           (Printf.sprintf "SMS: no schedule for %s with II in [%d, %d]" g.name mii
+              max_ii))
+    else
+      match try_ii g ~ii ~order with
+      | Some kernel -> { kernel; mii; attempts }
+      | None -> go (ii + 1) (attempts + 1)
+  in
+  go mii 1

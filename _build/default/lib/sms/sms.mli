@@ -1,0 +1,31 @@
+(** Swing modulo scheduling (the paper's baseline).
+
+    For each candidate II starting at MII, walk the nodes in the
+    {!Order.compute} order and place each at the first resource-feasible
+    cycle of its scheduling window ({!Ts_modsched.Sched.window}) — the
+    "lifetime-minimal" strategy whose inter-thread behaviour TMS improves.
+    If any node cannot be placed the II is increased and the schedule
+    restarted, exactly as in GCC 4.1.1. *)
+
+type result = {
+  kernel : Ts_modsched.Kernel.t;
+  mii : int;  (** the MII the search started from *)
+  attempts : int;  (** IIs tried, including the successful one *)
+}
+
+exception No_schedule of string
+(** Raised when no II up to the bound admits a schedule (indicates a
+    malformed machine/loop pair; cannot happen for loops our generators
+    emit). *)
+
+val schedule : ?max_ii:int -> Ts_ddg.Ddg.t -> result
+(** Schedule a loop. [max_ii] defaults to {!Ts_ddg.Mii.ii_upper_bound}. *)
+
+val try_ii :
+  Ts_ddg.Ddg.t ->
+  ii:int ->
+  order:(int * Ts_modsched.Sched.direction) list ->
+  Ts_modsched.Kernel.t option
+(** One SMS attempt at a fixed II with a precomputed order (exposed for
+    TMS, which wraps the same inner loop with extra admission checks, and
+    for tests). *)

@@ -1,0 +1,1 @@
+lib/spmt/address_plan.ml: Array Printf Ts_base Ts_ddg Ts_isa

@@ -1,0 +1,1 @@
+lib/spmt/address_plan.mli: Ts_ddg

@@ -1,0 +1,1 @@
+lib/spmt/cache.ml: Array Fun

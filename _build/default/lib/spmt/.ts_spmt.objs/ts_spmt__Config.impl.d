@@ -1,0 +1,1 @@
+lib/spmt/config.ml: Format Ts_isa

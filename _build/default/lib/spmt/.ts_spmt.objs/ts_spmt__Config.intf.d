@@ -1,0 +1,1 @@
+lib/spmt/config.mli: Format Ts_isa

@@ -1,0 +1,1 @@
+lib/spmt/mdt.ml: Hashtbl List

@@ -1,0 +1,1 @@
+lib/spmt/profile.ml: Address_plan Array Float Hashtbl List Ts_ddg

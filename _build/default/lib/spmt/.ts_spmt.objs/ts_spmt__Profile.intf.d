@@ -1,0 +1,1 @@
+lib/spmt/profile.mli: Address_plan Ts_ddg

@@ -1,0 +1,1 @@
+lib/spmt/sim.ml: Address_plan Array Cache Config Fun Hashtbl List Mdt Printf String Sys Ts_ddg Ts_isa Ts_modsched

@@ -1,0 +1,1 @@
+lib/spmt/sim.mli: Address_plan Config Ts_modsched

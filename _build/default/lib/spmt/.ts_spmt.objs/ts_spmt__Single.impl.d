@@ -1,0 +1,1 @@
+lib/spmt/single.ml: Address_plan Array Cache Config Fun List Ts_ddg Ts_isa Ts_modsched

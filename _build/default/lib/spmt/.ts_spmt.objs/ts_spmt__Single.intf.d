@@ -1,0 +1,1 @@
+lib/spmt/single.mli: Address_plan Config Ts_ddg

@@ -1,0 +1,1 @@
+lib/spmt/timeline.ml: Array Buffer Bytes List Printf Sim

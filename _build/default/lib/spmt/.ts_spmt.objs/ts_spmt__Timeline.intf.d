@@ -1,0 +1,1 @@
+lib/spmt/timeline.mli: Config Sim Ts_modsched

@@ -1,0 +1,91 @@
+type t = {
+  n_sets : int;
+  assoc : int;
+  line : int;
+  tags : int array array; (* per set, per way: block tag or -1 *)
+  lru : int array array; (* per set, per way: age; 0 = most recent *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let is_pow2 x = x > 0 && x land (x - 1) = 0
+
+let create ~size ~assoc ~line =
+  if not (is_pow2 size && is_pow2 assoc && is_pow2 line) then
+    invalid_arg "Cache.create: size, assoc and line must be powers of two";
+  if size < assoc * line then invalid_arg "Cache.create: size too small";
+  let n_sets = size / (assoc * line) in
+  {
+    n_sets;
+    assoc;
+    line;
+    tags = Array.init n_sets (fun _ -> Array.make assoc (-1));
+    lru = Array.init n_sets (fun _ -> Array.init assoc Fun.id);
+    hits = 0;
+    misses = 0;
+  }
+
+let locate t addr =
+  let block = addr / t.line in
+  let set = block mod t.n_sets in
+  (block, set)
+
+let find_way t set block =
+  let ways = t.tags.(set) in
+  let rec go i = if i = t.assoc then None else if ways.(i) = block then Some i else go (i + 1) in
+  go 0
+
+let touch t set way =
+  let ages = t.lru.(set) in
+  let old = ages.(way) in
+  for i = 0 to t.assoc - 1 do
+    if ages.(i) < old then ages.(i) <- ages.(i) + 1
+  done;
+  ages.(way) <- 0
+
+let victim t set =
+  let ages = t.lru.(set) in
+  let best = ref 0 in
+  for i = 1 to t.assoc - 1 do
+    if ages.(i) > ages.(!best) then best := i
+  done;
+  !best
+
+let access t addr =
+  let block, set = locate t addr in
+  match find_way t set block with
+  | Some way ->
+      t.hits <- t.hits + 1;
+      touch t set way;
+      true
+  | None ->
+      t.misses <- t.misses + 1;
+      let way = victim t set in
+      t.tags.(set).(way) <- block;
+      touch t set way;
+      false
+
+let probe t addr =
+  let block, set = locate t addr in
+  find_way t set block <> None
+
+let invalidate t addr =
+  let block, set = locate t addr in
+  match find_way t set block with
+  | Some way -> t.tags.(set).(way) <- -1
+  | None -> ()
+
+let fill t addr =
+  let block, set = locate t addr in
+  match find_way t set block with
+  | Some way -> touch t set way
+  | None ->
+      let way = victim t set in
+      t.tags.(set).(way) <- block;
+      touch t set way
+
+let stats t = (t.hits, t.misses)
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0

@@ -1,0 +1,29 @@
+(** Full simulator configuration — the paper's Table 1.
+
+    A quad-core SpMT system on a unidirectional ring: per-core L1 caches and
+    functional units, a shared L2, a memory disambiguation table between L1
+    and L2, and a 64-entry speculative write buffer per core. *)
+
+type t = {
+  params : Ts_isa.Spmt_params.t;  (** cores + cost parameters *)
+  l1_hit : int;  (** L1 D-cache hit latency (3) *)
+  l2_hit : int;  (** shared L2 hit latency (12) *)
+  mem_latency : int;  (** L2 miss latency (80) *)
+  l1_size : int;  (** bytes (16 KB) *)
+  l1_assoc : int;  (** ways (4) *)
+  l2_size : int;  (** bytes (1 MB) *)
+  l2_assoc : int;  (** ways (4) *)
+  line : int;  (** cache line size in bytes (32) *)
+  wb_entries : int;  (** speculative write buffer entries (64) *)
+}
+
+val default : t
+(** Table 1 values, 4 cores. *)
+
+val two_core : t
+(** Same but 2 cores (the Figure 2 walkthrough). *)
+
+val with_ncore : t -> int -> t
+
+val pp : Format.formatter -> t -> unit
+(** Render the Table 1 rows. *)

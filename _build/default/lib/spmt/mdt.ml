@@ -1,0 +1,51 @@
+type entry = { thread : int; finish : int }
+
+type t = {
+  horizon : int;
+  table : (int, entry list) Hashtbl.t; (* addr -> stores, newest first *)
+  mutable live : int;
+  mutable peak : int;
+}
+
+let create ~horizon = { horizon; table = Hashtbl.create 256; live = 0; peak = 0 }
+
+let record_store t ~thread ~addr ~finish =
+  let cur = try Hashtbl.find t.table addr with Not_found -> [] in
+  (* Keep only in-flight entries for this address. *)
+  let cur = List.filter (fun e -> e.thread > thread - t.horizon) cur in
+  Hashtbl.replace t.table addr ({ thread; finish } :: cur);
+  t.live <- t.live + 1;
+  if t.live > t.peak then t.peak <- t.live
+
+let conflicting_store t ~thread ~addr ~issue =
+  match Hashtbl.find_opt t.table addr with
+  | None -> None
+  | Some entries ->
+      List.fold_left
+        (fun acc e ->
+          if e.thread < thread && e.thread > thread - t.horizon && e.finish > issue
+          then Some (match acc with None -> e.finish | Some f -> max f e.finish)
+          else acc)
+        None entries
+
+let retire t ~upto =
+  let removed = ref 0 in
+  let updates =
+    Hashtbl.fold
+      (fun addr entries acc ->
+        let kept = List.filter (fun e -> e.thread >= upto) entries in
+        if List.length kept <> List.length entries then begin
+          removed := !removed + List.length entries - List.length kept;
+          (addr, kept) :: acc
+        end
+        else acc)
+      t.table []
+  in
+  List.iter
+    (fun (addr, kept) ->
+      if kept = [] then Hashtbl.remove t.table addr
+      else Hashtbl.replace t.table addr kept)
+    updates;
+  t.live <- t.live - !removed
+
+let peak_entries t = t.peak

@@ -1,0 +1,34 @@
+(** Memory disambiguation table (Krishnan & Torrellas).
+
+    Sits between the L1 caches and the shared L2 and remembers which
+    speculative thread touched which address, so that a store executing in
+    a less speculative thread can detect a premature load in a more
+    speculative one. The simulator processes threads in program order, so
+    detection is phrased from the consumer side: a load asks whether any
+    in-flight earlier thread stored to its address {e after} the load's
+    issue time — exactly the condition under which the hardware's
+    store-side check would have fired and squashed the loading thread. *)
+
+type t
+
+val create : horizon:int -> t
+(** [horizon] is the maximum number of threads simultaneously in flight
+    (the core count): entries older than that are architecturally
+    committed and can no longer conflict. *)
+
+val record_store : t -> thread:int -> addr:int -> finish:int -> unit
+(** Note that [thread]'s store to [addr] completes at absolute cycle
+    [finish]. *)
+
+val conflicting_store : t -> thread:int -> addr:int -> issue:int -> int option
+(** For a load in [thread] issued at [issue]: the latest completion time of
+    a store to [addr] by a thread in [(thread - horizon, thread)] that
+    completes after [issue], if any — i.e. the time at which the violation
+    is detected. *)
+
+val retire : t -> upto:int -> unit
+(** Forget stores of threads [< upto] (committed). *)
+
+val peak_entries : t -> int
+(** High-water mark of live entries (to compare against a hardware MDT's
+    capacity). *)

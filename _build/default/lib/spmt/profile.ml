@@ -1,0 +1,63 @@
+type edge_profile = {
+  edge_index : int;
+  occurrences : int;
+  probability : float;
+}
+
+let measure ?plan (g : Ts_ddg.Ddg.t) ~train_iters =
+  if train_iters <= 0 then invalid_arg "Profile.measure: train_iters must be positive";
+  let plan = match plan with Some p -> p | None -> Address_plan.create g in
+  let counts = Hashtbl.create 8 in
+  Array.iteri
+    (fun idx (e : Ts_ddg.Ddg.edge) ->
+      if e.kind = Ts_ddg.Ddg.Mem then Hashtbl.replace counts idx 0)
+    g.edges;
+  for iter = 0 to train_iters - 1 do
+    Array.iteri
+      (fun idx (e : Ts_ddg.Ddg.edge) ->
+        if e.kind = Ts_ddg.Ddg.Mem && iter >= e.distance then begin
+          (* does the consumer's address this iteration match the producer's
+             address [distance] iterations earlier? *)
+          let consumer = Address_plan.addr plan ~node:e.dst ~iter in
+          let producer = Address_plan.addr plan ~node:e.src ~iter:(iter - e.distance) in
+          if consumer = producer then
+            Hashtbl.replace counts idx (Hashtbl.find counts idx + 1)
+        end)
+      g.edges
+  done;
+  Hashtbl.fold
+    (fun edge_index occurrences acc ->
+      {
+        edge_index;
+        occurrences;
+        probability = float_of_int occurrences /. float_of_int train_iters;
+      }
+      :: acc)
+    counts []
+  |> List.sort (fun a b -> compare a.edge_index b.edge_index)
+
+let floor_prob = 0.001
+
+let apply (g : Ts_ddg.Ddg.t) profiles =
+  let measured = Hashtbl.create 8 in
+  List.iter (fun p -> Hashtbl.replace measured p.edge_index p.probability) profiles;
+  let b = Ts_ddg.Ddg.Builder.create ~name:g.name g.machine in
+  Array.iter
+    (fun (nd : Ts_ddg.Ddg.node) ->
+      ignore (Ts_ddg.Ddg.Builder.add b ~name:nd.name ~latency:nd.latency nd.op))
+    g.nodes;
+  Array.iteri
+    (fun idx (e : Ts_ddg.Ddg.edge) ->
+      match e.kind with
+      | Ts_ddg.Ddg.Reg -> Ts_ddg.Ddg.Builder.dep b ~dist:e.distance e.src e.dst
+      | Ts_ddg.Ddg.Mem ->
+          let prob =
+            match Hashtbl.find_opt measured idx with
+            | Some p -> Float.max floor_prob (Float.min 1.0 p)
+            | None -> e.prob
+          in
+          Ts_ddg.Ddg.Builder.mem_dep b ~dist:e.distance ~prob e.src e.dst)
+    g.edges;
+  Ts_ddg.Ddg.Builder.build b
+
+let profile ?(train_iters = 2000) g = apply g (measure g ~train_iters)

@@ -1,0 +1,37 @@
+(** Dependence profiling — the paper's "train input" pass.
+
+    The probabilities that drive TMS's C2 condition come from profiling:
+    "The train input sets are used to collect profiling information"
+    (Section 5). This module closes that loop for the synthetic substrate:
+    it executes a loop's address streams for a training run, counts how
+    often each store-to-load pair actually aliases, and rebuilds the DDG
+    with the {e measured} probabilities — which is what a compiler would
+    see, rather than the generator's ground truth.
+
+    Measured and ground-truth probabilities converge as the training run
+    grows (the generator realises each dependence i.i.d.), but short runs
+    give noisy profiles; the scheduling pipeline must tolerate that, and
+    the tests exercise it. *)
+
+type edge_profile = {
+  edge_index : int;  (** index into the DDG's edge array *)
+  occurrences : int;  (** iterations in which the dependence aliased *)
+  probability : float;  (** occurrences / training iterations *)
+}
+
+val measure :
+  ?plan:Address_plan.t -> Ts_ddg.Ddg.t -> train_iters:int -> edge_profile list
+(** Run the address streams for [train_iters] iterations and count, for
+    every memory dependence edge, the iterations whose consumer load reads
+    the address some in-flight producer store wrote. One entry per memory
+    edge, in edge order. *)
+
+val apply : Ts_ddg.Ddg.t -> edge_profile list -> Ts_ddg.Ddg.t
+(** Rebuild the loop with each memory dependence's probability replaced by
+    the measured one. Dependences that never fired during training are
+    kept at a 0.1% floor (a compiler cannot prove them absent, and a zero
+    probability would make C2 vacuous). *)
+
+val profile : ?train_iters:int -> Ts_ddg.Ddg.t -> Ts_ddg.Ddg.t
+(** [measure] + [apply] with a fresh default address plan
+    ([train_iters] defaults to 2000). *)

@@ -1,0 +1,301 @@
+module K = Ts_modsched.Kernel
+
+type stats = {
+  cycles : int;
+  committed : int;
+  squashes : int;
+  misspec_rate : float;
+  sync_stall_cycles : int;
+  spawn_stall_cycles : int;
+  send_recv_pairs : int;
+  send_recv_cycles : int;
+  communication_overhead : int;
+  l1_hits : int;
+  l1_misses : int;
+  l2_hits : int;
+  l2_misses : int;
+  wb_peak : int;
+  mdt_peak : int;
+  stall_breakdown : ((int * int) * int) list;
+}
+
+(* Per-thread record kept for the lookback window. *)
+type thread_exec = {
+  start : int;
+  finish_of : int array; (* absolute completion time per node *)
+  issue_of : int array;
+  end_exec : int;
+}
+
+type thread_obs = {
+  index : int;
+  core : int;
+  start : int;
+  end_exec : int;
+  commit_start : int;
+  commit_end : int;
+  squashed : bool;
+}
+
+let run ?seed ?plan ?(sync_mem = false) ?(warmup = 0) ?observe cfg (k : K.t) ~trip =
+  if trip <= 0 then invalid_arg "Sim.run: trip must be positive";
+  if warmup < 0 then invalid_arg "Sim.run: warmup must be non-negative";
+  let total = warmup + trip in
+  let g = k.K.g in
+  let n = Ts_ddg.Ddg.n_nodes g in
+  let p = cfg.Config.params in
+  let ncore = p.ncore in
+  let plan =
+    match plan with Some pl -> pl | None -> Address_plan.create ?seed g
+  in
+  let l1 =
+    Array.init ncore (fun _ ->
+        Cache.create ~size:cfg.l1_size ~assoc:cfg.l1_assoc ~line:cfg.line)
+  in
+  let l2 = Cache.create ~size:cfg.l2_size ~assoc:cfg.l2_assoc ~line:cfg.line in
+  (* Inter-thread register dependences, grouped by consumer node. *)
+  let reg_in = Array.make n [] in
+  let mem_in = Array.make n [] in
+  List.iter
+    (fun (e : Ts_ddg.Ddg.edge) -> reg_in.(e.dst) <- (e, K.d_ker k e) :: reg_in.(e.dst))
+    (K.inter_iter_reg_deps k);
+  List.iter
+    (fun (e : Ts_ddg.Ddg.edge) ->
+      if sync_mem then reg_in.(e.dst) <- (e, K.d_ker k e) :: reg_in.(e.dst)
+      else mem_in.(e.dst) <- (e, K.d_ker k e) :: mem_in.(e.dst))
+    (K.inter_iter_mem_deps k);
+  let intra_in = Array.make n [] in
+  Array.iter
+    (fun (e : Ts_ddg.Ddg.edge) ->
+      if K.d_ker k e = 0 then intra_in.(e.dst) <- e :: intra_in.(e.dst))
+    g.edges;
+  (* Nodes in issue (row) order within a thread. *)
+  let by_row = List.init n Fun.id in
+  let by_row =
+    List.sort (fun a b -> if k.K.row.(a) <> k.K.row.(b) then compare k.K.row.(a) k.K.row.(b) else compare a b) by_row
+  in
+  let max_lookback =
+    List.fold_left
+      (fun acc (e : Ts_ddg.Ddg.edge) -> max acc (K.d_ker k e))
+      1
+      (K.inter_iter_reg_deps k @ K.inter_iter_mem_deps k)
+  in
+  let horizon = max ncore (max_lookback + 1) in
+  let history : thread_exec option array = Array.make horizon None in
+  let past j =
+    if j < 0 then None
+    else match history.(j mod horizon) with
+      | Some te -> Some te
+      | None -> None
+  in
+  let mdt = Mdt.create ~horizon:ncore in
+  let stores_per_thread =
+    Array.fold_left
+      (fun acc (nd : Ts_ddg.Ddg.node) ->
+        if nd.op = Ts_isa.Opcode.Store then acc + 1 else acc)
+      0 g.nodes
+  in
+  let pairs_per_iter = K.send_recv_pairs_per_iter k in
+  (* accumulators *)
+  let stall_tbl : (int * int, int) Hashtbl.t = Hashtbl.create 16 in
+  let sync_stall = ref 0 in
+  let spawn_stall = ref 0 in
+  let squashes = ref 0 in
+  let last_commit_end = ref 0 in
+  let core_free = Array.make ncore 0 in
+  let prev_spawn_base = ref (-p.c_spawn) (* thread 0 spawns at time 0 *) in
+  (* Execute one thread; [recv] false on re-execution (values present). *)
+  let exec_thread j start ~recv ~count_stalls =
+    let core = j mod ncore in
+    let issue_of = Array.make n 0 and finish_of = Array.make n 0 in
+    let end_exec = ref start in
+    (* Schedule replay with blocking receives: instructions issue at their
+       static kernel row plus the shift accumulated by earlier RECV stalls.
+       A RECV on an empty queue (Voltron's queue model) blocks the in-order
+       front end, so it pushes the remainder of the thread back — the
+       semantics under which Definition 2's sync(x, y) is the per-thread
+       serialisation that the Section 4.2 cost model assumes. Cache misses,
+       in contrast, are absorbed out-of-order (lockup-free caches): they
+       delay only their dataflow consumers, via [intra_ready]. *)
+    let shift = ref 0 in
+    List.iter
+      (fun v ->
+        let nd = Ts_ddg.Ddg.node g v in
+        let sched = start + k.K.row.(v) in
+        let intra_ready =
+          List.fold_left
+            (fun acc (e : Ts_ddg.Ddg.edge) -> max acc finish_of.(e.src))
+            0 intra_in.(v)
+        in
+        let inter_arrival, blamed =
+          if not recv then (0, None)
+          else
+            List.fold_left
+              (fun ((acc, blame) as cur) ((e : Ts_ddg.Ddg.edge), dk) ->
+                match past (j - dk) with
+                | None -> cur (* live-in: available at loop entry *)
+                | Some te ->
+                    let arr = te.finish_of.(e.src) + (dk * p.c_reg_com) in
+                    if arr > acc then (arr, Some (e.src, e.dst)) else (acc, blame))
+              (0, None) reg_in.(v)
+        in
+        let slot = sched + !shift in
+        let ready = max slot intra_ready in
+        if recv && inter_arrival > ready then begin
+          let cycles = inter_arrival - ready in
+          (* The blocked RECV pushes the rest of the thread back. Delays of
+             several RECVs overlap rather than add — while the front end
+             sits at one empty queue the other queues fill — so the
+             thread-level shift is the max of the individual delays
+             (measured from each instruction's own slot), exactly the
+             max(C_spn, C_ci, C_delay) structure of the Section 4.2 cost
+             model. *)
+          shift := max !shift (inter_arrival - sched);
+          if count_stalls then begin
+            sync_stall := !sync_stall + cycles;
+            match blamed with
+            | Some key ->
+                let cur = try Hashtbl.find stall_tbl key with Not_found -> 0 in
+                Hashtbl.replace stall_tbl key (cur + cycles)
+            | None -> ()
+          end
+        end;
+        let issue = max ready inter_arrival in
+        let latency =
+          match nd.op with
+          | Ts_isa.Opcode.Load ->
+              let a = Address_plan.addr plan ~node:v ~iter:(j - k.K.stage.(v)) in
+              if Cache.access l1.(core) a then cfg.l1_hit
+              else if Cache.access l2 a then cfg.l2_hit
+              else cfg.mem_latency
+          | Ts_isa.Opcode.Store -> nd.latency
+          | _ -> nd.latency
+        in
+        issue_of.(v) <- issue;
+        finish_of.(v) <- issue + latency;
+        if finish_of.(v) > !end_exec then end_exec := finish_of.(v))
+      by_row;
+    { start; issue_of; finish_of; end_exec = !end_exec }
+  in
+  let warm_end = ref 0 in
+  for j = 0 to total - 1 do
+    let measured = j >= warmup in
+    let core = j mod ncore in
+    let spawn_ready = !prev_spawn_base + p.c_spawn in
+    let start = max spawn_ready core_free.(core) in
+    if measured && core_free.(core) > spawn_ready then
+      spawn_stall := !spawn_stall + (core_free.(core) - spawn_ready);
+    let te = exec_thread j start ~recv:true ~count_stalls:measured in
+    (* MDT check: did any load read a location a less speculative thread
+       had not yet written? *)
+    let viol = ref None in
+    Array.iteri
+      (fun v (nd : Ts_ddg.Ddg.node) ->
+        if nd.op = Ts_isa.Opcode.Load && mem_in.(v) <> [] then begin
+          let a = Address_plan.addr plan ~node:v ~iter:(j - k.K.stage.(v)) in
+          match Mdt.conflicting_store mdt ~thread:j ~addr:a ~issue:te.issue_of.(v) with
+          | Some t_detect ->
+              viol := Some (match !viol with None -> t_detect | Some t -> max t t_detect)
+          | None -> ()
+        end)
+      g.nodes;
+    let te =
+      match !viol with
+      | None -> te
+      | Some t_detect ->
+          if measured then incr squashes;
+          let restart = t_detect + p.c_inv in
+          exec_thread j restart ~recv:false ~count_stalls:false
+    in
+    (* Record this thread's stores in the MDT. *)
+    Array.iteri
+      (fun v (nd : Ts_ddg.Ddg.node) ->
+        if nd.op = Ts_isa.Opcode.Store then
+          let a = Address_plan.addr plan ~node:v ~iter:(j - k.K.stage.(v)) in
+          Mdt.record_store mdt ~thread:j ~addr:a ~finish:te.finish_of.(v))
+      g.nodes;
+    (* Sequential head-thread commit; the write buffer drains into L2 and
+       invalidates stale L1 copies in the other cores. *)
+    let commit_start = max te.end_exec !last_commit_end in
+    let commit_end = commit_start + p.c_commit in
+    last_commit_end := commit_end;
+    if j = warmup - 1 then begin
+      warm_end := commit_end;
+      Array.iter Cache.reset_stats l1;
+      Cache.reset_stats l2
+    end;
+    core_free.(core) <- commit_end;
+    Array.iteri
+      (fun v (nd : Ts_ddg.Ddg.node) ->
+        if nd.op = Ts_isa.Opcode.Store then begin
+          let a = Address_plan.addr plan ~node:v ~iter:(j - k.K.stage.(v)) in
+          Cache.fill l2 a;
+          Array.iteri (fun c l1c -> if c <> core then Cache.invalidate l1c a) l1
+        end)
+      g.nodes;
+    (match observe with
+    | Some f ->
+        f
+          {
+            index = j;
+            core;
+            start = te.start;
+            end_exec = te.end_exec;
+            commit_start;
+            commit_end;
+            squashed = !viol <> None;
+          }
+    | None -> ());
+    history.(j mod horizon) <- Some te;
+    (match Sys.getenv_opt "TS_SIM_TRACE" with
+    | Some range -> (
+        match String.split_on_char '-' range with
+        | [ lo; hi ] when j >= int_of_string lo && j <= int_of_string hi ->
+            Printf.eprintf "thread %d: start=%d end=%d commit=%d..%d" j te.start
+              te.end_exec commit_start commit_end;
+            (match Sys.getenv_opt "TS_SIM_TRACE_NODES" with
+            | Some nodes ->
+                String.split_on_char ',' nodes
+                |> List.iter (fun s ->
+                       let v = int_of_string s in
+                       Printf.eprintf " n%d@%d" v (te.issue_of.(v) - te.start))
+            | None -> ());
+            Printf.eprintf "\n"
+        | _ -> ())
+    | None -> ());
+    (* Successors respawn from the (possibly re-executed) thread's start. *)
+    prev_spawn_base := te.start;
+    if j mod 64 = 63 then Mdt.retire mdt ~upto:(j - horizon)
+  done;
+  let l1_hits, l1_misses =
+    Array.fold_left
+      (fun (h, m) c ->
+        let h', m' = Cache.stats c in
+        (h + h', m + m'))
+      (0, 0) l1
+  in
+  let l2_hits, l2_misses = Cache.stats l2 in
+  let pairs = pairs_per_iter * trip in
+  {
+    cycles = !last_commit_end - !warm_end;
+    committed = trip;
+    squashes = !squashes;
+    misspec_rate = float_of_int !squashes /. float_of_int trip;
+    sync_stall_cycles = !sync_stall;
+    spawn_stall_cycles = !spawn_stall;
+    send_recv_pairs = pairs;
+    send_recv_cycles = pairs * p.c_reg_com;
+    communication_overhead = !sync_stall + (pairs * p.c_reg_com);
+    l1_hits;
+    l1_misses;
+    l2_hits;
+    l2_misses;
+    wb_peak = stores_per_thread;
+    mdt_peak = Mdt.peak_entries mdt;
+    stall_breakdown =
+      Hashtbl.fold (fun key v acc -> (key, v) :: acc) stall_tbl []
+      |> List.sort (fun (_, a) (_, b) -> compare b a);
+  }
+
+let ipc (k : K.t) (s : stats) =
+  float_of_int (Ts_ddg.Ddg.n_nodes k.K.g * s.committed) /. float_of_int (max 1 s.cycles)

@@ -1,0 +1,82 @@
+(** Cycle-level simulation of a modulo-scheduled loop on the SpMT multicore.
+
+    Threads (one kernel iteration each) are spawned round-robin across the
+    ring. Within a thread, instructions issue dataflow-style no earlier
+    than their kernel row: intra-thread dependences wait for producer
+    completion, synchronised register dependences wait for the value to
+    arrive over the ring ([k] hops of [c_reg_com] for a kernel distance of
+    [k]), and speculated memory dependences do not wait at all — the MDT
+    detects premature loads and the offending thread is squashed,
+    invalidated ([c_inv]) and re-executed with its register inputs already
+    present. Commits are sequential in thread order ([c_commit] each), a
+    core is reusable only after its previous thread has committed, and
+    spawns chain with [c_spawn].
+
+    The counters below are exactly the quantities Section 5 plots:
+    synchronisation stalls (Fig. 6a), dynamic SEND/RECV pairs (Fig. 6b),
+    communication overhead (Fig. 6c), and misspeculation frequency. *)
+
+type stats = {
+  cycles : int;  (** first spawn to last commit *)
+  committed : int;  (** threads committed (= trip count) *)
+  squashes : int;  (** threads squashed and re-executed *)
+  misspec_rate : float;  (** squashes / committed *)
+  sync_stall_cycles : int;  (** cycles threads spent stalled at a RECV *)
+  spawn_stall_cycles : int;  (** spawn delayed because no core was free *)
+  send_recv_pairs : int;  (** dynamic SEND/RECV pairs in committed threads *)
+  send_recv_cycles : int;  (** [c_reg_com * send_recv_pairs] *)
+  communication_overhead : int;  (** sync stalls + SEND/RECV cycles *)
+  l1_hits : int;
+  l1_misses : int;
+  l2_hits : int;
+  l2_misses : int;
+  wb_peak : int;  (** most speculative-write-buffer entries used by a thread *)
+  mdt_peak : int;  (** most MDT entries live at once *)
+  stall_breakdown : ((int * int) * int) list;
+      (** total RECV stall cycles per synchronised dependence
+          [(producer, consumer)], largest first — which dependences
+          serialise the loop *)
+}
+
+type thread_obs = {
+  index : int;  (** kernel iteration / thread number *)
+  core : int;
+  start : int;  (** absolute cycle the thread began executing *)
+  end_exec : int;  (** last instruction completion *)
+  commit_start : int;
+  commit_end : int;
+  squashed : bool;  (** this thread was squashed and re-executed *)
+}
+(** One committed thread's lifecycle, as seen by an [observe] callback. *)
+
+val run :
+  ?seed:string ->
+  ?plan:Address_plan.t ->
+  ?sync_mem:bool ->
+  ?warmup:int ->
+  ?observe:(thread_obs -> unit) ->
+  Config.t ->
+  Ts_modsched.Kernel.t ->
+  trip:int ->
+  stats
+(** Execute [trip] kernel iterations. [plan] (or a fresh one derived from
+    [seed], default the loop name) supplies the address streams, so passing
+    the same plan to SMS- and TMS-scheduled runs of the same loop compares
+    them on identical memory behaviour.
+
+    [sync_mem] (default false) disables data speculation, as in the
+    Section 5.2 ablation: every inter-thread memory dependence is
+    synchronised like a register dependence (post/wait over the ring, same
+    [c_reg_com] cost) and the MDT never squashes anything.
+
+    [warmup] (default 0) executes that many extra iterations first and
+    excludes them from every counter, so [stats] describe the steady state
+    (warm caches) rather than the cold-miss ramp — the paper simulates its
+    benchmarks to completion, where steady state dominates. *)
+
+val ipc : Ts_modsched.Kernel.t -> stats -> float
+(** Committed instructions per cycle (excludes squashed work). *)
+
+(** Debugging: set [TS_SIM_TRACE=lo-hi] (thread index range) in the
+    environment to print per-thread start/end/commit times to stderr, and
+    [TS_SIM_TRACE_NODES=v1,v2,...] to add those nodes' issue offsets. *)

@@ -1,0 +1,116 @@
+type stats = {
+  cycles : int;
+  iterations : int;
+  l1_hits : int;
+  l1_misses : int;
+  l2_hits : int;
+  l2_misses : int;
+}
+
+let run ?seed ?plan ?(warmup = 0) cfg (g : Ts_ddg.Ddg.t) ~trip =
+  if trip <= 0 then invalid_arg "Single.run: trip must be positive";
+  if warmup < 0 then invalid_arg "Single.run: warmup must be non-negative";
+  let total = warmup + trip in
+  let n = Ts_ddg.Ddg.n_nodes g in
+  let plan =
+    match plan with Some pl -> pl | None -> Address_plan.create ?seed g
+  in
+  let ls = Ts_modsched.List_sched.run g in
+  let l1 = Cache.create ~size:cfg.Config.l1_size ~assoc:cfg.l1_assoc ~line:cfg.line in
+  let l2 = Cache.create ~size:cfg.l2_size ~assoc:cfg.l2_assoc ~line:cfg.line in
+  (* The front end fetches one iteration's worth of instructions per
+     [stride] cycles; dataflow does the rest. *)
+  (* Sustained throughput is bounded by the front end AND by functional
+     unit occupancy (an 11-multiply body cannot retire one iteration per
+     [n / width] cycles on one multiplier): exactly the ResII bound. *)
+  let stride = max 1 (Ts_ddg.Mii.res_ii g) in
+  (* A 64-entry reorder window caps how far ahead the core runs: iteration
+     i may not begin before iteration (i - window) has fully completed.
+     (SimpleScalar-era cores had 16-64 RUU entries.) *)
+  let rob = 64 in
+  let window = max 1 (rob / max 1 n) in
+  let preds_with_idx = Array.make n [] in
+  Array.iteri
+    (fun idx (e : Ts_ddg.Ddg.edge) ->
+      preds_with_idx.(e.dst) <- (idx, e) :: preds_with_idx.(e.dst))
+    g.edges;
+  let order = List.init n Fun.id in
+  let order =
+    List.sort
+      (fun a b ->
+        if ls.Ts_modsched.List_sched.time.(a) <> ls.time.(b) then
+          compare ls.time.(a) ls.time.(b)
+        else compare a b)
+      order
+  in
+  (* Loop-carried lookback window. *)
+  let max_dist =
+    Array.fold_left (fun acc (e : Ts_ddg.Ddg.edge) -> max acc e.distance) 1 g.edges
+  in
+  let horizon = max_dist + 1 in
+  let horizon = max horizon (window + 1) in
+  let history = Array.make horizon [||] in
+  let iter_end = Array.make horizon 0 in
+  let last_finish = ref 0 in
+  let warm_end = ref 0 in
+  for i = 0 to total - 1 do
+    let start =
+      let fetch = i * stride in
+      if i < window then fetch else max fetch iter_end.((i - window) mod horizon)
+    in
+    let finish_of = Array.make n 0 in
+    List.iter
+      (fun v ->
+        let nd = Ts_ddg.Ddg.node g v in
+        let ready =
+          List.fold_left
+            (fun acc ((ei, e) : int * Ts_ddg.Ddg.edge) ->
+              let src_iter = i - e.distance in
+              if src_iter < 0 then acc
+              else if e.distance = 0 then max acc finish_of.(e.src)
+              else begin
+                let past = history.(src_iter mod horizon) in
+                if Array.length past = 0 then acc
+                else
+                  match e.kind with
+                  | Ts_ddg.Ddg.Reg -> max acc past.(e.src)
+                  | Ts_ddg.Ddg.Mem ->
+                      (* A memory dependence only orders execution when it
+                         actually aliases this iteration. *)
+                      if Address_plan.realised plan ~edge_index:ei ~iter:i then
+                        max acc past.(e.src)
+                      else acc
+              end)
+            (start + ls.time.(v))
+            preds_with_idx.(v)
+        in
+        let latency =
+          match nd.op with
+          | Ts_isa.Opcode.Load ->
+              let a = Address_plan.addr plan ~node:v ~iter:i in
+              if Cache.access l1 a then cfg.l1_hit
+              else if Cache.access l2 a then cfg.l2_hit
+              else cfg.mem_latency
+          | _ -> nd.latency
+        in
+        finish_of.(v) <- ready + latency;
+        if finish_of.(v) > !last_finish then last_finish := finish_of.(v))
+      order;
+    history.(i mod horizon) <- finish_of;
+    iter_end.(i mod horizon) <- Array.fold_left max 0 finish_of;
+    if i = warmup - 1 then begin
+      warm_end := !last_finish;
+      Cache.reset_stats l1;
+      Cache.reset_stats l2
+    end
+  done;
+  let l1_hits, l1_misses = Cache.stats l1 in
+  let l2_hits, l2_misses = Cache.stats l2 in
+  {
+    cycles = !last_finish - !warm_end;
+    iterations = trip;
+    l1_hits;
+    l1_misses;
+    l2_hits;
+    l2_misses;
+  }

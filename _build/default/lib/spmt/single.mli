@@ -1,0 +1,30 @@
+(** The single-threaded baseline of Section 5.2.
+
+    The loop body is list-scheduled once ({!Ts_modsched.List_sched}) and
+    iterations execute back to back on one core: new iterations enter at
+    the body's ResII rate (front-end width and functional-unit occupancy
+    both bound sustained throughput), a 128-entry reorder window caps
+    run-ahead, and dataflow (including loop-carried register and realised
+    memory dependences, and real cache latencies) determines completion.
+    No spawns, no SEND/RECV, no speculation. *)
+
+type stats = {
+  cycles : int;
+  iterations : int;
+  l1_hits : int;
+  l1_misses : int;
+  l2_hits : int;
+  l2_misses : int;
+}
+
+val run :
+  ?seed:string ->
+  ?plan:Address_plan.t ->
+  ?warmup:int ->
+  Config.t ->
+  Ts_ddg.Ddg.t ->
+  trip:int ->
+  stats
+(** Execute [trip] iterations sequentially. Pass the same [plan] and
+    [warmup] as the SpMT runs to compare on identical (steady-state)
+    memory behaviour. *)

@@ -1,0 +1,45 @@
+let collect ?from_thread ?(n_threads = 12) ?(warmup = 512) cfg kernel =
+  let from_thread = match from_thread with Some f -> f | None -> warmup in
+  let acc = ref [] in
+  let observe (o : Sim.thread_obs) =
+    if o.index >= from_thread && o.index < from_thread + n_threads then
+      acc := o :: !acc
+  in
+  let trip = max 1 (from_thread + n_threads - warmup) in
+  ignore (Sim.run ~warmup ~observe cfg kernel ~trip);
+  List.rev !acc
+
+let render ~ncore (obs : Sim.thread_obs list) =
+  if obs = [] then "(no threads observed)\n"
+  else begin
+    let t0 = List.fold_left (fun acc o -> min acc o.Sim.start) max_int obs in
+    let t1 = List.fold_left (fun acc o -> max acc o.Sim.commit_end) 0 obs in
+    let span = max 1 (t1 - t0) in
+    let width = min 160 span in
+    let scale t = (t - t0) * (width - 1) / span in
+    let lanes = Array.init ncore (fun _ -> Bytes.make width ' ') in
+    List.iter
+      (fun (o : Sim.thread_obs) ->
+        let lane = lanes.(o.core) in
+        let a = scale o.start and b = scale o.end_exec in
+        for x = a to min b (width - 1) do
+          Bytes.set lane x '='
+        done;
+        let cs = scale o.commit_start and ce = scale o.commit_end in
+        for x = cs to min ce (width - 1) do
+          Bytes.set lane x 'c'
+        done;
+        if o.squashed then Bytes.set lane (min ((a + b) / 2) (width - 1)) '!')
+      obs;
+    let buf = Buffer.create ((ncore + 2) * (width + 12)) in
+    Buffer.add_string buf
+      (Printf.sprintf "threads %d..%d, cycles %d..%d ('=' run, 'c' commit, '!' squash)\n"
+         (List.fold_left (fun a o -> min a o.Sim.index) max_int obs)
+         (List.fold_left (fun a o -> max a o.Sim.index) 0 obs)
+         t0 t1);
+    Array.iteri
+      (fun c lane ->
+        Buffer.add_string buf (Printf.sprintf "core%-2d |%s|\n" c (Bytes.to_string lane)))
+      lanes;
+    Buffer.contents buf
+  end

@@ -1,0 +1,28 @@
+(** ASCII execution timelines: how threads overlap on the cores.
+
+    Renders a window of committed threads as one lane per core —
+    '.' spawned-but-waiting is not shown (the lane is blank), '=' executing,
+    'c' committing, '!' marks a squashed-and-re-executed thread — so the
+    pipelining behaviour that Figures 2(c)/(f) sketch is visible for any
+    simulated loop:
+
+    {v
+    core0 |==========c    ==========c
+    core1 |   ==========c    =====!====c
+    v} *)
+
+val collect :
+  ?from_thread:int ->
+  ?n_threads:int ->
+  ?warmup:int ->
+  Config.t ->
+  Ts_modsched.Kernel.t ->
+  Sim.thread_obs list
+(** Simulate and keep the lifecycle of [n_threads] (default 12) threads
+    starting at [from_thread] (default [warmup], i.e. the first
+    steady-state thread). *)
+
+val render : ncore:int -> Sim.thread_obs list -> string
+(** Draw the lanes. [ncore] must cover every observation's core. Time is
+    rebased to the earliest start and compressed to at most ~160
+    columns. *)

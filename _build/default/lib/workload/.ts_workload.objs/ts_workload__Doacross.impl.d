@@ -1,0 +1,1 @@
+lib/workload/doacross.ml: Gen List Printf Ts_base Ts_ddg Ts_sms

@@ -1,0 +1,1 @@
+lib/workload/doacross.mli: Ts_ddg

@@ -1,0 +1,1 @@
+lib/workload/gen.ml: Array Float Fun Hashtbl List Ts_base Ts_ddg Ts_isa

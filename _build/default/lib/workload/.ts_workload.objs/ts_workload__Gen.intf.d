@@ -1,0 +1,1 @@
+lib/workload/gen.mli: Ts_base Ts_ddg Ts_isa

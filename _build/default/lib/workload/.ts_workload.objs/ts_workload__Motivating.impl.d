@@ -1,0 +1,1 @@
+lib/workload/motivating.ml: Ts_ddg Ts_isa

@@ -1,0 +1,1 @@
+lib/workload/motivating.mli: Ts_ddg

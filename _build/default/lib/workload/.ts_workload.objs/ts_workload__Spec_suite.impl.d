@@ -1,0 +1,1 @@
+lib/workload/spec_suite.ml: Float Gen List Printf Ts_base Ts_sms

@@ -1,0 +1,1 @@
+lib/workload/spec_suite.mli: Ts_ddg

@@ -1,0 +1,25 @@
+(** The seven selected DOACROSS loops of Table 3 / Section 5.2.
+
+    Four loops from art (the paper unrolls its two 11-instruction loops
+    four times; we generate four ~27-instruction recurrence-bound bodies),
+    and one loop each from equake, lucas and fma3d, generated to match
+    Table 3's structural columns: instruction count, number of non-trivial
+    SCCs, MII (recurrence-bound for art and lucas, resource-bound for
+    equake and fma3d), and LDP well above MII. All their enclosing loops
+    are DOACROSS in the paper, i.e. these bodies carry genuine
+    cross-iteration dependences. *)
+
+type selected = {
+  bench : string;  (** source benchmark name *)
+  loops : Ts_ddg.Ddg.t list;  (** the selected loop bodies *)
+  coverage : float;  (** Table 3's LC column (0.216, 0.585, 0.334, 0.143) *)
+  trip : int;  (** iterations simulated per loop *)
+}
+
+val art : selected
+val equake : selected
+val lucas : selected
+val fma3d : selected
+
+val all : selected list
+(** In Table 3 order: art, equake, lucas, fma3d. Seven loops total. *)

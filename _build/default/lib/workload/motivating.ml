@@ -1,0 +1,33 @@
+let mem_dep_prob = 0.02
+
+let ddg () =
+  let open Ts_isa.Opcode in
+  let b = Ts_ddg.Ddg.Builder.create ~name:"motivating" Ts_isa.Machine.toy in
+  let n0 = Ts_ddg.Ddg.Builder.add b ~name:"n0" Load in
+  let n1 = Ts_ddg.Ddg.Builder.add b ~name:"n1" Ialu in
+  let n2 = Ts_ddg.Ddg.Builder.add b ~name:"n2" Load in
+  let n3 = Ts_ddg.Ddg.Builder.add b ~name:"n3" Load in
+  let n4 = Ts_ddg.Ddg.Builder.add b ~name:"n4" ~latency:2 Fmul in
+  let n5 = Ts_ddg.Ddg.Builder.add b ~name:"n5" Store in
+  let n6 = Ts_ddg.Ddg.Builder.add b ~name:"n6" Ialu in
+  let n7 = Ts_ddg.Ddg.Builder.add b ~name:"n7" Ialu in
+  let n8 = Ts_ddg.Ddg.Builder.add b ~name:"n8" Ialu in
+  (* The critical recurrence: n0 -> n1 -> n2 -> n4 -> n5 within an
+     iteration, closed by the speculated store-to-load dependence
+     n5 -> n0 one iteration later. Total latency 2+1+2+2+1 = 8 over
+     distance 1: RecII = 8. *)
+  Ts_ddg.Ddg.Builder.dep b n0 n1;
+  Ts_ddg.Ddg.Builder.dep b n1 n2;
+  Ts_ddg.Ddg.Builder.dep b n2 n4;
+  Ts_ddg.Ddg.Builder.dep b n4 n5;
+  Ts_ddg.Ddg.Builder.mem_dep b ~dist:1 ~prob:mem_dep_prob n5 n0;
+  Ts_ddg.Ddg.Builder.mem_dep b ~dist:1 ~prob:mem_dep_prob n5 n2;
+  Ts_ddg.Ddg.Builder.mem_dep b ~dist:1 ~prob:mem_dep_prob n5 n3;
+  (* The loop-carried register dependences SMS packs tightly. *)
+  Ts_ddg.Ddg.Builder.dep b ~dist:1 n6 n0;
+  Ts_ddg.Ddg.Builder.dep b ~dist:1 n6 n6;
+  Ts_ddg.Ddg.Builder.dep b ~dist:1 n7 n3;
+  Ts_ddg.Ddg.Builder.dep b ~dist:1 n7 n7;
+  Ts_ddg.Ddg.Builder.dep b ~dist:1 n8 n5;
+  Ts_ddg.Ddg.Builder.dep b ~dist:1 n8 n8;
+  Ts_ddg.Ddg.Builder.build b

@@ -1,0 +1,16 @@
+(** The paper's Figure 1 motivating example.
+
+    Nine instructions n0..n8 on the {!Ts_isa.Machine.toy} machine, with the
+    recurrence circuit (n0, n1, n2, n4, n5) closed by the low-probability
+    memory dependence n5 -> n0, giving RecII = 8; the unpipelined multiply
+    gives ResII = 4; so MII = 8. The register dependences n6 -> n0 and
+    n7 -> n3 (distance 1) are the ones SMS schedules "tightly" — producing
+    an 11-cycle synchronisation delay on a two-core SpMT machine — and TMS
+    relaxes. *)
+
+val ddg : unit -> Ts_ddg.Ddg.t
+(** Build a fresh copy of the DDG. [Mii.mii] of the result is 8. *)
+
+val mem_dep_prob : float
+(** The "negligibly small" probability used on the three memory
+    dependences (0.02). *)

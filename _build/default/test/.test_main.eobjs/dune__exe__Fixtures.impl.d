@@ -1,0 +1,1 @@
+test/fixtures.ml: List Printf QCheck Ts_base Ts_ddg Ts_isa Ts_workload

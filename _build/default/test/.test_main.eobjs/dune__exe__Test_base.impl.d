@@ -1,0 +1,1 @@
+test/test_base.ml: Alcotest List QCheck QCheck_alcotest String Ts_base

@@ -1,0 +1,1 @@
+test/test_cache_mdt.ml: Alcotest QCheck QCheck_alcotest Ts_spmt

@@ -1,0 +1,1 @@
+test/test_cost_model.ml: Alcotest List Ts_ddg Ts_isa Ts_modsched Ts_tms

@@ -1,0 +1,1 @@
+test/test_ddg.ml: Alcotest Array Fixtures List QCheck QCheck_alcotest Ts_ddg Ts_isa

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Fixtures Format Fun List QCheck QCheck_alcotest String Ts_ddg Ts_harness Ts_isa Ts_modsched Ts_sms Ts_spmt Ts_tms Ts_workload

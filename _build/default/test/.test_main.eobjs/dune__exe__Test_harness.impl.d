@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Lazy List Printf String Ts_harness Ts_isa Ts_spmt

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Array Fixtures Format List QCheck QCheck_alcotest String Ts_ddg Ts_isa Ts_modsched Ts_sms

@@ -1,0 +1,1 @@
+test/test_mrt.ml: Alcotest Fun Int64 List QCheck QCheck_alcotest Ts_base Ts_isa Ts_modsched

@@ -1,0 +1,1 @@
+test/test_order_sms.ml: Alcotest Array Fixtures Fun Hashtbl List Printf QCheck QCheck_alcotest Ts_ddg Ts_isa Ts_modsched Ts_sms

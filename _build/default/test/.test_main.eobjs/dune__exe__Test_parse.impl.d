@@ -1,0 +1,1 @@
+test/test_parse.ml: Alcotest Array Fixtures QCheck QCheck_alcotest String Ts_ddg Ts_isa

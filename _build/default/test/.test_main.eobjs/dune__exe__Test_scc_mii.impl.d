@@ -1,0 +1,1 @@
+test/test_scc_mii.ml: Alcotest Array Fixtures Fun List QCheck QCheck_alcotest Ts_ddg Ts_isa

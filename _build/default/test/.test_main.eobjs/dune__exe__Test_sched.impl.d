@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Fixtures Ts_ddg Ts_isa Ts_modsched

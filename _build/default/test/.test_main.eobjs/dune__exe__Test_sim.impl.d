@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Fixtures List Printf QCheck QCheck_alcotest String Ts_ddg Ts_isa Ts_modsched Ts_sms Ts_spmt Ts_tms Ts_workload

@@ -1,0 +1,1 @@
+test/test_tms.ml: Alcotest Fixtures List Printf QCheck QCheck_alcotest Ts_ddg Ts_isa Ts_modsched Ts_sms Ts_tms Ts_workload

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Fixtures List Printf QCheck QCheck_alcotest Ts_base Ts_ddg Ts_sms Ts_workload

@@ -1,0 +1,134 @@
+(* Cache model and MDT. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_cache_cold_miss_then_hit () =
+  let c = Ts_spmt.Cache.create ~size:1024 ~assoc:2 ~line:32 in
+  check_bool "cold miss" false (Ts_spmt.Cache.access c 0x100);
+  check_bool "hit" true (Ts_spmt.Cache.access c 0x100);
+  check_bool "same line hits" true (Ts_spmt.Cache.access c 0x11f);
+  check_bool "next line misses" false (Ts_spmt.Cache.access c 0x120)
+
+let test_cache_lru_eviction () =
+  (* 2-way set: 3 conflicting lines evict the least recently used *)
+  let c = Ts_spmt.Cache.create ~size:256 ~assoc:2 ~line:32 in
+  (* 4 sets; lines 0, 4, 8 map to set 0 *)
+  ignore (Ts_spmt.Cache.access c 0);
+  ignore (Ts_spmt.Cache.access c (4 * 32));
+  ignore (Ts_spmt.Cache.access c (8 * 32));
+  check_bool "line 0 evicted" false (Ts_spmt.Cache.probe c 0);
+  check_bool "line 4*32 kept" true (Ts_spmt.Cache.probe c (4 * 32))
+
+let test_cache_lru_touch () =
+  let c = Ts_spmt.Cache.create ~size:256 ~assoc:2 ~line:32 in
+  ignore (Ts_spmt.Cache.access c 0);
+  ignore (Ts_spmt.Cache.access c (4 * 32));
+  ignore (Ts_spmt.Cache.access c 0);
+  (* reuse line 0 *)
+  ignore (Ts_spmt.Cache.access c (8 * 32));
+  check_bool "line 0 survives (recently used)" true (Ts_spmt.Cache.probe c 0);
+  check_bool "line 4*32 evicted" false (Ts_spmt.Cache.probe c (4 * 32))
+
+let test_cache_invalidate_and_fill () =
+  let c = Ts_spmt.Cache.create ~size:1024 ~assoc:2 ~line:32 in
+  Ts_spmt.Cache.fill c 0x200;
+  check_bool "filled" true (Ts_spmt.Cache.probe c 0x200);
+  Ts_spmt.Cache.invalidate c 0x200;
+  check_bool "invalidated" false (Ts_spmt.Cache.probe c 0x200);
+  (* invalidate of absent line is a no-op *)
+  Ts_spmt.Cache.invalidate c 0x9999
+
+let test_cache_stats () =
+  let c = Ts_spmt.Cache.create ~size:1024 ~assoc:2 ~line:32 in
+  ignore (Ts_spmt.Cache.access c 0);
+  ignore (Ts_spmt.Cache.access c 0);
+  ignore (Ts_spmt.Cache.access c 64);
+  check_bool "stats" true (Ts_spmt.Cache.stats c = (1, 2));
+  Ts_spmt.Cache.reset_stats c;
+  check_bool "reset" true (Ts_spmt.Cache.stats c = (0, 0));
+  check_bool "content survives reset" true (Ts_spmt.Cache.probe c 0)
+
+let test_cache_bad_geometry () =
+  check_bool "non power of two" true
+    (match Ts_spmt.Cache.create ~size:1000 ~assoc:2 ~line:32 with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  check_bool "too small" true
+    (match Ts_spmt.Cache.create ~size:32 ~assoc:2 ~line:32 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let prop_cache_hit_after_access =
+  QCheck.Test.make ~count:200 ~name:"immediately after access, probe hits"
+    QCheck.(small_int)
+    (fun addr ->
+      let c = Ts_spmt.Cache.create ~size:4096 ~assoc:4 ~line:32 in
+      ignore (Ts_spmt.Cache.access c addr);
+      Ts_spmt.Cache.probe c addr)
+
+(* --- MDT --- *)
+
+let test_mdt_conflict_detection () =
+  let m = Ts_spmt.Mdt.create ~horizon:4 in
+  Ts_spmt.Mdt.record_store m ~thread:5 ~addr:0x40 ~finish:100;
+  (* a load in thread 6 issued before the store completed: conflict at 100 *)
+  check_bool "conflict" true
+    (Ts_spmt.Mdt.conflicting_store m ~thread:6 ~addr:0x40 ~issue:90 = Some 100);
+  (* issued after completion: no conflict *)
+  check_bool "ordered" true
+    (Ts_spmt.Mdt.conflicting_store m ~thread:6 ~addr:0x40 ~issue:101 = None);
+  (* different address: no conflict *)
+  check_bool "other addr" true
+    (Ts_spmt.Mdt.conflicting_store m ~thread:6 ~addr:0x44 ~issue:90 = None)
+
+let test_mdt_horizon () =
+  let m = Ts_spmt.Mdt.create ~horizon:4 in
+  Ts_spmt.Mdt.record_store m ~thread:1 ~addr:0x40 ~finish:100;
+  (* thread 6 is more than horizon away: thread 1 committed long ago *)
+  check_bool "out of window" true
+    (Ts_spmt.Mdt.conflicting_store m ~thread:6 ~addr:0x40 ~issue:0 = None)
+
+let test_mdt_less_speculative_only () =
+  let m = Ts_spmt.Mdt.create ~horizon:4 in
+  Ts_spmt.Mdt.record_store m ~thread:7 ~addr:0x40 ~finish:100;
+  (* a store by a MORE speculative thread never squashes an older one *)
+  check_bool "younger store ignored" true
+    (Ts_spmt.Mdt.conflicting_store m ~thread:6 ~addr:0x40 ~issue:0 = None)
+
+let test_mdt_latest_finish () =
+  let m = Ts_spmt.Mdt.create ~horizon:8 in
+  Ts_spmt.Mdt.record_store m ~thread:1 ~addr:0x40 ~finish:50;
+  Ts_spmt.Mdt.record_store m ~thread:2 ~addr:0x40 ~finish:80;
+  check_bool "latest completion wins" true
+    (Ts_spmt.Mdt.conflicting_store m ~thread:4 ~addr:0x40 ~issue:10 = Some 80)
+
+let test_mdt_retire () =
+  let m = Ts_spmt.Mdt.create ~horizon:8 in
+  Ts_spmt.Mdt.record_store m ~thread:1 ~addr:0x40 ~finish:50;
+  Ts_spmt.Mdt.retire m ~upto:2;
+  check_bool "retired" true
+    (Ts_spmt.Mdt.conflicting_store m ~thread:3 ~addr:0x40 ~issue:0 = None)
+
+let test_mdt_peak () =
+  let m = Ts_spmt.Mdt.create ~horizon:8 in
+  Ts_spmt.Mdt.record_store m ~thread:1 ~addr:1 ~finish:1;
+  Ts_spmt.Mdt.record_store m ~thread:1 ~addr:2 ~finish:1;
+  check_int "peak" 2 (Ts_spmt.Mdt.peak_entries m)
+
+let suite =
+  [
+    Alcotest.test_case "cache: cold miss then hit" `Quick test_cache_cold_miss_then_hit;
+    Alcotest.test_case "cache: LRU eviction" `Quick test_cache_lru_eviction;
+    Alcotest.test_case "cache: LRU touch order" `Quick test_cache_lru_touch;
+    Alcotest.test_case "cache: invalidate and fill" `Quick test_cache_invalidate_and_fill;
+    Alcotest.test_case "cache: stats and reset" `Quick test_cache_stats;
+    Alcotest.test_case "cache: bad geometry" `Quick test_cache_bad_geometry;
+    QCheck_alcotest.to_alcotest prop_cache_hit_after_access;
+    Alcotest.test_case "mdt: conflict detection" `Quick test_mdt_conflict_detection;
+    Alcotest.test_case "mdt: horizon" `Quick test_mdt_horizon;
+    Alcotest.test_case "mdt: ordering direction" `Quick test_mdt_less_speculative_only;
+    Alcotest.test_case "mdt: latest finish" `Quick test_mdt_latest_finish;
+    Alcotest.test_case "mdt: retire" `Quick test_mdt_retire;
+    Alcotest.test_case "mdt: peak entries" `Quick test_mdt_peak;
+  ]

@@ -1,0 +1,149 @@
+(* DDG construction, validation and accessors. *)
+
+module B = Ts_ddg.Ddg.Builder
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_builder_basic () =
+  let g = Fixtures.chain 4 in
+  check_int "nodes" 4 (Ts_ddg.Ddg.n_nodes g);
+  check_int "edges" 3 (Array.length g.edges);
+  check_int "node ids dense" 2 (Ts_ddg.Ddg.node g 2).id
+
+let test_builder_names () =
+  let b = B.create Ts_isa.Machine.spmt_core in
+  let a = B.add b ~name:"alpha" Ts_isa.Opcode.Ialu in
+  let c = B.add b Ts_isa.Opcode.Ialu in
+  let g = B.build b in
+  Alcotest.(check string) "explicit name" "alpha" (Ts_ddg.Ddg.node g a).name;
+  Alcotest.(check string) "default name" "n1" (Ts_ddg.Ddg.node g c).name
+
+let test_latency_default_and_override () =
+  let b = B.create Ts_isa.Machine.spmt_core in
+  let d = B.add b Ts_isa.Opcode.Fmul in
+  let o = B.add b ~latency:7 Ts_isa.Opcode.Fmul in
+  let g = B.build b in
+  check_int "machine default" 4 (Ts_ddg.Ddg.latency g d);
+  check_int "override" 7 (Ts_ddg.Ddg.latency g o)
+
+let test_adjacency () =
+  let g = Fixtures.diamond () in
+  check_int "a has two successors" 2 (List.length g.succs.(0));
+  check_int "d has two predecessors" 2 (List.length g.preds.(3));
+  check_int "a has no predecessors" 0 (List.length g.preds.(0))
+
+let test_edge_kind_partition () =
+  let g = Fixtures.spec_loop () in
+  check_int "one mem edge" 1 (List.length (Ts_ddg.Ddg.mem_edges g));
+  check_int "two reg edges" 2 (List.length (Ts_ddg.Ddg.reg_edges g));
+  check_int "two memory ops" 2 (Ts_ddg.Ddg.n_mem_ops g)
+
+let build_invalid f =
+  let b = B.create Ts_isa.Machine.spmt_core in
+  f b;
+  match B.build b with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_reject_dangling () =
+  build_invalid (fun b ->
+      let a = B.add b Ts_isa.Opcode.Ialu in
+      B.dep b a 5)
+
+let test_reject_negative_distance () =
+  build_invalid (fun b ->
+      let a = B.add b Ts_isa.Opcode.Ialu in
+      let c = B.add b Ts_isa.Opcode.Ialu in
+      B.dep b ~dist:(-1) a c)
+
+let test_reject_bad_probability () =
+  build_invalid (fun b ->
+      let s = B.add b Ts_isa.Opcode.Store in
+      let l = B.add b Ts_isa.Opcode.Load in
+      B.mem_dep b ~prob:0.0 s l);
+  build_invalid (fun b ->
+      let s = B.add b Ts_isa.Opcode.Store in
+      let l = B.add b Ts_isa.Opcode.Load in
+      B.mem_dep b ~prob:1.5 s l)
+
+let test_reject_store_reg_producer () =
+  build_invalid (fun b ->
+      let s = B.add b Ts_isa.Opcode.Store in
+      let c = B.add b Ts_isa.Opcode.Ialu in
+      B.dep b s c)
+
+let test_reject_mem_dep_shape () =
+  (* memory flow dependences must be store -> load *)
+  build_invalid (fun b ->
+      let l = B.add b Ts_isa.Opcode.Load in
+      let l2 = B.add b Ts_isa.Opcode.Load in
+      B.mem_dep b l l2);
+  build_invalid (fun b ->
+      let s = B.add b Ts_isa.Opcode.Store in
+      let s2 = B.add b Ts_isa.Opcode.Store in
+      B.mem_dep b s s2)
+
+let test_reject_zero_distance_self () =
+  build_invalid (fun b ->
+      let a = B.add b Ts_isa.Opcode.Ialu in
+      B.dep b ~dist:0 a a)
+
+let test_reject_reg_prob () =
+  build_invalid (fun b ->
+      let a = B.add b Ts_isa.Opcode.Ialu in
+      let c = B.add b Ts_isa.Opcode.Ialu in
+      B.dep b ~prob:0.5 a c)
+
+let test_self_dep_distance_one_ok () =
+  let g = Fixtures.accumulator () in
+  Ts_ddg.Ddg.validate g;
+  check_int "edges" 2 (Array.length g.edges)
+
+let test_validate_ok () =
+  Ts_ddg.Ddg.validate (Fixtures.motivating ());
+  Ts_ddg.Ddg.validate (Fixtures.generated ())
+
+let prop_generated_validates =
+  QCheck.Test.make ~count:60 ~name:"generated loops always validate"
+    Fixtures.arb_loop (fun arb ->
+      let g = Fixtures.loop_of_arb arb in
+      Ts_ddg.Ddg.validate g;
+      true)
+
+let prop_adjacency_consistent =
+  QCheck.Test.make ~count:40 ~name:"succs/preds mirror the edge array"
+    Fixtures.arb_loop (fun arb ->
+      let g = Fixtures.loop_of_arb arb in
+      let count_succ =
+        Array.fold_left (fun acc l -> acc + List.length l) 0 g.succs
+      in
+      let count_pred =
+        Array.fold_left (fun acc l -> acc + List.length l) 0 g.preds
+      in
+      count_succ = Array.length g.edges
+      && count_pred = Array.length g.edges
+      && Array.for_all
+           (fun (e : Ts_ddg.Ddg.edge) ->
+             List.memq e g.succs.(e.src) && List.memq e g.preds.(e.dst))
+           g.edges)
+
+let suite =
+  [
+    Alcotest.test_case "builder: basic construction" `Quick test_builder_basic;
+    Alcotest.test_case "builder: names" `Quick test_builder_names;
+    Alcotest.test_case "builder: latency override" `Quick test_latency_default_and_override;
+    Alcotest.test_case "adjacency lists" `Quick test_adjacency;
+    Alcotest.test_case "reg/mem edge partition" `Quick test_edge_kind_partition;
+    Alcotest.test_case "reject: dangling node" `Quick test_reject_dangling;
+    Alcotest.test_case "reject: negative distance" `Quick test_reject_negative_distance;
+    Alcotest.test_case "reject: probability out of range" `Quick test_reject_bad_probability;
+    Alcotest.test_case "reject: store as register producer" `Quick test_reject_store_reg_producer;
+    Alcotest.test_case "reject: non store-to-load mem dep" `Quick test_reject_mem_dep_shape;
+    Alcotest.test_case "reject: zero-distance self dep" `Quick test_reject_zero_distance_self;
+    Alcotest.test_case "reject: register dep with probability" `Quick test_reject_reg_prob;
+    Alcotest.test_case "self dep at distance 1 is fine" `Quick test_self_dep_distance_one_ok;
+    Alcotest.test_case "validate accepts good graphs" `Quick test_validate_ok;
+    QCheck_alcotest.to_alcotest prop_generated_validates;
+    QCheck_alcotest.to_alcotest prop_adjacency_consistent;
+  ]

@@ -1,0 +1,323 @@
+(* IMS, thread-sensitive IMS, loop unrolling, code generation, and the
+   extension experiments. *)
+
+module K = Ts_modsched.Kernel
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let params = Ts_isa.Spmt_params.default
+
+(* --- IMS --- *)
+
+let test_ims_chain () =
+  let r = Ts_sms.Ims.schedule (Fixtures.chain 4) in
+  check_int "II = MII" 1 r.Ts_sms.Ims.kernel.K.ii;
+  K.validate r.kernel
+
+let test_ims_motivating () =
+  let r = Ts_sms.Ims.schedule (Fixtures.motivating ()) in
+  check_int "II = 8" 8 r.Ts_sms.Ims.kernel.K.ii;
+  K.validate r.kernel
+
+let test_ims_accumulator () =
+  let r = Ts_sms.Ims.schedule (Fixtures.accumulator ()) in
+  check_int "II = RecII = 3" 3 r.Ts_sms.Ims.kernel.K.ii
+
+let test_ims_eviction_needed () =
+  (* three loads feeding a store: 4 mem ops, 2 ports -> II 2, with enough
+     contention that forced placement paths execute *)
+  let b = Ts_ddg.Ddg.Builder.create Ts_isa.Machine.spmt_core in
+  let l1 = Ts_ddg.Ddg.Builder.add b Ts_isa.Opcode.Load in
+  let l2 = Ts_ddg.Ddg.Builder.add b Ts_isa.Opcode.Load in
+  let l3 = Ts_ddg.Ddg.Builder.add b Ts_isa.Opcode.Load in
+  let s = Ts_ddg.Ddg.Builder.add b Ts_isa.Opcode.Store in
+  Ts_ddg.Ddg.Builder.dep b l1 s;
+  Ts_ddg.Ddg.Builder.dep b l2 s;
+  Ts_ddg.Ddg.Builder.dep b l3 s;
+  let g = Ts_ddg.Ddg.Builder.build b in
+  let r = Ts_sms.Ims.schedule g in
+  check_bool "II >= MII" true (r.Ts_sms.Ims.kernel.K.ii >= Ts_ddg.Mii.mii g);
+  K.validate r.kernel
+
+let test_ims_budget_exhaustion () =
+  (* a tiny budget forces II escalation but still terminates *)
+  let g = Fixtures.motivating () in
+  let r = Ts_sms.Ims.schedule ~budget_ratio:1 g in
+  K.validate r.Ts_sms.Ims.kernel
+
+let prop_ims_valid =
+  QCheck.Test.make ~count:40 ~name:"IMS kernels valid; II >= MII"
+    Fixtures.arb_loop (fun arb ->
+      let g = Fixtures.loop_of_arb arb in
+      match Ts_sms.Ims.schedule g with
+      | exception Ts_sms.Ims.No_schedule _ -> QCheck.assume_fail ()
+      | r ->
+          K.validate r.Ts_sms.Ims.kernel;
+          r.Ts_sms.Ims.kernel.K.ii >= Ts_ddg.Mii.mii g)
+
+(* --- thread-sensitive IMS --- *)
+
+let test_ts_ims_motivating () =
+  let g = Fixtures.motivating () in
+  let r = Ts_tms.Tms_ims.schedule ~params:Ts_isa.Spmt_params.two_core g in
+  check_bool "C_delay far below SMS's 11" true (r.Ts_tms.Tms.achieved_c_delay <= 6);
+  check_bool "not fallen back" false r.Ts_tms.Tms.fell_back;
+  K.validate r.Ts_tms.Tms.kernel
+
+let test_ts_ims_threshold_respected () =
+  let g = Fixtures.motivating () in
+  let r = Ts_tms.Tms_ims.schedule ~params g in
+  check_bool "achieved <= threshold" true
+    (r.Ts_tms.Tms.fell_back
+    || r.Ts_tms.Tms.achieved_c_delay <= r.Ts_tms.Tms.c_delay_threshold)
+
+let prop_ts_ims_valid =
+  QCheck.Test.make ~count:15 ~name:"thread-sensitive IMS: valid, bounded"
+    Fixtures.arb_loop (fun arb ->
+      let g = Fixtures.loop_of_arb arb in
+      match Ts_tms.Tms_ims.schedule ~params g with
+      | exception Ts_sms.Ims.No_schedule _ -> QCheck.assume_fail ()
+      | r ->
+          K.validate r.Ts_tms.Tms.kernel;
+          r.Ts_tms.Tms.fell_back
+          || r.Ts_tms.Tms.achieved_c_delay <= r.Ts_tms.Tms.c_delay_threshold)
+
+(* --- unrolling --- *)
+
+let test_unroll_identity () =
+  let g = Fixtures.motivating () in
+  let g1 = Ts_ddg.Unroll.by g ~factor:1 in
+  check_int "same nodes" (Ts_ddg.Ddg.n_nodes g) (Ts_ddg.Ddg.n_nodes g1);
+  check_int "same edges" (Array.length g.edges) (Array.length g1.edges);
+  check_int "same MII" (Ts_ddg.Mii.mii g) (Ts_ddg.Mii.mii g1)
+
+let test_unroll_sizes () =
+  let g = Fixtures.motivating () in
+  let g3 = Ts_ddg.Unroll.by g ~factor:3 in
+  check_int "3x nodes" (3 * Ts_ddg.Ddg.n_nodes g) (Ts_ddg.Ddg.n_nodes g3);
+  check_int "3x edges" (3 * Array.length g.edges) (Array.length g3.edges);
+  Ts_ddg.Ddg.validate g3
+
+let test_unroll_recurrence_scales () =
+  (* RecII of the k-unrolled body is ~k times the original: same cycle
+     latency repeated k times per (new) iteration *)
+  let g = Fixtures.accumulator () in
+  check_int "acc RecII x4" 12 (Ts_ddg.Mii.rec_ii (Ts_ddg.Unroll.by g ~factor:4));
+  let m = Fixtures.motivating () in
+  check_int "motivating RecII x2" 16 (Ts_ddg.Mii.rec_ii (Ts_ddg.Unroll.by m ~factor:2))
+
+let test_unroll_self_dep_chain () =
+  (* a distance-1 self dep unrolled by 3: copies chain 0->1->2 within the
+     body (distance 0) and 2->0 across (distance 1) *)
+  let g = Fixtures.accumulator () in
+  let g3 = Ts_ddg.Unroll.by g ~factor:3 in
+  let carried =
+    List.filter (fun (e : Ts_ddg.Ddg.edge) -> e.distance >= 1) (Ts_ddg.Ddg.reg_edges g3)
+  in
+  check_int "one carried copy of the self dep" 1 (List.length carried)
+
+let test_unroll_distance_math () =
+  (* distance-5 dep unrolled by 2: consumer copy j reads producer copy
+     (j - 5) mod 2 at distance (5 - j + j')/2 *)
+  let b = Ts_ddg.Ddg.Builder.create Ts_isa.Machine.spmt_core in
+  let p = Ts_ddg.Ddg.Builder.add b Ts_isa.Opcode.Ialu in
+  let c = Ts_ddg.Ddg.Builder.add b Ts_isa.Opcode.Ialu in
+  Ts_ddg.Ddg.Builder.dep b ~dist:5 p c;
+  let g = Ts_ddg.Ddg.Builder.build b in
+  let g2 = Ts_ddg.Unroll.by g ~factor:2 in
+  List.iter
+    (fun (e : Ts_ddg.Ddg.edge) ->
+      (* copy 0 consumer: producer copy 1, distance 3; copy 1: copy 0,
+         distance 2 *)
+      if e.dst = 1 then (check_int "src" 2 e.src; check_int "dist" 3 e.distance)
+      else (check_int "src'" 0 e.src; check_int "dist'" 2 e.distance))
+    (Ts_ddg.Ddg.reg_edges g2)
+
+let test_unroll_bad_factor () =
+  check_bool "factor 0 rejected" true
+    (match Ts_ddg.Unroll.by (Fixtures.chain 2) ~factor:0 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let prop_unroll_schedulable =
+  QCheck.Test.make ~count:20 ~name:"unrolled loops validate and schedule"
+    QCheck.(pair (int_bound 200) (int_range 2 4))
+    (fun (seed, factor) ->
+      let g = Fixtures.generated ~seed ~n_inst:14 () in
+      let gu = Ts_ddg.Unroll.by g ~factor in
+      Ts_ddg.Ddg.validate gu;
+      match Ts_sms.Sms.schedule gu with
+      | r ->
+          K.validate r.Ts_sms.Sms.kernel;
+          true
+      | exception Ts_sms.Sms.No_schedule _ -> true (* rare ordering dead-end *))
+
+(* --- codegen --- *)
+
+let codegen_of g =
+  Ts_modsched.Codegen.of_kernel (Ts_sms.Sms.schedule g).Ts_sms.Sms.kernel
+
+let test_codegen_counts () =
+  let g = Fixtures.motivating () in
+  let k = (Ts_sms.Sms.schedule g).Ts_sms.Sms.kernel in
+  let c = Ts_modsched.Codegen.of_kernel k in
+  check_int "sends = pairs" (K.send_recv_pairs_per_iter k) c.n_sends;
+  check_int "recvs = sends" c.n_sends c.n_recvs
+
+let test_codegen_ops_once () =
+  let g = Fixtures.motivating () in
+  let c = codegen_of g in
+  let ops =
+    List.filter_map
+      (function _, Ts_modsched.Codegen.Op v -> Some v | _ -> None)
+      c.listing
+  in
+  Alcotest.(check (list int)) "each op once, spawn first"
+    (List.init (Ts_ddg.Ddg.n_nodes g) Fun.id)
+    (List.sort compare ops);
+  match c.listing with
+  | (0, Ts_modsched.Codegen.Spawn) :: _ -> ()
+  | _ -> Alcotest.fail "spawn must open the thread"
+
+let test_codegen_recv_before_consumer () =
+  let g = Fixtures.motivating () in
+  let k = (Ts_sms.Sms.schedule g).Ts_sms.Sms.kernel in
+  let c = Ts_modsched.Codegen.of_kernel k in
+  List.iter
+    (fun (row, i) ->
+      match i with
+      | Ts_modsched.Codegen.Recv { value; hop } ->
+          List.iter
+            (fun (e : Ts_ddg.Ddg.edge) ->
+              if e.kind = Ts_ddg.Ddg.Reg && K.d_ker k e = hop then
+                check_bool "recv row <= consumer row" true
+                  (row <= k.K.row.(e.dst)))
+            k.K.g.succs.(value)
+      | _ -> ())
+    c.listing
+
+let test_codegen_relay_copies () =
+  (* a 2-hop value needs a relay copy *)
+  let b = Ts_ddg.Ddg.Builder.create Ts_isa.Machine.spmt_core in
+  let p = Ts_ddg.Ddg.Builder.add b Ts_isa.Opcode.Ialu in
+  let c = Ts_ddg.Ddg.Builder.add b Ts_isa.Opcode.Ialu in
+  Ts_ddg.Ddg.Builder.dep b ~dist:2 p c;
+  let g = Ts_ddg.Ddg.Builder.build b in
+  let k = K.of_times g ~ii:2 [| 0; 1 |] in
+  let cg = Ts_modsched.Codegen.of_kernel k in
+  check_int "two sends (one per hop)" 2 cg.n_sends;
+  check_int "one relay copy" 1 cg.n_copies
+
+let test_codegen_pp () =
+  let c = codegen_of (Fixtures.motivating ()) in
+  let s = Format.asprintf "%a" Ts_modsched.Codegen.pp c in
+  check_bool "listing non-trivial" true (String.length s > 200)
+
+(* --- extension experiments --- *)
+
+let test_unrolling_experiment () =
+  let rows =
+    Ts_harness.Unrolling.compute ~factors:[ 1; 2 ] ~cfg:Ts_spmt.Config.default ()
+  in
+  check_bool "rows for every (loop, factor)" true (List.length rows >= 6);
+  (* unrolling amortises communication: pairs per source iteration must
+     not grow when doubling the body *)
+  List.iter
+    (fun (sel : Ts_workload.Doacross.selected) ->
+      let of_factor f =
+        List.find_opt
+          (fun (r : Ts_harness.Unrolling.row) -> r.bench = sel.bench && r.factor = f)
+          rows
+      in
+      match (of_factor 1, of_factor 2) with
+      | Some r1, Some r2 ->
+          check_bool (sel.bench ^ ": pairs/iter non-increasing") true
+            (r2.pairs_per_iter <= r1.pairs_per_iter +. 1e-9)
+      | _ -> ())
+    Ts_workload.Doacross.all
+
+let test_schedulers_experiment () =
+  let rows = Ts_harness.Schedulers.compute ~cfg:Ts_spmt.Config.default in
+  check_int "5 variants x 4 loops" 20 (List.length rows);
+  (* generality: thread-sensitive IMS achieves a C_delay within 2x of
+     thread-sensitive SMS on every loop *)
+  List.iter
+    (fun (sel : Ts_workload.Doacross.selected) ->
+      let find v =
+        List.find
+          (fun (r : Ts_harness.Schedulers.row) ->
+            r.variant = v && r.loop = (List.hd sel.loops).Ts_ddg.Ddg.name)
+          rows
+      in
+      let ts_sms = find "ts-sms" and ts_ims = find "ts-ims" and sms = find "sms" in
+      check_bool (sel.bench ^ ": ts-ims C_delay <= SMS C_delay") true
+        (ts_ims.c_delay <= sms.c_delay);
+      check_bool (sel.bench ^ ": ts-ims within 2x of ts-sms") true
+        (ts_ims.c_delay <= 2 * max 4 ts_sms.c_delay))
+    Ts_workload.Doacross.all
+
+
+
+let test_scaling_experiment () =
+  let rows = Ts_harness.Scaling.compute ~ncores:[ 2; 8 ] () in
+  check_int "two points per benchmark" 8 (List.length rows);
+  List.iter
+    (fun (sel : Ts_workload.Doacross.selected) ->
+      let get n =
+        List.find
+          (fun (r : Ts_harness.Scaling.row) -> r.bench = sel.bench && r.ncore = n)
+          rows
+      in
+      let r2 = get 2 and r8 = get 8 in
+      (* more cores never hurt TMS, and the simulator never beats the cost
+         model's serial floor by more than measurement fuzz *)
+      check_bool (sel.bench ^ ": 8 cores at least as fast") true
+        (r8.tms_cpi <= r2.tms_cpi +. 1e-9);
+      check_bool (sel.bench ^ ": floor respected") true
+        (r8.tms_cpi >= r8.model_floor *. 0.9))
+    Ts_workload.Doacross.all
+
+let test_experiment_names_resolve () =
+  (* every advertised experiment name must dispatch (use tiny limits and
+     discard output; the heavyweight ones are covered elsewhere) *)
+  List.iter
+    (fun name ->
+      match name with
+      | "table2" | "fig4" ->
+          Ts_harness.Experiments.run ~limit:1 ~names:[ name ] ignore
+      | "table1" -> Ts_harness.Experiments.run ~names:[ name ] ignore
+      | _ -> () (* doacross-based ones run in their own tests *))
+    Ts_harness.Experiments.all_names;
+  check_int "names stable" 11 (List.length Ts_harness.Experiments.all_names)
+
+let suite =
+  [
+    Alcotest.test_case "ims: chain" `Quick test_ims_chain;
+    Alcotest.test_case "ims: motivating II=8" `Quick test_ims_motivating;
+    Alcotest.test_case "ims: accumulator" `Quick test_ims_accumulator;
+    Alcotest.test_case "ims: eviction path" `Quick test_ims_eviction_needed;
+    Alcotest.test_case "ims: tiny budget terminates" `Quick test_ims_budget_exhaustion;
+    QCheck_alcotest.to_alcotest prop_ims_valid;
+    Alcotest.test_case "ts-ims: motivating" `Quick test_ts_ims_motivating;
+    Alcotest.test_case "ts-ims: threshold respected" `Quick
+      test_ts_ims_threshold_respected;
+    QCheck_alcotest.to_alcotest prop_ts_ims_valid;
+    Alcotest.test_case "unroll: identity" `Quick test_unroll_identity;
+    Alcotest.test_case "unroll: sizes" `Quick test_unroll_sizes;
+    Alcotest.test_case "unroll: recurrence scales" `Quick test_unroll_recurrence_scales;
+    Alcotest.test_case "unroll: self-dep chain" `Quick test_unroll_self_dep_chain;
+    Alcotest.test_case "unroll: distance arithmetic" `Quick test_unroll_distance_math;
+    Alcotest.test_case "unroll: bad factor" `Quick test_unroll_bad_factor;
+    QCheck_alcotest.to_alcotest prop_unroll_schedulable;
+    Alcotest.test_case "codegen: send/recv counts" `Quick test_codegen_counts;
+    Alcotest.test_case "codegen: each op once" `Quick test_codegen_ops_once;
+    Alcotest.test_case "codegen: recv precedes consumers" `Quick
+      test_codegen_recv_before_consumer;
+    Alcotest.test_case "codegen: relay copies" `Quick test_codegen_relay_copies;
+    Alcotest.test_case "codegen: pp" `Quick test_codegen_pp;
+    Alcotest.test_case "experiment: unrolling" `Slow test_unrolling_experiment;
+    Alcotest.test_case "experiment: schedulers" `Slow test_schedulers_experiment;
+    Alcotest.test_case "experiment: scaling" `Slow test_scaling_experiment;
+    Alcotest.test_case "experiment: name dispatch" `Slow test_experiment_names_resolve;
+  ]

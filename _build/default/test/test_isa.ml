@@ -1,0 +1,92 @@
+(* Opcode and Machine descriptions. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_opcode_roundtrip () =
+  List.iter
+    (fun op ->
+      match Ts_isa.Opcode.of_string (Ts_isa.Opcode.to_string op) with
+      | Some op' -> check_bool "roundtrip" true (op = op')
+      | None -> Alcotest.fail "roundtrip failed")
+    Ts_isa.Opcode.all
+
+let test_opcode_aliases () =
+  check_bool "ld alias" true (Ts_isa.Opcode.of_string "ld" = Some Ts_isa.Opcode.Load);
+  check_bool "st alias" true (Ts_isa.Opcode.of_string "st" = Some Ts_isa.Opcode.Store);
+  check_bool "br alias" true (Ts_isa.Opcode.of_string "br" = Some Ts_isa.Opcode.Branch);
+  check_bool "unknown" true (Ts_isa.Opcode.of_string "bogus" = None)
+
+let test_is_mem () =
+  check_bool "load" true (Ts_isa.Opcode.is_mem Ts_isa.Opcode.Load);
+  check_bool "store" true (Ts_isa.Opcode.is_mem Ts_isa.Opcode.Store);
+  List.iter
+    (fun op ->
+      if op <> Ts_isa.Opcode.Load && op <> Ts_isa.Opcode.Store then
+        check_bool "non-mem" false (Ts_isa.Opcode.is_mem op))
+    Ts_isa.Opcode.all
+
+let test_machine_positive_params () =
+  List.iter
+    (fun m ->
+      check_bool "issue width positive" true (m.Ts_isa.Machine.issue_width > 0);
+      List.iter
+        (fun op ->
+          let d = m.Ts_isa.Machine.describe op in
+          check_bool "latency >= 1" true (d.latency >= 1);
+          check_bool "busy >= 1" true (d.busy >= 1);
+          check_bool "op's unit exists" true (Ts_isa.Machine.fu_count m d.fu > 0))
+        Ts_isa.Opcode.all)
+    [ Ts_isa.Machine.spmt_core; Ts_isa.Machine.toy ]
+
+let test_spmt_latencies () =
+  let m = Ts_isa.Machine.spmt_core in
+  check_int "load = L1 hit" 3 (Ts_isa.Machine.latency m Ts_isa.Opcode.Load);
+  check_int "ialu" 1 (Ts_isa.Machine.latency m Ts_isa.Opcode.Ialu);
+  check_int "fmul" 4 (Ts_isa.Machine.latency m Ts_isa.Opcode.Fmul);
+  check_int "issue width" 4 m.issue_width
+
+let test_toy_unpipelined_mul () =
+  let m = Ts_isa.Machine.toy in
+  let d = m.Ts_isa.Machine.describe Ts_isa.Opcode.Fmul in
+  check_int "mul busy 4" 4 d.busy;
+  check_int "one multiplier" 1 (Ts_isa.Machine.fu_count m d.fu)
+
+let test_by_name () =
+  check_bool "spmt" true (Ts_isa.Machine.by_name "spmt" <> None);
+  check_bool "toy" true (Ts_isa.Machine.by_name "toy" <> None);
+  check_bool "unknown" true (Ts_isa.Machine.by_name "vax" = None)
+
+let test_fu_count_absent () =
+  (* a machine with no branch units would return 0 rather than raise *)
+  let m = Ts_isa.Machine.toy in
+  check_bool "all listed classes positive" true
+    (List.for_all (fun fu -> Ts_isa.Machine.fu_count m fu >= 0) Ts_isa.Machine.fu_all)
+
+let test_spmt_params_default () =
+  let p = Ts_isa.Spmt_params.default in
+  check_int "4 cores" 4 p.ncore;
+  check_int "3-cycle SEND/RECV" 3 p.c_reg_com;
+  check_int "3-cycle spawn" 3 p.c_spawn;
+  check_int "2-cycle commit" 2 p.c_commit;
+  check_int "15-cycle invalidation" 15 p.c_inv
+
+let test_spmt_params_with_ncore () =
+  let p = Ts_isa.Spmt_params.with_ncore Ts_isa.Spmt_params.default 8 in
+  check_int "ncore" 8 p.ncore;
+  check_int "other fields kept" 3 p.c_reg_com;
+  check_int "two_core" 2 Ts_isa.Spmt_params.two_core.ncore
+
+let suite =
+  [
+    Alcotest.test_case "opcode: to/of_string roundtrip" `Quick test_opcode_roundtrip;
+    Alcotest.test_case "opcode: aliases" `Quick test_opcode_aliases;
+    Alcotest.test_case "opcode: is_mem" `Quick test_is_mem;
+    Alcotest.test_case "machine: sane parameters" `Quick test_machine_positive_params;
+    Alcotest.test_case "machine: spmt latencies" `Quick test_spmt_latencies;
+    Alcotest.test_case "machine: toy unpipelined mul" `Quick test_toy_unpipelined_mul;
+    Alcotest.test_case "machine: by_name" `Quick test_by_name;
+    Alcotest.test_case "machine: fu_count total" `Quick test_fu_count_absent;
+    Alcotest.test_case "spmt_params: Table 1 defaults" `Quick test_spmt_params_default;
+    Alcotest.test_case "spmt_params: with_ncore" `Quick test_spmt_params_with_ncore;
+  ]

@@ -1,0 +1,130 @@
+(* The .ddg textual format and the DOT export. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let sample =
+  {|# comment
+loop demo
+machine toy
+node a ialu
+node l load
+node m fmul 6
+node s store
+edge a l reg 0
+edge l m reg 0
+edge m s reg 0
+edge a a reg 1
+edge s l mem 1 0.25
+|}
+
+let test_parse_basic () =
+  let g = Ts_ddg.Parse.of_string sample in
+  Alcotest.(check string) "name" "demo" g.Ts_ddg.Ddg.name;
+  Alcotest.(check string) "machine" "toy" g.machine.Ts_isa.Machine.name;
+  check_int "nodes" 4 (Ts_ddg.Ddg.n_nodes g);
+  check_int "edges" 5 (Array.length g.edges)
+
+let test_parse_latency_override () =
+  let g = Ts_ddg.Parse.of_string sample in
+  check_int "fmul override" 6 (Ts_ddg.Ddg.latency g 2);
+  check_int "machine default load" 2 (Ts_ddg.Ddg.latency g 1)
+
+let test_parse_mem_edge () =
+  let g = Ts_ddg.Parse.of_string sample in
+  match Ts_ddg.Ddg.mem_edges g with
+  | [ e ] ->
+      check_int "src is the store" 3 e.src;
+      check_int "dst is the load" 1 e.dst;
+      Alcotest.(check (float 1e-9)) "probability" 0.25 e.prob
+  | _ -> Alcotest.fail "expected one mem edge"
+
+let test_roundtrip () =
+  let g = Ts_ddg.Parse.of_string sample in
+  let g2 = Ts_ddg.Parse.of_string (Ts_ddg.Parse.to_string g) in
+  check_int "nodes" (Ts_ddg.Ddg.n_nodes g) (Ts_ddg.Ddg.n_nodes g2);
+  check_int "edges" (Array.length g.edges) (Array.length g2.edges);
+  Alcotest.(check string) "idempotent print" (Ts_ddg.Parse.to_string g)
+    (Ts_ddg.Parse.to_string g2)
+
+let expect_error ?line text =
+  match Ts_ddg.Parse.of_string text with
+  | _ -> Alcotest.fail "expected parse error"
+  | exception Ts_ddg.Parse.Error (ln, _) -> (
+      match line with Some l -> check_int "error line" l ln | None -> ())
+
+let test_error_unknown_opcode () =
+  expect_error ~line:1 "node x frobnicate"
+
+let test_error_unknown_directive () = expect_error ~line:1 "frobnicate yes"
+
+let test_error_undeclared_node () =
+  expect_error ~line:2 "node a ialu\nedge a b reg 0"
+
+let test_error_duplicate_node () =
+  expect_error ~line:2 "node a ialu\nnode a ialu"
+
+let test_error_bad_distance () =
+  expect_error "node a ialu\nnode b ialu\nedge a b reg x"
+
+let test_error_bad_kind () =
+  expect_error "node a ialu\nnode b ialu\nedge a b wibble 0"
+
+let test_error_unknown_machine () = expect_error "machine vax"
+
+let test_error_machine_after_nodes () =
+  expect_error "node a ialu\nmachine toy"
+
+let test_error_semantic () =
+  (* parses but fails DDG validation: reg dep from a store *)
+  expect_error "node s store\nnode b ialu\nedge s b reg 0"
+
+let test_comments_and_blanks () =
+  let g = Ts_ddg.Parse.of_string "\n# only a comment\nnode a ialu # trailing\n\n" in
+  check_int "one node" 1 (Ts_ddg.Ddg.n_nodes g)
+
+let test_default_machine () =
+  let g = Ts_ddg.Parse.of_string "node a ialu" in
+  Alcotest.(check string) "spmt by default" "spmt" g.machine.Ts_isa.Machine.name
+
+let test_dot_output () =
+  let g = Ts_ddg.Parse.of_string sample in
+  let dot = Ts_ddg.Dot.to_string g in
+  check_bool "digraph" true (String.length dot > 10 && String.sub dot 0 7 = "digraph");
+  check_bool "has dashed mem edge" true
+    (let rec contains i =
+       i + 6 <= String.length dot
+       && (String.sub dot i 6 = "dashed" || contains (i + 1))
+     in
+     contains 0)
+
+let prop_roundtrip_generated =
+  QCheck.Test.make ~count:40 ~name:"print/parse roundtrip on generated loops"
+    Fixtures.arb_loop (fun arb ->
+      let g = Fixtures.loop_of_arb arb in
+      let g2 = Ts_ddg.Parse.of_string (Ts_ddg.Parse.to_string g) in
+      Ts_ddg.Ddg.n_nodes g = Ts_ddg.Ddg.n_nodes g2
+      && Array.length g.edges = Array.length g2.edges
+      && Ts_ddg.Mii.mii g = Ts_ddg.Mii.mii g2
+      && Ts_ddg.Parse.to_string g = Ts_ddg.Parse.to_string g2)
+
+let suite =
+  [
+    Alcotest.test_case "parse: basic" `Quick test_parse_basic;
+    Alcotest.test_case "parse: latency override" `Quick test_parse_latency_override;
+    Alcotest.test_case "parse: memory edge" `Quick test_parse_mem_edge;
+    Alcotest.test_case "parse: roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "error: unknown opcode" `Quick test_error_unknown_opcode;
+    Alcotest.test_case "error: unknown directive" `Quick test_error_unknown_directive;
+    Alcotest.test_case "error: undeclared node" `Quick test_error_undeclared_node;
+    Alcotest.test_case "error: duplicate node" `Quick test_error_duplicate_node;
+    Alcotest.test_case "error: bad distance" `Quick test_error_bad_distance;
+    Alcotest.test_case "error: bad kind" `Quick test_error_bad_kind;
+    Alcotest.test_case "error: unknown machine" `Quick test_error_unknown_machine;
+    Alcotest.test_case "error: machine after nodes" `Quick test_error_machine_after_nodes;
+    Alcotest.test_case "error: semantic validation" `Quick test_error_semantic;
+    Alcotest.test_case "parse: comments and blanks" `Quick test_comments_and_blanks;
+    Alcotest.test_case "parse: default machine" `Quick test_default_machine;
+    Alcotest.test_case "dot: output shape" `Quick test_dot_output;
+    QCheck_alcotest.to_alcotest prop_roundtrip_generated;
+  ]

@@ -1,0 +1,347 @@
+(* The SpMT simulator, the address plans, the list scheduler and the
+   single-threaded baseline. *)
+
+module K = Ts_modsched.Kernel
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let cfg = Ts_spmt.Config.default
+let params = cfg.Ts_spmt.Config.params
+
+(* --- Address plans --- *)
+
+let test_plan_deterministic () =
+  let g = Fixtures.spec_loop () in
+  let p1 = Ts_spmt.Address_plan.create ~seed:"s" g in
+  let p2 = Ts_spmt.Address_plan.create ~seed:"s" g in
+  for i = 0 to 50 do
+    check_int "same stream"
+      (Ts_spmt.Address_plan.addr p1 ~node:0 ~iter:i)
+      (Ts_spmt.Address_plan.addr p2 ~node:0 ~iter:i)
+  done
+
+let test_plan_non_memory_rejected () =
+  let g = Fixtures.spec_loop () in
+  check_bool "fmul has no address" true
+    (match Ts_spmt.Address_plan.addr (Ts_spmt.Address_plan.create g) ~node:1 ~iter:0 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_plan_collision_forcing () =
+  let g = Fixtures.spec_loop () in
+  let plan = Ts_spmt.Address_plan.create g in
+  (* locate the mem edge index *)
+  let idx = ref (-1) in
+  Array.iteri
+    (fun i (e : Ts_ddg.Ddg.edge) -> if e.kind = Ts_ddg.Ddg.Mem then idx := i)
+    g.edges;
+  let hits = ref 0 and total = 5000 in
+  for i = 1 to total do
+    if Ts_spmt.Address_plan.realised plan ~edge_index:!idx ~iter:i then begin
+      incr hits;
+      (* when realised, the consumer load reads the producer store's
+         previous-iteration address *)
+      check_int "collision address"
+        (Ts_spmt.Address_plan.addr plan ~node:2 ~iter:(i - 1))
+        (Ts_spmt.Address_plan.addr plan ~node:0 ~iter:i)
+    end
+  done;
+  let rate = float_of_int !hits /. float_of_int total in
+  check_bool (Printf.sprintf "rate %.3f tracks p=0.1" rate) true
+    (rate > 0.07 && rate < 0.13)
+
+let test_plan_before_distance () =
+  let g = Fixtures.spec_loop () in
+  let plan = Ts_spmt.Address_plan.create g in
+  let idx = ref (-1) in
+  Array.iteri
+    (fun i (e : Ts_ddg.Ddg.edge) -> if e.kind = Ts_ddg.Ddg.Mem then idx := i)
+    g.edges;
+  check_bool "iteration 0 has no producer" false
+    (Ts_spmt.Address_plan.realised plan ~edge_index:!idx ~iter:0)
+
+(* --- List scheduler --- *)
+
+let test_list_sched_chain () =
+  let ls = Ts_modsched.List_sched.run (Fixtures.chain 3) in
+  Alcotest.(check (array int)) "serial chain" [| 0; 1; 2 |] ls.time;
+  check_int "makespan" 3 ls.makespan;
+  Ts_modsched.List_sched.validate ls
+
+let test_list_sched_width () =
+  (* 8 independent ALU ops, 4-wide: two cycles *)
+  let b = Ts_ddg.Ddg.Builder.create Ts_isa.Machine.spmt_core in
+  for _ = 1 to 8 do
+    ignore (Ts_ddg.Ddg.Builder.add b Ts_isa.Opcode.Ialu)
+  done;
+  let g = Ts_ddg.Ddg.Builder.build b in
+  let ls = Ts_modsched.List_sched.run g in
+  check_int "two cycles" 2 (1 + Array.fold_left max 0 ls.time);
+  Ts_modsched.List_sched.validate ls
+
+let test_list_sched_unit_contention () =
+  (* three fmuls on the toy machine's unpipelined multiplier: starts 0,4,8 *)
+  let b = Ts_ddg.Ddg.Builder.create Ts_isa.Machine.toy in
+  for _ = 1 to 3 do
+    ignore (Ts_ddg.Ddg.Builder.add b Ts_isa.Opcode.Fmul)
+  done;
+  let g = Ts_ddg.Ddg.Builder.build b in
+  let ls = Ts_modsched.List_sched.run g in
+  let sorted = Array.copy ls.time in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "serialised on the unit" [| 0; 4; 8 |] sorted
+
+let test_list_sched_ignores_carried () =
+  let ls = Ts_modsched.List_sched.run (Fixtures.accumulator ()) in
+  check_int "fadd after load" 3 ls.time.(1);
+  Ts_modsched.List_sched.validate ls
+
+let prop_list_sched_valid =
+  QCheck.Test.make ~count:50 ~name:"list schedules valid on generated loops"
+    Fixtures.arb_loop (fun arb ->
+      let g = Fixtures.loop_of_arb arb in
+      let ls = Ts_modsched.List_sched.run g in
+      Ts_modsched.List_sched.validate ls;
+      ls.makespan >= Ts_ddg.Mii.ldp g)
+
+(* --- Sim --- *)
+
+let kernel_of g = (Ts_sms.Sms.schedule g).Ts_sms.Sms.kernel
+
+let test_sim_basic_counts () =
+  let g = Fixtures.motivating () in
+  let st = Ts_spmt.Sim.run cfg (kernel_of g) ~trip:200 in
+  check_int "committed" 200 st.Ts_spmt.Sim.committed;
+  check_bool "cycles positive" true (st.Ts_spmt.Sim.cycles > 0);
+  check_bool "comm = stalls + pair cycles" true
+    (st.Ts_spmt.Sim.communication_overhead
+     = st.Ts_spmt.Sim.sync_stall_cycles + st.Ts_spmt.Sim.send_recv_cycles);
+  check_int "pairs = plan * trip"
+    (K.send_recv_pairs_per_iter (kernel_of g) * 200)
+    st.Ts_spmt.Sim.send_recv_pairs
+
+let test_sim_deterministic () =
+  let g = Fixtures.motivating () in
+  let k = kernel_of g in
+  let plan = Ts_spmt.Address_plan.create g in
+  let a = Ts_spmt.Sim.run ~plan cfg k ~trip:300 in
+  let b = Ts_spmt.Sim.run ~plan cfg k ~trip:300 in
+  check_int "same cycles" a.Ts_spmt.Sim.cycles b.Ts_spmt.Sim.cycles;
+  check_int "same squashes" a.Ts_spmt.Sim.squashes b.Ts_spmt.Sim.squashes
+
+let test_sim_rate_floor () =
+  (* throughput can never beat II / ncore *)
+  let g = Fixtures.motivating () in
+  let k = kernel_of g in
+  let trip = 500 in
+  let st = Ts_spmt.Sim.run cfg k ~trip in
+  check_bool "bounded by II/ncore" true
+    (st.Ts_spmt.Sim.cycles * params.ncore >= k.K.ii * trip)
+
+let test_sim_more_cores_not_slower () =
+  let g = List.hd Ts_workload.Doacross.equake.Ts_workload.Doacross.loops in
+  let k = (Ts_tms.Tms.schedule_sweep ~params g).Ts_tms.Tms.kernel in
+  let plan = Ts_spmt.Address_plan.create g in
+  let run n =
+    (Ts_spmt.Sim.run ~plan ~warmup:256 (Ts_spmt.Config.with_ncore cfg n) k ~trip:500)
+      .Ts_spmt.Sim.cycles
+  in
+  let c2 = run 2 and c8 = run 8 in
+  check_bool "8 cores at least as fast as 2" true (c8 <= c2)
+
+let test_sim_sync_mem_no_squashes () =
+  let g = Fixtures.spec_loop () in
+  let k = kernel_of g in
+  let st = Ts_spmt.Sim.run ~sync_mem:true cfg k ~trip:2000 in
+  check_int "no speculation, no squashes" 0 st.Ts_spmt.Sim.squashes
+
+let test_sim_speculation_squashes () =
+  (* spec_loop's carried store->load (p=0.1) with a tight schedule produces
+     genuine violations *)
+  let g = Fixtures.spec_loop () in
+  let k = kernel_of g in
+  let st = Ts_spmt.Sim.run cfg k ~trip:2000 in
+  check_bool "some squashes" true (st.Ts_spmt.Sim.squashes > 0);
+  check_bool "rate near p" true (st.Ts_spmt.Sim.misspec_rate < 0.2)
+
+let test_sim_warmup_excluded () =
+  let g = Fixtures.motivating () in
+  let k = kernel_of g in
+  let plan = Ts_spmt.Address_plan.create g in
+  let cold = Ts_spmt.Sim.run ~plan cfg k ~trip:400 in
+  let warm = Ts_spmt.Sim.run ~plan ~warmup:512 cfg k ~trip:400 in
+  check_bool "steady state at least as fast" true
+    (warm.Ts_spmt.Sim.cycles <= cold.Ts_spmt.Sim.cycles);
+  check_bool "fewer cold misses counted" true
+    (warm.Ts_spmt.Sim.l2_misses <= cold.Ts_spmt.Sim.l2_misses)
+
+let test_sim_stall_breakdown_consistent () =
+  let g = Fixtures.motivating () in
+  let st = Ts_spmt.Sim.run cfg (kernel_of g) ~trip:300 in
+  let total =
+    List.fold_left (fun acc (_, c) -> acc + c) 0 st.Ts_spmt.Sim.stall_breakdown
+  in
+  check_int "breakdown sums to total" st.Ts_spmt.Sim.sync_stall_cycles total
+
+let test_sim_bad_args () =
+  let g = Fixtures.motivating () in
+  let k = kernel_of g in
+  check_bool "trip 0 rejected" true
+    (match Ts_spmt.Sim.run cfg k ~trip:0 with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  check_bool "negative warmup rejected" true
+    (match Ts_spmt.Sim.run ~warmup:(-1) cfg k ~trip:10 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_ipc () =
+  let g = Fixtures.motivating () in
+  let k = kernel_of g in
+  let st = Ts_spmt.Sim.run cfg k ~trip:300 in
+  let ipc = Ts_spmt.Sim.ipc k st in
+  check_bool "0 < ipc <= width * ncore" true
+    (ipc > 0.0 && ipc <= 16.0)
+
+(* --- Single-threaded baseline --- *)
+
+let test_single_basic () =
+  let g = Fixtures.motivating () in
+  let st = Ts_spmt.Single.run cfg g ~trip:300 in
+  check_int "iterations" 300 st.Ts_spmt.Single.iterations;
+  check_bool "cycles positive" true (st.Ts_spmt.Single.cycles > 0)
+
+let test_single_res_ii_floor () =
+  (* steady state cannot beat ResII per iteration *)
+  let g = Fixtures.generated ~seed:3 ~n_inst:30 () in
+  let trip = 500 in
+  let st = Ts_spmt.Single.run ~warmup:512 cfg g ~trip in
+  check_bool "bounded by ResII" true
+    (st.Ts_spmt.Single.cycles >= Ts_ddg.Mii.res_ii g * trip)
+
+let test_single_recurrence_bound () =
+  (* the accumulator chains at its realised latency: >= 3 cycles/iter *)
+  let g = Fixtures.accumulator () in
+  let trip = 500 in
+  let st = Ts_spmt.Single.run ~warmup:128 cfg g ~trip in
+  check_bool "recurrence-bound" true (st.Ts_spmt.Single.cycles >= 3 * trip)
+
+let test_single_deterministic () =
+  let g = Fixtures.spec_loop () in
+  let plan = Ts_spmt.Address_plan.create g in
+  let a = Ts_spmt.Single.run ~plan cfg g ~trip:400 in
+  let b = Ts_spmt.Single.run ~plan cfg g ~trip:400 in
+  check_int "same cycles" a.Ts_spmt.Single.cycles b.Ts_spmt.Single.cycles
+
+
+
+(* --- observation + timeline --- *)
+
+let test_observe_callback () =
+  let g = Fixtures.motivating () in
+  let k = kernel_of g in
+  let seen = ref [] in
+  ignore (Ts_spmt.Sim.run ~observe:(fun o -> seen := o :: !seen) cfg k ~trip:20);
+  check_int "one observation per thread" 20 (List.length !seen);
+  List.iter
+    (fun (o : Ts_spmt.Sim.thread_obs) ->
+      check_int "core = index mod ncore" (o.index mod params.ncore) o.core;
+      check_bool "lifecycle ordered" true
+        (o.start <= o.end_exec && o.end_exec <= o.commit_start
+        && o.commit_start < o.commit_end))
+    !seen
+
+let test_observe_commit_order () =
+  let g = Fixtures.motivating () in
+  let k = kernel_of g in
+  let commits = ref [] in
+  ignore
+    (Ts_spmt.Sim.run
+       ~observe:(fun o -> commits := o.commit_end :: !commits)
+       cfg k ~trip:50);
+  (* head-thread commits are strictly ordered *)
+  let rec ordered = function
+    | a :: (b :: _ as rest) -> a > b && ordered rest
+    | _ -> true
+  in
+  check_bool "commits strictly increasing" true (ordered !commits)
+
+let test_timeline_render () =
+  let g = Fixtures.motivating () in
+  let k = kernel_of g in
+  let obs = Ts_spmt.Timeline.collect ~n_threads:8 ~warmup:16 cfg k in
+  check_int "eight threads" 8 (List.length obs);
+  let s = Ts_spmt.Timeline.render ~ncore:params.ncore obs in
+  check_bool "one lane per core + header" true
+    (List.length (String.split_on_char '\n' s) >= params.ncore + 1);
+  check_bool "has execution marks" true (String.contains s '=');
+  check_bool "has commit marks" true (String.contains s 'c')
+
+let test_timeline_empty () =
+  Alcotest.(check string) "empty render" "(no threads observed)\n"
+    (Ts_spmt.Timeline.render ~ncore:4 [])
+
+
+
+let test_ring_latency_monotone () =
+  (* slowing the ring can only slow a synchronisation-bound loop *)
+  let g = Fixtures.motivating () in
+  let k = kernel_of g in
+  let plan = Ts_spmt.Address_plan.create g in
+  let cycles c_reg_com =
+    let cfg' =
+      { cfg with Ts_spmt.Config.params = { params with c_reg_com } }
+    in
+    (Ts_spmt.Sim.run ~plan ~warmup:256 cfg' k ~trip:800).Ts_spmt.Sim.cycles
+  in
+  let c1 = cycles 1 and c3 = cycles 3 and c8 = cycles 8 in
+  check_bool "1-cycle ring fastest" true (c1 <= c3);
+  check_bool "8-cycle ring slowest" true (c3 <= c8)
+
+let test_spawn_cost_monotone () =
+  let g = Fixtures.motivating () in
+  let k = kernel_of g in
+  let plan = Ts_spmt.Address_plan.create g in
+  let cycles c_spawn =
+    let cfg' = { cfg with Ts_spmt.Config.params = { params with c_spawn } } in
+    (Ts_spmt.Sim.run ~plan ~warmup:256 cfg' k ~trip:800).Ts_spmt.Sim.cycles
+  in
+  check_bool "cheaper spawn at least as fast" true (cycles 1 <= cycles 12)
+
+let suite =
+  [
+    Alcotest.test_case "plan: deterministic" `Quick test_plan_deterministic;
+    Alcotest.test_case "plan: non-memory rejected" `Quick test_plan_non_memory_rejected;
+    Alcotest.test_case "plan: collision forcing" `Quick test_plan_collision_forcing;
+    Alcotest.test_case "plan: before distance" `Quick test_plan_before_distance;
+    Alcotest.test_case "list_sched: chain" `Quick test_list_sched_chain;
+    Alcotest.test_case "list_sched: width" `Quick test_list_sched_width;
+    Alcotest.test_case "list_sched: unit contention" `Quick test_list_sched_unit_contention;
+    Alcotest.test_case "list_sched: carried deps ignored" `Quick
+      test_list_sched_ignores_carried;
+    QCheck_alcotest.to_alcotest prop_list_sched_valid;
+    Alcotest.test_case "sim: basic counters" `Quick test_sim_basic_counts;
+    Alcotest.test_case "sim: deterministic" `Quick test_sim_deterministic;
+    Alcotest.test_case "sim: II/ncore floor" `Quick test_sim_rate_floor;
+    Alcotest.test_case "sim: more cores helps" `Quick test_sim_more_cores_not_slower;
+    Alcotest.test_case "sim: sync_mem disables squashes" `Quick
+      test_sim_sync_mem_no_squashes;
+    Alcotest.test_case "sim: speculation squashes" `Quick test_sim_speculation_squashes;
+    Alcotest.test_case "sim: warmup excluded" `Quick test_sim_warmup_excluded;
+    Alcotest.test_case "sim: stall breakdown" `Quick test_sim_stall_breakdown_consistent;
+    Alcotest.test_case "sim: argument validation" `Quick test_sim_bad_args;
+    Alcotest.test_case "sim: ipc sanity" `Quick test_ipc;
+    Alcotest.test_case "single: basic" `Quick test_single_basic;
+    Alcotest.test_case "single: ResII floor" `Quick test_single_res_ii_floor;
+    Alcotest.test_case "single: recurrence bound" `Quick test_single_recurrence_bound;
+    Alcotest.test_case "single: deterministic" `Quick test_single_deterministic;
+    Alcotest.test_case "observe: per-thread callback" `Quick test_observe_callback;
+    Alcotest.test_case "observe: commit order" `Quick test_observe_commit_order;
+    Alcotest.test_case "timeline: render" `Quick test_timeline_render;
+    Alcotest.test_case "timeline: empty" `Quick test_timeline_empty;
+    Alcotest.test_case "invariant: ring latency monotone" `Quick
+      test_ring_latency_monotone;
+    Alcotest.test_case "invariant: spawn cost monotone" `Quick
+      test_spawn_cost_monotone;
+  ]

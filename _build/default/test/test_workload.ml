@@ -1,0 +1,184 @@
+(* The loop generator and the calibrated suites. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_gen_deterministic () =
+  let a = Fixtures.generated ~seed:5 () and b = Fixtures.generated ~seed:5 () in
+  Alcotest.(check string) "identical loops" (Ts_ddg.Parse.to_string a)
+    (Ts_ddg.Parse.to_string b)
+
+let test_gen_size () =
+  let g = Fixtures.generated ~n_inst:30 () in
+  check_int "exact size" 30 (Ts_ddg.Ddg.n_nodes g)
+
+let test_gen_has_memory () =
+  let g = Fixtures.generated () in
+  check_bool "has loads and stores" true (Ts_ddg.Ddg.n_mem_ops g >= 2)
+
+let test_gen_rec_target () =
+  let rng = Ts_base.Rng.of_string "rectest" in
+  let g =
+    Ts_workload.Gen.generate rng
+      { Ts_workload.Gen.default_profile with n_inst = 40; target_rec_ii = Some 15 }
+  in
+  let rc = Ts_ddg.Mii.rec_ii g in
+  check_bool (Printf.sprintf "RecII %d near target 15" rc) true (rc >= 13 && rc <= 22)
+
+let test_gen_ldp_target () =
+  let rng = Ts_base.Rng.of_string "ldptest" in
+  let g =
+    Ts_workload.Gen.generate rng
+      { Ts_workload.Gen.default_profile with n_inst = 40; ldp_target = Some 25 }
+  in
+  let ldp = Ts_ddg.Mii.ldp g in
+  check_bool (Printf.sprintf "LDP %d near target 25" ldp) true (ldp >= 18 && ldp <= 33)
+
+let test_gen_extra_sccs () =
+  let rng = Ts_base.Rng.of_string "scctest" in
+  let g =
+    Ts_workload.Gen.generate rng
+      { Ts_workload.Gen.default_profile with
+        n_inst = 40; n_extra_sccs = 3; self_loop_rate = 0.0 }
+  in
+  check_int "three recurrences" 3 (Ts_ddg.Scc.count_non_trivial g)
+
+let test_gen_mem_prob_range () =
+  let rng = Ts_base.Rng.of_string "probtest" in
+  let g =
+    Ts_workload.Gen.generate rng
+      { Ts_workload.Gen.default_profile with
+        n_inst = 40; mem_dep_rate = 1.5; mem_prob = (0.2, 0.4) }
+  in
+  List.iter
+    (fun (e : Ts_ddg.Ddg.edge) ->
+      check_bool "prob in range" true (e.prob >= 0.2 && e.prob <= 0.4))
+    (Ts_ddg.Ddg.mem_edges g)
+
+let test_gen_no_mem_rec_by_default () =
+  (* with mem_rec = false, memory deps never create cycles through the DDG:
+     removing them must not change RecII *)
+  let g = Fixtures.generated ~seed:11 ~n_inst:30 () in
+  let b = Ts_ddg.Ddg.Builder.create ~name:"stripped" g.machine in
+  Array.iter (fun (nd : Ts_ddg.Ddg.node) -> ignore (Ts_ddg.Ddg.Builder.add b ~latency:nd.latency nd.op)) g.nodes;
+  Array.iter
+    (fun (e : Ts_ddg.Ddg.edge) ->
+      if e.kind = Ts_ddg.Ddg.Reg then Ts_ddg.Ddg.Builder.dep b ~dist:e.distance e.src e.dst)
+    g.edges;
+  let stripped = Ts_ddg.Ddg.Builder.build b in
+  check_int "mem deps close no cycles" (Ts_ddg.Mii.rec_ii stripped) (Ts_ddg.Mii.rec_ii g)
+
+let test_suite_structure () =
+  check_int "13 benchmarks" 13 (List.length Ts_workload.Spec_suite.benchmarks);
+  check_int "778 loops" 778 Ts_workload.Spec_suite.total_loops
+
+let test_suite_find () =
+  let b = Ts_workload.Spec_suite.find "lucas" in
+  check_int "lucas loop count" 24 b.Ts_workload.Spec_suite.n_loops;
+  check_bool "unknown raises" true
+    (match Ts_workload.Spec_suite.find "nope" with
+    | _ -> false
+    | exception Not_found -> true)
+
+let test_suite_loops_schedulable () =
+  (* every generated suite loop admits an SMS schedule by construction *)
+  let b = Ts_workload.Spec_suite.find "wupwise" in
+  List.iter
+    (fun g -> ignore (Ts_sms.Sms.schedule g))
+    (Ts_workload.Spec_suite.loops b)
+
+let test_suite_calibration () =
+  (* a benchmark's generated statistics land near its Table 2 targets *)
+  List.iter
+    (fun name ->
+      let b = Ts_workload.Spec_suite.find name in
+      let loops = Ts_workload.Spec_suite.loops b in
+      let mean f = Ts_base.Stats.mean (List.map f loops) in
+      let inst = mean (fun g -> float_of_int (Ts_ddg.Ddg.n_nodes g)) in
+      let mii = mean (fun g -> float_of_int (Ts_ddg.Mii.mii g)) in
+      check_bool
+        (Printf.sprintf "%s inst %.1f within 20%% of %.1f" name inst b.avg_inst)
+        true
+        (abs_float (inst -. b.avg_inst) /. b.avg_inst < 0.20);
+      check_bool
+        (Printf.sprintf "%s mii %.1f within 30%% of %.1f" name mii b.avg_mii)
+        true
+        (abs_float (mii -. b.avg_mii) /. b.avg_mii < 0.30))
+    [ "wupwise"; "mgrid"; "art"; "lucas" ]
+
+let test_doacross_structure () =
+  check_int "four benchmarks" 4 (List.length Ts_workload.Doacross.all);
+  let total =
+    List.fold_left
+      (fun acc (s : Ts_workload.Doacross.selected) -> acc + List.length s.loops)
+      0 Ts_workload.Doacross.all
+  in
+  check_int "seven loops" 7 total
+
+let test_doacross_table3_shape () =
+  (* art: 27 instructions, 3 SCCs; lucas recurrence-bound; equake/fma3d
+     resource-bound *)
+  List.iter
+    (fun g ->
+      check_int "art size" 27 (Ts_ddg.Ddg.n_nodes g);
+      check_int "art sccs" 3 (Ts_ddg.Scc.count_non_trivial g))
+    Ts_workload.Doacross.art.loops;
+  let lucas = List.hd Ts_workload.Doacross.lucas.loops in
+  check_bool "lucas recurrence-bound" true
+    (Ts_ddg.Mii.rec_ii lucas > Ts_ddg.Mii.res_ii lucas);
+  let equake = List.hd Ts_workload.Doacross.equake.loops in
+  check_bool "equake resource-bound" true
+    (Ts_ddg.Mii.res_ii equake >= Ts_ddg.Mii.rec_ii equake);
+  let fma3d = List.hd Ts_workload.Doacross.fma3d.loops in
+  check_bool "fma3d resource-bound" true
+    (Ts_ddg.Mii.res_ii fma3d >= Ts_ddg.Mii.rec_ii fma3d)
+
+let test_doacross_coverage_values () =
+  let lc =
+    List.map
+      (fun (s : Ts_workload.Doacross.selected) -> s.coverage)
+      Ts_workload.Doacross.all
+  in
+  Alcotest.(check (list (float 1e-9))) "Table 3 LC column"
+    [ 0.216; 0.585; 0.334; 0.143 ] lc
+
+let test_motivating_paper_numbers () =
+  let g = Ts_workload.Motivating.ddg () in
+  check_int "nine instructions" 9 (Ts_ddg.Ddg.n_nodes g);
+  check_int "ResII 4" 4 (Ts_ddg.Mii.res_ii g);
+  check_int "RecII 8" 8 (Ts_ddg.Mii.rec_ii g);
+  check_int "three speculated deps" 3 (List.length (Ts_ddg.Ddg.mem_edges g))
+
+let prop_gen_ldp_capped =
+  QCheck.Test.make ~count:30 ~name:"ldp_target caps the dependence path"
+    QCheck.(int_bound 200)
+    (fun seed ->
+      let rng = Ts_base.Rng.of_string (Printf.sprintf "capped/%d" seed) in
+      let g =
+        Ts_workload.Gen.generate rng
+          { Ts_workload.Gen.default_profile with n_inst = 30; ldp_target = Some 20 }
+      in
+      (* the incremental depth tracker is approximate: allow slack *)
+      Ts_ddg.Mii.ldp g <= 32)
+
+let suite =
+  [
+    Alcotest.test_case "gen: deterministic" `Quick test_gen_deterministic;
+    Alcotest.test_case "gen: exact size" `Quick test_gen_size;
+    Alcotest.test_case "gen: memory ops present" `Quick test_gen_has_memory;
+    Alcotest.test_case "gen: RecII target" `Quick test_gen_rec_target;
+    Alcotest.test_case "gen: LDP target" `Quick test_gen_ldp_target;
+    Alcotest.test_case "gen: extra SCC count" `Quick test_gen_extra_sccs;
+    Alcotest.test_case "gen: mem probability range" `Quick test_gen_mem_prob_range;
+    Alcotest.test_case "gen: mem deps close no cycles" `Quick
+      test_gen_no_mem_rec_by_default;
+    Alcotest.test_case "suite: 13 benchmarks, 778 loops" `Quick test_suite_structure;
+    Alcotest.test_case "suite: find" `Quick test_suite_find;
+    Alcotest.test_case "suite: loops schedulable" `Quick test_suite_loops_schedulable;
+    Alcotest.test_case "suite: calibration vs Table 2" `Slow test_suite_calibration;
+    Alcotest.test_case "doacross: structure" `Quick test_doacross_structure;
+    Alcotest.test_case "doacross: Table 3 shape" `Quick test_doacross_table3_shape;
+    Alcotest.test_case "doacross: LC column" `Quick test_doacross_coverage_values;
+    Alcotest.test_case "motivating: paper numbers" `Quick test_motivating_paper_numbers;
+    QCheck_alcotest.to_alcotest prop_gen_ldp_capped;
+  ]
