@@ -34,6 +34,53 @@ let or_die = function
       prerr_endline ("tsms: " ^ msg);
       exit 1
 
+(* --- Observability flags shared across subcommands --- *)
+
+let metrics_arg =
+  let fmt = Arg.enum [ ("table", `Table); ("json", `Json) ] in
+  let doc =
+    "After the subcommand finishes, dump the metrics registry (scheduler \
+     attempts, slot rejections, simulator totals) to stdout as $(docv): \
+     $(b,table) or $(b,json)."
+  in
+  Arg.(value & opt (some fmt) None & info [ "metrics" ] ~docv:"FMT" ~doc)
+
+let dump_metrics = function
+  | None -> ()
+  | Some `Table ->
+      print_newline ();
+      print_string (Ts_obs.Metrics.render_table Ts_obs.Metrics.default)
+  | Some `Json ->
+      print_endline
+        (Ts_obs.Json.to_string (Ts_obs.Metrics.to_json Ts_obs.Metrics.default))
+
+(* Invalid_argument from the libraries (e.g. a malformed TS_SIM_TRACE) and
+   Sys_error (e.g. an unwritable --trace path) are user errors, not internal
+   ones. *)
+let or_invalid f =
+  try f ()
+  with Invalid_argument msg | Sys_error msg ->
+    prerr_endline ("tsms: " ^ msg);
+    exit 1
+
+(* Open a tracer for [path] (or the null sink), run [f], always close. *)
+let with_trace ?format path f =
+  let trace =
+    match path with
+    | None -> Ts_obs.Trace.null
+    | Some path -> Ts_obs.Trace.to_file ?format path
+  in
+  Fun.protect ~finally:(fun () -> Ts_obs.Trace.close trace) (fun () -> f trace)
+
+let trace_arg =
+  let doc =
+    "Write a Chrome trace-event JSON file of the simulated execution to \
+     $(docv) (open in Perfetto or chrome://tracing): per-core exec/commit \
+     spans, squash and sync-stall instant events, sampled MDT/write-buffer \
+     occupancy."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
 let print_kernel tag (k : Ts_modsched.Kernel.t) ~c_reg_com =
   Format.printf "%s %a" tag Ts_modsched.Kernel.pp k;
   Printf.printf
@@ -53,7 +100,15 @@ let unroll_arg =
   Arg.(value & opt int 1 & info [ "unroll" ] ~docv:"K" ~doc)
 
 let schedule_cmd =
-  let run loop ncore p_max code unroll =
+  let search_log_arg =
+    let doc =
+      "Write a JSONL log of the TMS search to $(docv): one tms.attempt event \
+       per (II, C_delay) point tried, plus SMS phase spans and the final \
+       tms.result event."
+    in
+    Arg.(value & opt (some string) None & info [ "search-log" ] ~docv:"FILE" ~doc)
+  in
+  let run loop ncore p_max code unroll search_log metrics =
     let g = or_die (read_loop loop) in
     let g = if unroll > 1 then Ts_ddg.Unroll.by g ~factor:unroll else g in
     let params = Ts_isa.Spmt_params.with_ncore Ts_isa.Spmt_params.default ncore in
@@ -61,28 +116,33 @@ let schedule_cmd =
       g.Ts_ddg.Ddg.name (Ts_ddg.Ddg.n_nodes g) (Ts_ddg.Mii.res_ii g)
       (Ts_ddg.Mii.rec_ii g) (Ts_ddg.Mii.mii g) (Ts_ddg.Mii.ldp g)
       (Ts_ddg.Scc.count_non_trivial g);
-    let sms = Ts_sms.Sms.schedule g in
-    print_kernel "SMS" sms.Ts_sms.Sms.kernel ~c_reg_com:params.c_reg_com;
-    let tms =
-      match p_max with
-      | Some p -> Ts_tms.Tms.schedule ~p_max:p ~params g
-      | None -> Ts_tms.Tms.schedule_sweep ~params g
-    in
-    print_kernel "TMS" tms.Ts_tms.Tms.kernel ~c_reg_com:params.c_reg_com;
-    Printf.printf
-      "TMS search: P_max=%g, F_min=%.2f, threshold C_delay=%d, misspec P_M=%.4f, %d attempts%s\n"
-      tms.Ts_tms.Tms.p_max tms.Ts_tms.Tms.f_min tms.Ts_tms.Tms.c_delay_threshold
-      tms.Ts_tms.Tms.misspec tms.Ts_tms.Tms.attempts
-      (if tms.Ts_tms.Tms.fell_back then " (fell back to SMS)" else "");
-    if code then begin
-      print_newline ();
-      Format.printf "%a" Ts_modsched.Codegen.pp
-        (Ts_modsched.Codegen.of_kernel tms.Ts_tms.Tms.kernel)
-    end
+    or_invalid @@ fun () ->
+    with_trace ~format:Ts_obs.Trace.Jsonl search_log (fun trace ->
+        let sms = Ts_sms.Sms.schedule ~trace g in
+        print_kernel "SMS" sms.Ts_sms.Sms.kernel ~c_reg_com:params.c_reg_com;
+        let tms =
+          match p_max with
+          | Some p -> Ts_tms.Tms.schedule ~trace ~p_max:p ~params g
+          | None -> Ts_tms.Tms.schedule_sweep ~trace ~params g
+        in
+        print_kernel "TMS" tms.Ts_tms.Tms.kernel ~c_reg_com:params.c_reg_com;
+        Printf.printf
+          "TMS search: P_max=%g, F_min=%.2f, threshold C_delay=%d, misspec P_M=%.4f, %d attempts%s\n"
+          tms.Ts_tms.Tms.p_max tms.Ts_tms.Tms.f_min tms.Ts_tms.Tms.c_delay_threshold
+          tms.Ts_tms.Tms.misspec tms.Ts_tms.Tms.attempts
+          (if tms.Ts_tms.Tms.fell_back then " (fell back to SMS)" else "");
+        if code then begin
+          print_newline ();
+          Format.printf "%a" Ts_modsched.Codegen.pp
+            (Ts_modsched.Codegen.of_kernel tms.Ts_tms.Tms.kernel)
+        end);
+    dump_metrics metrics
   in
   let doc = "Schedule a loop with SMS and TMS and print both kernels." in
   Cmd.v (Cmd.info "schedule" ~doc)
-    Term.(const run $ loop_arg $ ncore_arg $ p_max_arg $ code_arg $ unroll_arg)
+    Term.(
+      const run $ loop_arg $ ncore_arg $ p_max_arg $ code_arg $ unroll_arg
+      $ search_log_arg $ metrics_arg)
 
 let simulate_cmd =
   let trip_arg =
@@ -94,7 +154,7 @@ let simulate_cmd =
   let timeline_arg =
     Arg.(value & flag & info [ "timeline" ] ~doc:"Draw an ASCII execution timeline of the TMS run.")
   in
-  let run loop ncore trip warmup timeline =
+  let run loop ncore trip warmup timeline trace_file metrics =
     let g = or_die (read_loop loop) in
     let cfg = Ts_spmt.Config.with_ncore Ts_spmt.Config.default ncore in
     let params = cfg.Ts_spmt.Config.params in
@@ -111,8 +171,19 @@ let simulate_cmd =
     in
     Printf.printf "simulating %s for %d iterations on %d cores (warmup %d):\n"
       g.Ts_ddg.Ddg.name trip ncore warmup;
-    report "SMS" (Ts_spmt.Sim.run ~plan ~warmup cfg sms.Ts_sms.Sms.kernel ~trip);
-    report "TMS" (Ts_spmt.Sim.run ~plan ~warmup cfg tms.Ts_tms.Tms.kernel ~trip);
+    or_invalid @@ fun () ->
+    with_trace trace_file (fun trace ->
+        (* One trace process per scheduler variant, one track per core. *)
+        if Ts_obs.Trace.enabled trace then begin
+          Ts_obs.Trace.process_name trace ~pid:0 "SMS";
+          Ts_obs.Trace.process_name trace ~pid:1 "TMS"
+        end;
+        report "SMS"
+          (Ts_spmt.Sim.run ~plan ~warmup ~trace ~trace_pid:0 cfg
+             sms.Ts_sms.Sms.kernel ~trip);
+        report "TMS"
+          (Ts_spmt.Sim.run ~plan ~warmup ~trace ~trace_pid:1 cfg
+             tms.Ts_tms.Tms.kernel ~trip));
     let single = Ts_spmt.Single.run ~plan ~warmup cfg g ~trip in
     Printf.printf "%-6s %8d cycles (%6.2f/iter)\n" "1T" single.Ts_spmt.Single.cycles
       (float_of_int single.Ts_spmt.Single.cycles /. float_of_int trip);
@@ -123,11 +194,14 @@ let simulate_cmd =
           cfg tms.Ts_tms.Tms.kernel
       in
       print_string (Ts_spmt.Timeline.render ~ncore obs)
-    end
+    end;
+    dump_metrics metrics
   in
   let doc = "Schedule a loop and simulate SMS/TMS/single-threaded execution." in
   Cmd.v (Cmd.info "simulate" ~doc)
-    Term.(const run $ loop_arg $ ncore_arg $ trip_arg $ warmup_arg $ timeline_arg)
+    Term.(
+      const run $ loop_arg $ ncore_arg $ trip_arg $ warmup_arg $ timeline_arg
+      $ trace_arg $ metrics_arg)
 
 let dot_cmd =
   let run loop =
@@ -145,7 +219,7 @@ let suite_cmd =
   let limit_arg =
     Arg.(value & opt (some int) None & info [ "limit" ] ~docv:"N" ~doc:"Loops per benchmark.")
   in
-  let run bench limit =
+  let run bench limit metrics =
     let params = Ts_isa.Spmt_params.default in
     let benches =
       if bench = "all" then Ts_workload.Spec_suite.benchmarks
@@ -167,13 +241,15 @@ let suite_cmd =
             (Ts_harness.Suite.run_bench ?limit ~params b))
         benches
     in
-    print_string (Ts_harness.Table2.render rows)
+    print_string (Ts_harness.Table2.render rows);
+    dump_metrics metrics
   in
   let doc = "Schedule a synthetic benchmark's loops and print Table 2 rows." in
-  Cmd.v (Cmd.info "suite" ~doc) Term.(const run $ bench_arg $ limit_arg)
+  Cmd.v (Cmd.info "suite" ~doc)
+    Term.(const run $ bench_arg $ limit_arg $ metrics_arg)
 
 let compare_cmd =
-  let run loop ncore =
+  let run loop ncore trace_file metrics =
     let g = or_die (read_loop loop) in
     let cfg = Ts_spmt.Config.with_ncore Ts_spmt.Config.default ncore in
     let params = cfg.Ts_spmt.Config.params in
@@ -194,27 +270,33 @@ let compare_cmd =
         [ ("scheduler", Left); ("II", Right); ("C_delay", Right); ("MaxLive", Right);
           ("cycles/iter", Right); ("sync stalls", Right); ("misspec", Right) ]
     in
-    List.iter
-      (fun (name, k) ->
-        let st = Ts_spmt.Sim.run ~plan ~warmup cfg k ~trip in
-        add_row t
-          [ name; cell_int k.Ts_modsched.Kernel.ii;
-            cell_int (Ts_modsched.Kernel.c_delay k ~c_reg_com:params.c_reg_com);
-            cell_int (Ts_modsched.Kernel.max_live k);
-            cell_f2 (float_of_int st.Ts_spmt.Sim.cycles /. float_of_int trip);
-            cell_int st.Ts_spmt.Sim.sync_stall_cycles;
-            Printf.sprintf "%.3f%%" (st.Ts_spmt.Sim.misspec_rate *. 100.0) ])
-      variants;
+    or_invalid @@ fun () ->
+    with_trace trace_file (fun trace ->
+        List.iteri
+          (fun i (name, k) ->
+            if Ts_obs.Trace.enabled trace then
+              Ts_obs.Trace.process_name trace ~pid:i name;
+            let st = Ts_spmt.Sim.run ~plan ~warmup ~trace ~trace_pid:i cfg k ~trip in
+            add_row t
+              [ name; cell_int k.Ts_modsched.Kernel.ii;
+                cell_int (Ts_modsched.Kernel.c_delay k ~c_reg_com:params.c_reg_com);
+                cell_int (Ts_modsched.Kernel.max_live k);
+                cell_f2 (float_of_int st.Ts_spmt.Sim.cycles /. float_of_int trip);
+                cell_int st.Ts_spmt.Sim.sync_stall_cycles;
+                Printf.sprintf "%.3f%%" (st.Ts_spmt.Sim.misspec_rate *. 100.0) ])
+          variants);
     let single = Ts_spmt.Single.run ~plan ~warmup cfg g ~trip in
     add_sep t;
     add_row t
       [ "1-core"; "-"; "-"; "-";
         cell_f2 (float_of_int single.Ts_spmt.Single.cycles /. float_of_int trip);
         "-"; "-" ];
-    print t
+    print t;
+    dump_metrics metrics
   in
   let doc = "Compare all four schedulers (and the single core) on one loop." in
-  Cmd.v (Cmd.info "compare" ~doc) Term.(const run $ loop_arg $ ncore_arg)
+  Cmd.v (Cmd.info "compare" ~doc)
+    Term.(const run $ loop_arg $ ncore_arg $ trace_arg $ metrics_arg)
 
 let experiments_cmd =
   let names_arg =
@@ -226,17 +308,19 @@ let experiments_cmd =
   let limit_arg =
     Arg.(value & opt (some int) None & info [ "limit" ] ~docv:"N" ~doc:"Loops per benchmark for table2/fig4.")
   in
-  let run names limit =
-    try
-      Ts_harness.Experiments.run ?limit ~names (fun block ->
-          print_string block;
-          print_newline ())
-    with Invalid_argument msg ->
-      prerr_endline ("tsms: " ^ msg);
-      exit 1
+  let run names limit metrics =
+    (try
+       Ts_harness.Experiments.run ?limit ~names (fun block ->
+           print_string block;
+           print_newline ())
+     with Invalid_argument msg ->
+       prerr_endline ("tsms: " ^ msg);
+       exit 1);
+    dump_metrics metrics
   in
   let doc = "Regenerate the paper's tables and figures." in
-  Cmd.v (Cmd.info "experiments" ~doc) Term.(const run $ names_arg $ limit_arg)
+  Cmd.v (Cmd.info "experiments" ~doc)
+    Term.(const run $ names_arg $ limit_arg $ metrics_arg)
 
 let () =
   let doc = "thread-sensitive modulo scheduling for SpMT multicores (ICPP'08 reproduction)" in

@@ -1,5 +1,20 @@
 module K = Ts_modsched.Kernel
 module S = Ts_modsched.Sched
+module Trace = Ts_obs.Trace
+module Metrics = Ts_obs.Metrics
+
+(* Search counters on the default registry (dumped by [tsms --metrics]).
+   Handles are plain int refs, so the hot-path cost is one increment. *)
+let m_attempts = Metrics.counter Metrics.default "tms.attempts"
+let m_fallbacks = Metrics.counter Metrics.default "tms.fallbacks"
+let m_schedules = Metrics.counter Metrics.default "tms.schedules"
+
+let m_slot_resource =
+  Metrics.counter Metrics.default "tms.slots.resource_reject"
+
+let m_slot_c1 = Metrics.counter Metrics.default "tms.slots.c1_reject"
+let m_slot_c2 = Metrics.counter Metrics.default "tms.slots.c2_reject"
+let m_slot_admitted = Metrics.counter Metrics.default "tms.slots.admitted"
 
 type result = {
   kernel : K.t;
@@ -65,7 +80,10 @@ end
 let admissible s v ~cycle ~c_delay ~p_max ~c_reg_com =
   let g = S.ddg s in
   let ii = S.ii s in
-  if not (S.fits s v ~cycle) then false
+  if not (S.fits s v ~cycle) then begin
+    Metrics.incr m_slot_resource;
+    false
+  end
   else begin
     let time_of u = if u = v then Some cycle else S.time s u in
     let incident (e : Ts_ddg.Ddg.edge) = e.src = v || e.dst = v in
@@ -81,10 +99,16 @@ let admissible s v ~cycle ~c_delay ~p_max ~c_reg_com =
           | None -> true)
         r_v
     in
-    if not c1 then false
+    if not c1 then begin
+      Metrics.incr m_slot_c1;
+      false
+    end
     else begin
       let m_v = new_deps Ts_ddg.Ddg.Mem in
-      if m_v = [] then true
+      if m_v = [] then begin
+        Metrics.incr m_slot_admitted;
+        true
+      end
       else begin
         let reg_deps = Partial.inter_iter_deps g ~ii ~time_of Ts_ddg.Ddg.Reg in
         let mem_deps = Partial.inter_iter_deps g ~ii ~time_of Ts_ddg.Ddg.Mem in
@@ -94,7 +118,9 @@ let admissible s v ~cycle ~c_delay ~p_max ~c_reg_com =
             mem_deps
         in
         let freq = Cost_model.p_m (List.map (fun (e : Ts_ddg.Ddg.edge) -> e.prob) m_all) in
-        freq <= p_max +. 1e-12
+        let ok = freq <= p_max +. 1e-12 in
+        Metrics.incr (if ok then m_slot_admitted else m_slot_c2);
+        ok
       end
     end
   end
@@ -132,7 +158,40 @@ let finish ~params ~p_max ~mii ~attempts ~fell_back ~c_delay_threshold ~f_min ke
     fell_back;
   }
 
-let schedule ?(p_max = default_p_max) ?max_ii ~params g =
+(* One "tms.attempt" trace event per (II, C_delay) point tried, with the
+   objective value and the accept/reject outcome; searches are logical-time
+   (Trace.tick), not cycle-time. *)
+let attempt_event trace ~base ~ii ~c_delay ~f accepted =
+  if Trace.enabled trace then
+    Trace.instant trace ~ts:(Trace.tick trace) "tms.attempt"
+      ~args:
+        [
+          ("base", Ts_obs.Json.Str base);
+          ("ii", Ts_obs.Json.Int ii);
+          ("c_delay", Ts_obs.Json.Int c_delay);
+          ("f", Ts_obs.Json.Float f);
+          ("accepted", Ts_obs.Json.Bool accepted);
+          ( "reason",
+            Ts_obs.Json.Str (if accepted then "scheduled" else "placement-failed")
+          );
+        ]
+
+let result_event trace (r : result) =
+  if Trace.enabled trace then
+    Trace.instant trace ~ts:(Trace.tick trace) "tms.result"
+      ~args:
+        [
+          ("ii", Ts_obs.Json.Int r.kernel.K.ii);
+          ("c_delay", Ts_obs.Json.Int r.achieved_c_delay);
+          ("c_delay_threshold", Ts_obs.Json.Int r.c_delay_threshold);
+          ("p_max", Ts_obs.Json.Float r.p_max);
+          ("p_m", Ts_obs.Json.Float r.misspec);
+          ("f_min", Ts_obs.Json.Float r.f_min);
+          ("attempts", Ts_obs.Json.Int r.attempts);
+          ("fell_back", Ts_obs.Json.Bool r.fell_back);
+        ]
+
+let schedule ?(trace = Trace.null) ?(p_max = default_p_max) ?max_ii ~params g =
   let mii = Ts_ddg.Mii.mii g in
   let ii_max =
     match max_ii with
@@ -150,10 +209,23 @@ let schedule ?(p_max = default_p_max) ?max_ii ~params g =
   let cd_max = ii_max - 1 + max_lat + c_reg_com in
   let order = Ts_sms.Order.compute_with_dirs g ~ii:mii in
   let groups = Cost_model.f_groups params ~mii ~ii_max ~cd_max in
+  if Trace.enabled trace then
+    Trace.begin_span trace ~ts:(Trace.tick trace) "tms.search"
+      ~args:
+        [
+          ("loop", Ts_obs.Json.Str g.Ts_ddg.Ddg.name);
+          ("p_max", Ts_obs.Json.Float p_max);
+          ("mii", Ts_obs.Json.Int mii);
+          ("ii_max", Ts_obs.Json.Int ii_max);
+        ];
   let attempts = ref 0 in
   let rec walk = function
     | [] ->
         (* Grid exhausted: degenerate to SMS. *)
+        Metrics.incr m_fallbacks;
+        if Trace.enabled trace then
+          Trace.instant trace ~ts:(Trace.tick trace) "tms.fallback"
+            ~args:[ ("base", Ts_obs.Json.Str "sms") ];
         let sms = Ts_sms.Sms.schedule g in
         let kernel = sms.Ts_sms.Sms.kernel in
         let f_min =
@@ -167,7 +239,10 @@ let schedule ?(p_max = default_p_max) ?max_ii ~params g =
           | [] -> walk rest
           | (ii, cd) :: more -> (
               incr attempts;
-              match try_schedule g ~order ~ii ~c_delay:cd ~p_max ~c_reg_com with
+              Metrics.incr m_attempts;
+              let res = try_schedule g ~order ~ii ~c_delay:cd ~p_max ~c_reg_com in
+              attempt_event trace ~base:"sms" ~ii ~c_delay:cd ~f (res <> None);
+              match res with
               | Some kernel ->
                   finish ~params ~p_max ~mii ~attempts:!attempts ~fell_back:false
                     ~c_delay_threshold:cd ~f_min:f kernel
@@ -175,11 +250,17 @@ let schedule ?(p_max = default_p_max) ?max_ii ~params g =
         in
         try_points points
   in
-  walk groups
+  let r = walk groups in
+  Metrics.incr m_schedules;
+  result_event trace r;
+  if Trace.enabled trace then
+    Trace.end_span trace ~ts:(Trace.tick trace) "tms.search";
+  r
 
-let schedule_sweep ?(p_maxes = [ 0.01; 0.05; 0.25 ]) ~params g =
+let schedule_sweep ?(trace = Trace.null) ?(p_maxes = [ 0.01; 0.05; 0.25 ]) ~params
+    g =
   let n = 1000 in
-  let results = List.map (fun p_max -> schedule ~p_max ~params g) p_maxes in
+  let results = List.map (fun p_max -> schedule ~trace ~p_max ~params g) p_maxes in
   let cost (r : result) =
     Cost_model.estimate params ~ii:r.kernel.K.ii
       ~c_delay:r.achieved_c_delay ~p_m:r.misspec ~n
@@ -187,4 +268,14 @@ let schedule_sweep ?(p_maxes = [ 0.01; 0.05; 0.25 ]) ~params g =
   match results with
   | [] -> invalid_arg "Tms.schedule_sweep: empty p_max list"
   | r0 :: rest ->
-      List.fold_left (fun best r -> if cost r < cost best then r else best) r0 rest
+      let best =
+        List.fold_left (fun best r -> if cost r < cost best then r else best) r0 rest
+      in
+      if Trace.enabled trace then
+        Trace.instant trace ~ts:(Trace.tick trace) "tms.sweep.pick"
+          ~args:
+            [
+              ("p_max", Ts_obs.Json.Float best.p_max);
+              ("estimate", Ts_obs.Json.Float (cost best));
+            ];
+      best

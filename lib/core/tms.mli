@@ -41,13 +41,25 @@ val default_p_max : float
     the paper reports observed misspeculation frequencies below 0.1%. *)
 
 val schedule :
+  ?trace:Ts_obs.Trace.t ->
   ?p_max:float ->
   ?max_ii:int ->
   params:Ts_isa.Spmt_params.t ->
   Ts_ddg.Ddg.t ->
   result
 (** Run TMS. [max_ii] bounds the II grid (default
-    {!Ts_ddg.Mii.ii_upper_bound}). *)
+    {!Ts_ddg.Mii.ii_upper_bound}).
+
+    [trace] (default {!Ts_obs.Trace.null}) receives a ["tms.search"] span
+    enclosing one ["tms.attempt"] instant event per [(II, C_delay)] point
+    tried (args: [ii], [c_delay], objective [f], [accepted], [reason]), a
+    ["tms.fallback"] event if the grid is exhausted, and a ["tms.result"]
+    event carrying the returned kernel's [II], achieved [C_delay],
+    misspeculation estimate [p_m], [f_min] and attempt count. Search
+    events use the tracer's logical clock ({!Ts_obs.Trace.tick}).
+
+    Slot-level admission outcomes (resource/C1/C2 rejections, admissions)
+    are counted on {!Ts_obs.Metrics.default} under [tms.slots.*]. *)
 
 val try_schedule :
   Ts_ddg.Ddg.t ->
@@ -74,7 +86,23 @@ val admissible :
     schedulers can be made thread-sensitive (see {!Tms_ims}) and for
     tests. *)
 
+val attempt_event :
+  Ts_obs.Trace.t ->
+  base:string ->
+  ii:int ->
+  c_delay:int ->
+  f:float ->
+  bool ->
+  unit
+(** Emit one ["tms.attempt"] instant event (no-op on the null tracer);
+    shared with the other thread-sensitive instantiations ({!Tms_ims}).
+    [base] names the underlying scheduler (["sms"], ["ims"]). *)
+
+val result_event : Ts_obs.Trace.t -> result -> unit
+(** Emit the ["tms.result"] event for a finished search. *)
+
 val schedule_sweep :
+  ?trace:Ts_obs.Trace.t ->
   ?p_maxes:float list ->
   params:Ts_isa.Spmt_params.t ->
   Ts_ddg.Ddg.t ->

@@ -12,7 +12,8 @@ type result = Tms.result = {
   fell_back : bool;
 }
 
-let schedule ?(p_max = Tms.default_p_max) ?max_ii ~params g =
+let schedule ?(trace = Ts_obs.Trace.null) ?(p_max = Tms.default_p_max) ?max_ii
+    ~params g =
   let mii = Ts_ddg.Mii.mii g in
   let ii_max =
     match max_ii with
@@ -42,6 +43,9 @@ let schedule ?(p_max = Tms.default_p_max) ?max_ii ~params g =
   let rec walk = function
     | [] ->
         (* grid exhausted: plain IMS fallback *)
+        if Ts_obs.Trace.enabled trace then
+          Ts_obs.Trace.instant trace ~ts:(Ts_obs.Trace.tick trace) "tms.fallback"
+            ~args:[ ("base", Ts_obs.Json.Str "ims") ];
         let ims = Ts_sms.Ims.schedule g in
         let kernel = ims.Ts_sms.Ims.kernel in
         let f_min =
@@ -57,11 +61,15 @@ let schedule ?(p_max = Tms.default_p_max) ?max_ii ~params g =
               let admissible s v ~cycle =
                 Tms.admissible s v ~cycle ~c_delay:cd ~p_max ~c_reg_com
               in
-              match Ts_sms.Ims.try_ii ~admissible g ~ii with
+              let res = Ts_sms.Ims.try_ii ~admissible g ~ii in
+              Tms.attempt_event trace ~base:"ims" ~ii ~c_delay:cd ~f (res <> None);
+              match res with
               | Some kernel ->
                   finish ~fell_back:false ~c_delay_threshold:cd ~f_min:f kernel
               | None -> try_points more)
         in
         try_points points
   in
-  walk groups
+  let r = walk groups in
+  Tms.result_event trace r;
+  r

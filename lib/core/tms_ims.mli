@@ -21,9 +21,12 @@ type result = Tms.result = {
 }
 
 val schedule :
+  ?trace:Ts_obs.Trace.t ->
   ?p_max:float ->
   ?max_ii:int ->
   params:Ts_isa.Spmt_params.t ->
   Ts_ddg.Ddg.t ->
   result
-(** TMS-over-IMS. Falls back to plain IMS if the grid is exhausted. *)
+(** TMS-over-IMS. Falls back to plain IMS if the grid is exhausted.
+    [trace] receives the same ["tms.attempt"]/["tms.fallback"]/
+    ["tms.result"] events as {!Tms.schedule}, with [base = "ims"]. *)

@@ -1,0 +1,35 @@
+(** Minimal JSON values: emission for the trace/metrics sinks and a small
+    parser so tests and CI can validate emitted artifacts without an
+    external JSON dependency.
+
+    Only what the observability layer needs: no streaming, no numbers
+    outside OCaml's [int]/[float], object member order preserved. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_buffer : Buffer.t -> t -> unit
+(** Compact (single-line) rendering; strings are escaped per RFC 8259.
+    Non-finite floats are rendered as [null] (JSON has no NaN/inf). *)
+
+val to_string : t -> string
+
+val parse : string -> (t, string) result
+(** Parse one JSON value; trailing non-whitespace is an error. Numbers
+    without [.], [e] or [E] parse as [Int], others as [Float]. The error
+    string includes a character offset. *)
+
+val member : string -> t -> t option
+(** [member key (Obj ...)] looks up [key]; [None] on missing key or
+    non-object. *)
+
+val to_int : t -> int option
+(** [Int n] as [Some n], anything else [None]. *)
+
+val to_str : t -> string option

@@ -1,0 +1,136 @@
+type counter = { mutable count : int }
+type gauge = { mutable value : float }
+
+type histogram = {
+  mutable n : int;
+  mutable sum : float;
+  mutable min : float;
+  mutable max : float;
+}
+
+type metric = Counter of counter | Gauge of gauge | Histogram of histogram
+type registry = (string, metric) Hashtbl.t
+
+let create () : registry = Hashtbl.create 32
+let default : registry = create ()
+
+let reset reg =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | Counter c -> c.count <- 0
+      | Gauge g -> g.value <- 0.0
+      | Histogram h ->
+          h.n <- 0;
+          h.sum <- 0.0;
+          h.min <- infinity;
+          h.max <- neg_infinity)
+    reg
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let register reg name make extract expected =
+  match Hashtbl.find_opt reg name with
+  | Some m -> (
+      match extract m with
+      | Some handle -> handle
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Metrics: %s is a %s, not a %s" name (kind_name m)
+               expected))
+  | None ->
+      let handle, m = make () in
+      Hashtbl.add reg name m;
+      handle
+
+let counter reg name =
+  register reg name
+    (fun () ->
+      let c = { count = 0 } in
+      (c, Counter c))
+    (function Counter c -> Some c | _ -> None)
+    "counter"
+
+let incr ?(by = 1) c =
+  if by < 0 then invalid_arg "Metrics.incr: counters are monotonic (by < 0)";
+  c.count <- c.count + by
+
+let counter_value c = c.count
+
+let gauge reg name =
+  register reg name
+    (fun () ->
+      let g = { value = 0.0 } in
+      (g, Gauge g))
+    (function Gauge g -> Some g | _ -> None)
+    "gauge"
+
+let set_gauge g v = g.value <- v
+let gauge_value g = g.value
+
+let histogram reg name =
+  register reg name
+    (fun () ->
+      let h = { n = 0; sum = 0.0; min = infinity; max = neg_infinity } in
+      (h, Histogram h))
+    (function Histogram h -> Some h | _ -> None)
+    "histogram"
+
+let observe h v =
+  h.n <- h.n + 1;
+  h.sum <- h.sum +. v;
+  if v < h.min then h.min <- v;
+  if v > h.max then h.max <- v
+
+let histogram_count h = h.n
+let histogram_sum h = h.sum
+
+let sorted_bindings reg =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) reg []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let render_table reg =
+  let open Ts_base.Tablefmt in
+  let t =
+    create ~title:"metrics"
+      [ ("name", Left); ("kind", Left); ("value", Right); ("detail", Left) ]
+  in
+  List.iter
+    (fun (name, m) ->
+      match m with
+      | Counter c -> add_row t [ name; "counter"; string_of_int c.count; "" ]
+      | Gauge g -> add_row t [ name; "gauge"; Printf.sprintf "%g" g.value; "" ]
+      | Histogram h ->
+          let detail =
+            if h.n = 0 then "empty"
+            else
+              Printf.sprintf "mean=%.2f min=%g max=%g"
+                (h.sum /. float_of_int h.n)
+                h.min h.max
+          in
+          add_row t [ name; "histogram"; string_of_int h.n; detail ])
+    (sorted_bindings reg);
+  render t
+
+let to_json reg =
+  Json.Obj
+    (List.map
+       (fun (name, m) ->
+         let v =
+           match m with
+           | Counter c -> Json.Int c.count
+           | Gauge g -> Json.Float g.value
+           | Histogram h ->
+               Json.Obj
+                 [
+                   ("count", Json.Int h.n);
+                   ("sum", Json.Float h.sum);
+                   ("min", if h.n = 0 then Json.Null else Json.Float h.min);
+                   ("max", if h.n = 0 then Json.Null else Json.Float h.max);
+                 ]
+         in
+         (name, v))
+       (sorted_bindings reg))

@@ -1,0 +1,56 @@
+(** Named counters, gauges and histograms for the scheduler search and the
+    SpMT simulator.
+
+    Metrics are registered in a {!registry} by name; handles are cheap
+    mutable cells, so instrumentation sites pay one integer (or float)
+    update per event — there is no sink to configure, and nothing is
+    emitted unless the registry is explicitly dumped ({!render_table},
+    {!to_json}). The process-wide {!default} registry is what the CLI's
+    [--metrics] flag prints after a subcommand runs.
+
+    Naming convention: dotted lower-case paths grouped by subsystem, e.g.
+    [tms.attempts], [tms.slots.c1_reject], [sim.squashes]. *)
+
+type registry
+type counter
+type gauge
+type histogram
+
+val create : unit -> registry
+
+val default : registry
+(** The process-wide registry used by built-in instrumentation. *)
+
+val reset : registry -> unit
+(** Zero every metric (registrations survive; handles stay valid). *)
+
+val counter : registry -> string -> counter
+(** Register (or fetch the existing) monotonic counter [name].
+    @raise Invalid_argument if [name] is registered as a different kind. *)
+
+val incr : ?by:int -> counter -> unit
+(** Add [by] (default 1). @raise Invalid_argument if [by < 0] — counters
+    are monotonic by construction. *)
+
+val counter_value : counter -> int
+
+val gauge : registry -> string -> gauge
+(** A last-value-wins instantaneous measurement. *)
+
+val set_gauge : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val histogram : registry -> string -> histogram
+(** Running count/sum/min/max summary of an observed distribution. *)
+
+val observe : histogram -> float -> unit
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> float
+
+val render_table : registry -> string
+(** All registered metrics as an aligned {!Ts_base.Tablefmt} table, rows
+    sorted by metric name. Histograms render count/mean/min/max. *)
+
+val to_json : registry -> Json.t
+(** [Obj] keyed by metric name; counters as [Int], gauges as [Float],
+    histograms as [Obj {count; sum; min; max}]. Keys sorted. *)

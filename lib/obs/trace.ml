@@ -1,0 +1,104 @@
+type format = Chrome | Jsonl
+
+type sink = To_buffer of Buffer.t | To_channel of out_channel
+
+type active = {
+  format : format;
+  sink : sink;
+  mutable first : bool; (* no comma before the first Chrome event *)
+  mutable closed : bool;
+  mutable clock : int;
+}
+
+type t = Null | Active of active
+
+let null = Null
+let enabled = function Null -> false | Active _ -> true
+
+let make format sink =
+  let a = { format; sink; first = true; closed = false; clock = 0 } in
+  (match format with
+  | Chrome -> (
+      match sink with
+      | To_buffer b -> Buffer.add_string b "[\n"
+      | To_channel oc -> output_string oc "[\n")
+  | Jsonl -> ());
+  Active a
+
+let to_buffer ?(format = Chrome) buf = make format (To_buffer buf)
+let to_file ?(format = Chrome) path = make format (To_channel (open_out path))
+
+let close = function
+  | Null -> ()
+  | Active a ->
+      if not a.closed then begin
+        a.closed <- true;
+        let footer = match a.format with Chrome -> "\n]\n" | Jsonl -> "" in
+        match a.sink with
+        | To_buffer b -> Buffer.add_string b footer
+        | To_channel oc ->
+            output_string oc footer;
+            close_out oc
+      end
+
+let tick = function
+  | Null -> 0
+  | Active a ->
+      let c = a.clock in
+      a.clock <- c + 1;
+      c
+
+let emit a (fields : (string * Json.t) list) =
+  if a.closed then invalid_arg "Trace: emit after close";
+  let line = Json.to_string (Json.Obj fields) in
+  match a.format with
+  | Chrome -> (
+      let sep = if a.first then "" else ",\n" in
+      a.first <- false;
+      match a.sink with
+      | To_buffer b ->
+          Buffer.add_string b sep;
+          Buffer.add_string b line
+      | To_channel oc ->
+          output_string oc sep;
+          output_string oc line)
+  | Jsonl -> (
+      match a.sink with
+      | To_buffer b ->
+          Buffer.add_string b line;
+          Buffer.add_char b '\n'
+      | To_channel oc ->
+          output_string oc line;
+          output_char oc '\n')
+
+let event t ~ph ?(pid = 0) ?(tid = 0) ?(args = []) ?ts name extra =
+  match t with
+  | Null -> ()
+  | Active a ->
+      let fields =
+        [ ("name", Json.Str name); ("ph", Json.Str ph) ]
+        @ (match ts with Some ts -> [ ("ts", Json.Int ts) ] | None -> [])
+        @ [ ("pid", Json.Int pid); ("tid", Json.Int tid) ]
+        @ extra
+        @ (match args with [] -> [] | _ -> [ ("args", Json.Obj args) ])
+      in
+      emit a fields
+
+let begin_span t ?pid ?tid ?args ~ts name =
+  event t ~ph:"B" ?pid ?tid ?args ~ts name []
+
+let end_span t ?pid ?tid ~ts name = event t ~ph:"E" ?pid ?tid ~ts name []
+
+let instant t ?pid ?tid ?args ~ts name =
+  event t ~ph:"i" ?pid ?tid ?args ~ts name [ ("s", Json.Str "t") ]
+
+let counter_sample t ?pid ?tid ~ts name values =
+  event t ~ph:"C" ?pid ?tid
+    ~args:(List.map (fun (k, v) -> (k, Json.Float v)) values)
+    ~ts name []
+
+let process_name t ?pid name =
+  event t ~ph:"M" ?pid ~args:[ ("name", Json.Str name) ] "process_name" []
+
+let thread_name t ?pid ?tid name =
+  event t ~ph:"M" ?pid ?tid ~args:[ ("name", Json.Str name) ] "thread_name" []

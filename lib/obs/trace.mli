@@ -1,0 +1,74 @@
+(** Structured span/event tracing for the TMS search and the SpMT
+    simulator.
+
+    A tracer either is the {!null} sink — every emit is a single pattern
+    match and returns, so instrumentation can stay unconditionally wired
+    into hot paths — or writes events to a buffer/channel in one of two
+    formats:
+
+    - {!Chrome}: a JSON array of Chrome trace-event objects ([ph] in
+      [B]/[E]/[i]/[C]/[M]), loadable in Perfetto or [chrome://tracing].
+      Spans go on [(pid, tid)] tracks; the simulator uses one track per
+      core with timestamps in cycles (shown as microseconds by the viewer).
+    - {!Jsonl}: the same event objects, one per line, no enclosing array —
+      greppable and streamable, used for the TMS search log.
+
+    Timestamps are caller-supplied integers (simulation cycles). Code with
+    no natural clock (the schedulers) can draw monotonically increasing
+    logical timestamps from {!tick}.
+
+    Tracers must be {!close}d: the Chrome format needs its closing bracket,
+    and file-backed sinks hold an [out_channel]. *)
+
+type t
+
+type format = Chrome | Jsonl
+
+val null : t
+(** Discards everything; emitting to it costs one branch. *)
+
+val enabled : t -> bool
+(** [false] exactly for {!null}. Guard expensive argument construction:
+    [if Trace.enabled tr then ...]. *)
+
+val to_buffer : ?format:format -> Buffer.t -> t
+(** Collect events into [buf] (default {!Chrome}); used by tests. *)
+
+val to_file : ?format:format -> string -> t
+(** Open [path] for writing (default {!Chrome}).
+    @raise Sys_error if the file cannot be opened. *)
+
+val close : t -> unit
+(** Flush, write the Chrome closing bracket, and release the sink (no-op
+    for {!null}; idempotent). Emitting after [close] is an error. *)
+
+val tick : t -> int
+(** Next value of the tracer's logical clock (starts at 0, advances by 1
+    per call; always 0 on {!null}). *)
+
+val begin_span :
+  t -> ?pid:int -> ?tid:int -> ?args:(string * Json.t) list -> ts:int ->
+  string -> unit
+(** Open a duration span named [name] on track [(pid, tid)] (defaults 0).
+    Every [begin_span] must be matched by an {!end_span} on the same
+    track. *)
+
+val end_span : t -> ?pid:int -> ?tid:int -> ts:int -> string -> unit
+
+val instant :
+  t -> ?pid:int -> ?tid:int -> ?args:(string * Json.t) list -> ts:int ->
+  string -> unit
+(** A zero-duration marker (thread-scoped). *)
+
+val counter_sample :
+  t -> ?pid:int -> ?tid:int -> ts:int -> string -> (string * float) list ->
+  unit
+(** A [ph:"C"] sample: Perfetto renders each series as a stacked area
+    chart under the named counter track. *)
+
+val process_name : t -> ?pid:int -> string -> unit
+(** Metadata: label process [pid] in the viewer (e.g. one process per
+    simulated scheduler variant). *)
+
+val thread_name : t -> ?pid:int -> ?tid:int -> string -> unit
+(** Metadata: label track [(pid, tid)] (e.g. ["core 2"]). *)

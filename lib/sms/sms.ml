@@ -22,21 +22,49 @@ let try_ii g ~ii ~order =
   if List.for_all place_one order then Some (Ts_modsched.Kernel.of_schedule s)
   else None
 
-let schedule ?max_ii g =
+module Trace = Ts_obs.Trace
+
+let m_attempts = Ts_obs.Metrics.counter Ts_obs.Metrics.default "sms.attempts"
+
+let m_schedules =
+  Ts_obs.Metrics.counter Ts_obs.Metrics.default "sms.schedules"
+
+let phase_span trace name f =
+  if not (Trace.enabled trace) then f ()
+  else begin
+    Trace.begin_span trace ~ts:(Trace.tick trace) name;
+    Fun.protect ~finally:(fun () -> Trace.end_span trace ~ts:(Trace.tick trace) name) f
+  end
+
+let schedule ?(trace = Trace.null) ?max_ii g =
   let mii = Ts_ddg.Mii.mii g in
   let max_ii =
     match max_ii with Some m -> m | None -> Ts_ddg.Mii.ii_upper_bound g
   in
-  let order = Order.compute_with_dirs g ~ii:mii in
+  let order =
+    phase_span trace "sms.order" (fun () -> Order.compute_with_dirs g ~ii:mii)
+  in
   let rec go ii attempts =
     if ii > max_ii then
       raise
         (No_schedule
            (Printf.sprintf "SMS: no schedule for %s with II in [%d, %d]" g.name mii
               max_ii))
-    else
-      match try_ii g ~ii ~order with
+    else begin
+      Ts_obs.Metrics.incr m_attempts;
+      let res = try_ii g ~ii ~order in
+      if Trace.enabled trace then
+        Trace.instant trace ~ts:(Trace.tick trace) "sms.attempt"
+          ~args:
+            [
+              ("ii", Ts_obs.Json.Int ii);
+              ("accepted", Ts_obs.Json.Bool (res <> None));
+            ];
+      match res with
       | Some kernel -> { kernel; mii; attempts }
       | None -> go (ii + 1) (attempts + 1)
+    end
   in
-  go mii 1
+  let r = phase_span trace "sms.placement" (fun () -> go mii 1) in
+  Ts_obs.Metrics.incr m_schedules;
+  r

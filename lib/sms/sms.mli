@@ -18,8 +18,13 @@ exception No_schedule of string
     malformed machine/loop pair; cannot happen for loops our generators
     emit). *)
 
-val schedule : ?max_ii:int -> Ts_ddg.Ddg.t -> result
-(** Schedule a loop. [max_ii] defaults to {!Ts_ddg.Mii.ii_upper_bound}. *)
+val schedule : ?trace:Ts_obs.Trace.t -> ?max_ii:int -> Ts_ddg.Ddg.t -> result
+(** Schedule a loop. [max_ii] defaults to {!Ts_ddg.Mii.ii_upper_bound}.
+
+    [trace] (default {!Ts_obs.Trace.null}) receives ["sms.order"] and
+    ["sms.placement"] phase spans on the tracer's logical clock, plus one
+    ["sms.attempt"] instant event per II tried. Attempt totals are counted
+    on {!Ts_obs.Metrics.default} under [sms.*]. *)
 
 val try_ii :
   Ts_ddg.Ddg.t ->

@@ -49,3 +49,4 @@ let retire t ~upto =
   t.live <- t.live - !removed
 
 let peak_entries t = t.peak
+let live_entries t = t.live

@@ -32,3 +32,6 @@ val retire : t -> upto:int -> unit
 val peak_entries : t -> int
 (** High-water mark of live entries (to compare against a hardware MDT's
     capacity). *)
+
+val live_entries : t -> int
+(** Entries currently live (sampled by the simulator's occupancy trace). *)

@@ -1,4 +1,18 @@
 module K = Ts_modsched.Kernel
+module Trace = Ts_obs.Trace
+module J = Ts_obs.Json
+
+(* Simulator totals on the default metrics registry ([tsms --metrics]). *)
+let m_threads = Ts_obs.Metrics.counter Ts_obs.Metrics.default "sim.threads"
+let m_squashes = Ts_obs.Metrics.counter Ts_obs.Metrics.default "sim.squashes"
+
+let m_sync_stalls =
+  Ts_obs.Metrics.counter Ts_obs.Metrics.default "sim.sync_stall_cycles"
+
+let m_spawn_stalls =
+  Ts_obs.Metrics.counter Ts_obs.Metrics.default "sim.spawn_stall_cycles"
+
+let m_mdt_peak = Ts_obs.Metrics.gauge Ts_obs.Metrics.default "sim.mdt_peak"
 
 type stats = {
   cycles : int;
@@ -37,7 +51,77 @@ type thread_obs = {
   squashed : bool;
 }
 
-let run ?seed ?plan ?(sync_mem = false) ?(warmup = 0) ?observe cfg (k : K.t) ~trip =
+(* --- Legacy TS_SIM_TRACE env-var debugging (deprecated) ---
+
+   Kept for backwards compatibility with pre-Ts_obs debugging workflows,
+   but parsed once up front with real error messages instead of failing
+   with a bare [int_of_string] mid-simulation. *)
+
+let parse_trace_range s =
+  let bad () =
+    Error
+      (Printf.sprintf
+         "TS_SIM_TRACE: expected a thread-index range LO-HI with 0 <= LO <= HI, \
+          got %S" s)
+  in
+  match String.split_on_char '-' s with
+  | [ lo; hi ] -> (
+      match (int_of_string_opt (String.trim lo), int_of_string_opt (String.trim hi)) with
+      | Some lo, Some hi when 0 <= lo && lo <= hi -> Ok (lo, hi)
+      | _ -> bad ())
+  | _ -> bad ()
+
+let parse_trace_nodes ~n_nodes s =
+  let parse_one tok =
+    match int_of_string_opt (String.trim tok) with
+    | Some v when 0 <= v && v < n_nodes -> Ok v
+    | Some v ->
+        Error
+          (Printf.sprintf
+             "TS_SIM_TRACE_NODES: node %d out of range (loop has %d nodes)" v
+             n_nodes)
+    | None ->
+        Error
+          (Printf.sprintf
+             "TS_SIM_TRACE_NODES: expected comma-separated node indices, got %S"
+             s)
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | tok :: rest -> (
+        match parse_one tok with Ok v -> go (v :: acc) rest | Error _ as e -> e)
+  in
+  go [] (String.split_on_char ',' s)
+
+let legacy_deprecation_warned = ref false
+
+let legacy_trace_env ~n_nodes =
+  match Sys.getenv_opt "TS_SIM_TRACE" with
+  | None -> None
+  | Some s ->
+      if not !legacy_deprecation_warned then begin
+        legacy_deprecation_warned := true;
+        prerr_endline
+          "tsms: note: TS_SIM_TRACE/TS_SIM_TRACE_NODES are deprecated; prefer \
+           the structured tracer (tsms simulate --trace FILE)"
+      end;
+      let range =
+        match parse_trace_range s with
+        | Ok r -> r
+        | Error msg -> invalid_arg ("Sim.run: " ^ msg)
+      in
+      let nodes =
+        match Sys.getenv_opt "TS_SIM_TRACE_NODES" with
+        | None -> []
+        | Some s -> (
+            match parse_trace_nodes ~n_nodes s with
+            | Ok vs -> vs
+            | Error msg -> invalid_arg ("Sim.run: " ^ msg))
+      in
+      Some (range, nodes)
+
+let run ?seed ?plan ?(sync_mem = false) ?(warmup = 0) ?observe
+    ?(trace = Trace.null) ?(trace_pid = 0) cfg (k : K.t) ~trip =
   if trip <= 0 then invalid_arg "Sim.run: trip must be positive";
   if warmup < 0 then invalid_arg "Sim.run: warmup must be non-negative";
   let total = warmup + trip in
@@ -45,6 +129,22 @@ let run ?seed ?plan ?(sync_mem = false) ?(warmup = 0) ?observe cfg (k : K.t) ~tr
   let n = Ts_ddg.Ddg.n_nodes g in
   let p = cfg.Config.params in
   let ncore = p.ncore in
+  let legacy = legacy_trace_env ~n_nodes:n in
+  let traced = Trace.enabled trace in
+  if traced then begin
+    for c = 0 to ncore - 1 do
+      Trace.thread_name trace ~pid:trace_pid ~tid:c (Printf.sprintf "core %d" c)
+    done;
+    Trace.instant trace ~pid:trace_pid ~ts:0 "sim.start"
+      ~args:
+        [
+          ("loop", J.Str g.Ts_ddg.Ddg.name);
+          ("trip", J.Int trip);
+          ("warmup", J.Int warmup);
+          ("ncore", J.Int ncore);
+          ("ii", J.Int k.K.ii);
+        ]
+  end;
   let plan =
     match plan with Some pl -> pl | None -> Address_plan.create ?seed g
   in
@@ -153,6 +253,15 @@ let run ?seed ?plan ?(sync_mem = false) ?(warmup = 0) ?observe cfg (k : K.t) ~tr
           shift := max !shift (inter_arrival - sched);
           if count_stalls then begin
             sync_stall := !sync_stall + cycles;
+            if traced then
+              Trace.instant trace ~pid:trace_pid ~tid:core ~ts:ready "sync-stall"
+                ~args:
+                  ([ ("thread", J.Int j); ("cycles", J.Int cycles) ]
+                  @
+                  match blamed with
+                  | Some (src, dst) ->
+                      [ ("producer", J.Int src); ("consumer", J.Int dst) ]
+                  | None -> []);
             match blamed with
             | Some key ->
                 let cur = try Hashtbl.find stall_tbl key with Not_found -> 0 in
@@ -176,6 +285,11 @@ let run ?seed ?plan ?(sync_mem = false) ?(warmup = 0) ?observe cfg (k : K.t) ~tr
         if finish_of.(v) > !end_exec then end_exec := finish_of.(v))
       by_row;
     { start; issue_of; finish_of; end_exec = !end_exec }
+  in
+  let emit_exec_span ~core ~j name (te : thread_exec) ~end_ts =
+    Trace.begin_span trace ~pid:trace_pid ~tid:core ~ts:te.start name
+      ~args:[ ("thread", J.Int j) ];
+    Trace.end_span trace ~pid:trace_pid ~tid:core ~ts:end_ts name
   in
   let warm_end = ref 0 in
   for j = 0 to total - 1 do
@@ -201,11 +315,29 @@ let run ?seed ?plan ?(sync_mem = false) ?(warmup = 0) ?observe cfg (k : K.t) ~tr
       g.nodes;
     let te =
       match !viol with
-      | None -> te
+      | None ->
+          if traced && measured then
+            emit_exec_span ~core ~j "exec" te ~end_ts:te.end_exec;
+          te
       | Some t_detect ->
           if measured then incr squashes;
           let restart = t_detect + p.c_inv in
-          exec_thread j restart ~recv:false ~count_stalls:false
+          if traced && measured then begin
+            (* The wasted first attempt, cut off where the MDT caught the
+               premature load; the re-execution follows after [c_inv]. *)
+            emit_exec_span ~core ~j "exec (squashed)" te ~end_ts:t_detect;
+            Trace.instant trace ~pid:trace_pid ~tid:core ~ts:t_detect "squash"
+              ~args:
+                [
+                  ("thread", J.Int j);
+                  ("detected", J.Int t_detect);
+                  ("restart", J.Int restart);
+                ]
+          end;
+          let te = exec_thread j restart ~recv:false ~count_stalls:false in
+          if traced && measured then
+            emit_exec_span ~core ~j "re-exec" te ~end_ts:te.end_exec;
+          te
     in
     (* Record this thread's stores in the MDT. *)
     Array.iteri
@@ -233,6 +365,19 @@ let run ?seed ?plan ?(sync_mem = false) ?(warmup = 0) ?observe cfg (k : K.t) ~tr
           Array.iteri (fun c l1c -> if c <> core then Cache.invalidate l1c a) l1
         end)
       g.nodes;
+    if traced && measured then begin
+      Trace.begin_span trace ~pid:trace_pid ~tid:core ~ts:commit_start "commit"
+        ~args:[ ("thread", J.Int j) ];
+      Trace.end_span trace ~pid:trace_pid ~tid:core ~ts:commit_end "commit";
+      (* Sampled occupancy: MDT entries live after this thread's stores,
+         plus this thread's speculative-write-buffer footprint. *)
+      if j land 31 = 0 then
+        Trace.counter_sample trace ~pid:trace_pid ~ts:commit_end "occupancy"
+          [
+            ("mdt", float_of_int (Mdt.live_entries mdt));
+            ("wb", float_of_int stores_per_thread);
+          ]
+    end;
     (match observe with
     | Some f ->
         f
@@ -247,22 +392,15 @@ let run ?seed ?plan ?(sync_mem = false) ?(warmup = 0) ?observe cfg (k : K.t) ~tr
           }
     | None -> ());
     history.(j mod horizon) <- Some te;
-    (match Sys.getenv_opt "TS_SIM_TRACE" with
-    | Some range -> (
-        match String.split_on_char '-' range with
-        | [ lo; hi ] when j >= int_of_string lo && j <= int_of_string hi ->
-            Printf.eprintf "thread %d: start=%d end=%d commit=%d..%d" j te.start
-              te.end_exec commit_start commit_end;
-            (match Sys.getenv_opt "TS_SIM_TRACE_NODES" with
-            | Some nodes ->
-                String.split_on_char ',' nodes
-                |> List.iter (fun s ->
-                       let v = int_of_string s in
-                       Printf.eprintf " n%d@%d" v (te.issue_of.(v) - te.start))
-            | None -> ());
-            Printf.eprintf "\n"
-        | _ -> ())
-    | None -> ());
+    (match legacy with
+    | Some ((lo, hi), nodes) when j >= lo && j <= hi ->
+        Printf.eprintf "thread %d: start=%d end=%d commit=%d..%d" j te.start
+          te.end_exec commit_start commit_end;
+        List.iter
+          (fun v -> Printf.eprintf " n%d@%d" v (te.issue_of.(v) - te.start))
+          nodes;
+        Printf.eprintf "\n"
+    | _ -> ());
     (* Successors respawn from the (possibly re-executed) thread's start. *)
     prev_spawn_base := te.start;
     if j mod 64 = 63 then Mdt.retire mdt ~upto:(j - horizon)
@@ -276,6 +414,22 @@ let run ?seed ?plan ?(sync_mem = false) ?(warmup = 0) ?observe cfg (k : K.t) ~tr
   in
   let l2_hits, l2_misses = Cache.stats l2 in
   let pairs = pairs_per_iter * trip in
+  (* Mirror run totals onto the default registry, in bulk, so the hot loop
+     never touches a hashtable. *)
+  Ts_obs.Metrics.incr ~by:trip m_threads;
+  Ts_obs.Metrics.incr ~by:!squashes m_squashes;
+  Ts_obs.Metrics.incr ~by:!sync_stall m_sync_stalls;
+  Ts_obs.Metrics.incr ~by:!spawn_stall m_spawn_stalls;
+  Ts_obs.Metrics.set_gauge (m_mdt_peak)
+    (float_of_int (Mdt.peak_entries mdt));
+  if traced then
+    Trace.instant trace ~pid:trace_pid ~ts:!last_commit_end "sim.end"
+      ~args:
+        [
+          ("cycles", J.Int (!last_commit_end - !warm_end));
+          ("squashes", J.Int !squashes);
+          ("sync_stall_cycles", J.Int !sync_stall);
+        ];
   {
     cycles = !last_commit_end - !warm_end;
     committed = trip;

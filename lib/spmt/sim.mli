@@ -55,6 +55,8 @@ val run :
   ?sync_mem:bool ->
   ?warmup:int ->
   ?observe:(thread_obs -> unit) ->
+  ?trace:Ts_obs.Trace.t ->
+  ?trace_pid:int ->
   Config.t ->
   Ts_modsched.Kernel.t ->
   trip:int ->
@@ -72,11 +74,45 @@ val run :
     [warmup] (default 0) executes that many extra iterations first and
     excludes them from every counter, so [stats] describe the steady state
     (warm caches) rather than the cold-miss ramp — the paper simulates its
-    benchmarks to completion, where steady state dominates. *)
+    benchmarks to completion, where steady state dominates.
+
+    [trace] (default {!Ts_obs.Trace.null}) receives the cycle-attribution
+    event stream for the measured (post-warmup) iterations, on one track
+    per core (process [trace_pid], default 0; pass distinct pids to put
+    several runs in one file):
+
+    - ["exec"]/["commit"] spans per thread, plus ["exec (squashed)"] and
+      ["re-exec"] spans when the MDT squashes a thread;
+    - ["squash"] instant events at the detection cycle, and ["sync-stall"]
+      instants carrying the blamed producer→consumer dependence edge and
+      the stalled cycles;
+    - an ["occupancy"] counter track sampling MDT entries and the
+      speculative-write-buffer footprint every 32 threads;
+    - ["sim.start"]/["sim.end"] markers with the run configuration and
+      totals.
+
+    Tracing does not perturb the simulation: a traced run returns stats
+    byte-identical to a null-sink run (regression-tested).
+
+    Identical totals are also accumulated on {!Ts_obs.Metrics.default}
+    under [sim.*]. *)
 
 val ipc : Ts_modsched.Kernel.t -> stats -> float
 (** Committed instructions per cycle (excludes squashed work). *)
 
-(** Debugging: set [TS_SIM_TRACE=lo-hi] (thread index range) in the
-    environment to print per-thread start/end/commit times to stderr, and
-    [TS_SIM_TRACE_NODES=v1,v2,...] to add those nodes' issue offsets. *)
+(** {2 Deprecated env-var debugging}
+
+    Setting [TS_SIM_TRACE=LO-HI] (thread index range) still prints
+    per-thread start/end/commit times to stderr, and
+    [TS_SIM_TRACE_NODES=v1,v2,...] adds those nodes' issue offsets — but
+    both are deprecated in favour of [?trace] and warn once per process.
+    Malformed values are rejected up front with [Invalid_argument] (they
+    used to crash mid-simulation with a bare [int_of_string] failure). *)
+
+val parse_trace_range : string -> (int * int, string) result
+(** The [TS_SIM_TRACE] parser, exposed for tests: accepts ["LO-HI"] with
+    [0 <= LO <= HI]. *)
+
+val parse_trace_nodes : n_nodes:int -> string -> (int list, string) result
+(** The [TS_SIM_TRACE_NODES] parser, exposed for tests: comma-separated
+    node indices, each in [\[0, n_nodes)]. *)

@@ -3,6 +3,7 @@ let () =
     [
       ("rng", Test_rng.suite);
       ("base", Test_base.suite);
+      ("obs", Test_obs.suite);
       ("isa", Test_isa.suite);
       ("ddg", Test_ddg.suite);
       ("scc+mii", Test_scc_mii.suite);

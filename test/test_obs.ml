@@ -1,0 +1,289 @@
+(* The Ts_obs observability layer: JSON emission/parsing, the metrics
+   registry, the Chrome/JSONL tracer, the simulator's structured trace
+   (validity + determinism), and the hardened legacy env parsing. *)
+
+module J = Ts_obs.Json
+module Metrics = Ts_obs.Metrics
+module Trace = Ts_obs.Trace
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+(* --- Json --- *)
+
+let test_json_roundtrip () =
+  let samples =
+    [
+      J.Null;
+      J.Bool true;
+      J.Int (-42);
+      J.Float 1.5;
+      J.Str "plain";
+      J.Str "esc \"quotes\" \\ and\nnewline\ttab";
+      J.List [ J.Int 1; J.Str "two"; J.List [] ];
+      J.Obj [ ("a", J.Int 1); ("b", J.Obj [ ("c", J.Bool false) ]) ];
+    ]
+  in
+  List.iter
+    (fun v ->
+      match J.parse (J.to_string v) with
+      | Ok v' -> check_bool (J.to_string v) true (v = v')
+      | Error msg -> Alcotest.failf "roundtrip %s: %s" (J.to_string v) msg)
+    samples
+
+let test_json_parse_errors () =
+  List.iter
+    (fun s ->
+      match J.parse s with
+      | Ok _ -> Alcotest.failf "expected parse error for %S" s
+      | Error _ -> ())
+    [ ""; "{"; "[1,"; "\"unterminated"; "12 34"; "{\"a\" 1}"; "tru" ]
+
+let test_json_member () =
+  let v = J.Obj [ ("x", J.Int 7); ("y", J.Str "s") ] in
+  check_bool "x" true (J.member "x" v = Some (J.Int 7));
+  check_bool "missing" true (J.member "z" v = None);
+  check_bool "non-obj" true (J.member "x" (J.Int 3) = None);
+  check_bool "to_int" true (J.to_int (J.Int 5) = Some 5 && J.to_int J.Null = None);
+  check_bool "to_str" true (J.to_str (J.Str "a") = Some "a")
+
+(* --- Metrics --- *)
+
+let test_counters_monotonic () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg "test.counter" in
+  let prev = ref (Metrics.counter_value c) in
+  for i = 1 to 10 do
+    Metrics.incr ~by:(i mod 3) c;
+    let v = Metrics.counter_value c in
+    check_bool "non-decreasing" true (v >= !prev);
+    prev := v
+  done;
+  check_bool "negative increment rejected" true
+    (match Metrics.incr ~by:(-1) c with
+    | () -> false
+    | exception Invalid_argument _ -> true);
+  (* Same name returns the same underlying cell; wrong kind is an error. *)
+  Metrics.incr (Metrics.counter reg "test.counter");
+  check_int "shared handle" (!prev + 1) (Metrics.counter_value c);
+  check_bool "kind clash rejected" true
+    (match Metrics.gauge reg "test.counter" with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_metrics_table () =
+  let reg = Metrics.create () in
+  Metrics.incr ~by:3 (Metrics.counter reg "b.counter");
+  Metrics.set_gauge (Metrics.gauge reg "a.gauge") 2.5;
+  let h = Metrics.histogram reg "c.hist" in
+  List.iter (Metrics.observe h) [ 1.0; 2.0; 6.0 ];
+  check_int "hist count" 3 (Metrics.histogram_count h);
+  (match J.parse (J.to_string (Metrics.to_json reg)) with
+  | Ok (J.Obj kvs) ->
+      check_bool "sorted keys" true
+        (List.map fst kvs = [ "a.gauge"; "b.counter"; "c.hist" ]);
+      check_bool "counter value" true (List.assoc "b.counter" kvs = J.Int 3)
+  | Ok _ -> Alcotest.fail "metrics json not an object"
+  | Error msg -> Alcotest.failf "metrics json invalid: %s" msg);
+  let table = Metrics.render_table reg in
+  check_bool "counter row" true (contains table "b.counter");
+  check_bool "histogram detail" true (contains table "mean=3.00")
+
+(* --- Trace --- *)
+
+(* Events of a Chrome trace buffer, or fail the test on invalid JSON. *)
+let parse_chrome buf =
+  match J.parse (Buffer.contents buf) with
+  | Ok (J.List events) -> events
+  | Ok _ -> Alcotest.fail "chrome trace is not a JSON array"
+  | Error msg -> Alcotest.failf "chrome trace invalid: %s" msg
+
+(* Per-(pid, tid) track: B/E counts balance and never go negative in file
+   order. *)
+let check_balanced events =
+  let depth : (int * int, int) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun ev ->
+      match J.member "ph" ev with
+      | Some (J.Str ("B" | "E" as ph)) ->
+          let get k = Option.bind (J.member k ev) J.to_int in
+          let key = (Option.value ~default:0 (get "pid"),
+                     Option.value ~default:0 (get "tid")) in
+          let d = Option.value ~default:0 (Hashtbl.find_opt depth key) in
+          let d = if ph = "B" then d + 1 else d - 1 in
+          check_bool "end without begin" true (d >= 0);
+          Hashtbl.replace depth key d
+      | _ -> ())
+    events;
+  Hashtbl.iter (fun _ d -> check_int "unclosed spans" 0 d) depth
+
+let test_trace_chrome_shape () =
+  let buf = Buffer.create 256 in
+  let tr = Trace.to_buffer buf in
+  check_bool "enabled" true (Trace.enabled tr);
+  check_bool "null disabled" false (Trace.enabled Trace.null);
+  Trace.process_name tr ~pid:1 "proc";
+  Trace.thread_name tr ~pid:1 ~tid:2 "track";
+  Trace.begin_span tr ~pid:1 ~tid:2 ~ts:10 "outer"
+    ~args:[ ("k", J.Str "v") ];
+  Trace.begin_span tr ~pid:1 ~tid:2 ~ts:11 "inner";
+  Trace.instant tr ~pid:1 ~tid:2 ~ts:12 "mark";
+  Trace.counter_sample tr ~pid:1 ~ts:12 "occ" [ ("x", 3.0) ];
+  Trace.end_span tr ~pid:1 ~tid:2 ~ts:13 "inner";
+  Trace.end_span tr ~pid:1 ~tid:2 ~ts:14 "outer";
+  Trace.close tr;
+  Trace.close tr (* idempotent *);
+  let events = parse_chrome buf in
+  check_int "event count" 8 (List.length events);
+  check_balanced events;
+  (* Every event carries name/ph/pid/tid. *)
+  List.iter
+    (fun ev ->
+      List.iter
+        (fun k -> check_bool ("has " ^ k) true (J.member k ev <> None))
+        [ "name"; "ph"; "pid"; "tid" ])
+    events
+
+let test_trace_null_noop () =
+  (* The null sink accepts everything silently and ticks stay at 0. *)
+  Trace.begin_span Trace.null ~ts:0 "x";
+  Trace.end_span Trace.null ~ts:1 "x";
+  Trace.instant Trace.null ~ts:2 "y";
+  Trace.close Trace.null;
+  check_int "tick" 0 (Trace.tick Trace.null);
+  check_int "tick again" 0 (Trace.tick Trace.null)
+
+let test_trace_jsonl () =
+  let buf = Buffer.create 256 in
+  let tr = Trace.to_buffer ~format:Trace.Jsonl buf in
+  Trace.instant tr ~ts:1 "a";
+  Trace.instant tr ~ts:2 "b";
+  Trace.close tr;
+  let lines =
+    String.split_on_char '\n' (Buffer.contents buf)
+    |> List.filter (fun l -> l <> "")
+  in
+  check_int "two lines" 2 (List.length lines);
+  List.iter
+    (fun l ->
+      match J.parse l with
+      | Ok (J.Obj _) -> ()
+      | Ok _ -> Alcotest.fail "jsonl line is not an object"
+      | Error msg -> Alcotest.failf "jsonl line invalid: %s" msg)
+    lines
+
+(* --- Simulator tracing --- *)
+
+let sim_setup () =
+  let g = Ts_workload.Motivating.ddg () in
+  let cfg = Ts_spmt.Config.default in
+  let params = cfg.Ts_spmt.Config.params in
+  let plan = Ts_spmt.Address_plan.create ~seed:"obs" g in
+  let tms = Ts_tms.Tms.schedule_sweep ~params g in
+  (cfg, plan, tms.Ts_tms.Tms.kernel)
+
+let test_sim_trace_valid () =
+  let cfg, plan, kernel = sim_setup () in
+  let buf = Buffer.create 4096 in
+  let tr = Trace.to_buffer buf in
+  let _st = Ts_spmt.Sim.run ~plan ~warmup:64 ~trace:tr cfg kernel ~trip:512 in
+  Trace.close tr;
+  let events = parse_chrome buf in
+  check_balanced events;
+  let count name =
+    List.length
+      (List.filter (fun ev -> J.member "name" ev = Some (J.Str name)) events)
+  in
+  check_bool "has exec spans" true (count "exec" > 0);
+  check_bool "has commit spans" true (count "commit" > 0);
+  check_bool "has squash or sync-stall instants" true
+    (count "squash" + count "sync-stall" > 0);
+  check_bool "has occupancy samples" true (count "occupancy" > 0)
+
+let test_sim_trace_deterministic () =
+  (* Tracing must not perturb the simulation: identical stats with the
+     null sink and with a live buffer sink. *)
+  let cfg, plan, kernel = sim_setup () in
+  let st_null = Ts_spmt.Sim.run ~plan ~warmup:64 cfg kernel ~trip:512 in
+  let buf = Buffer.create 4096 in
+  let tr = Trace.to_buffer buf in
+  let st_traced =
+    Ts_spmt.Sim.run ~plan ~warmup:64 ~trace:tr cfg kernel ~trip:512
+  in
+  Trace.close tr;
+  check_bool "stats identical" true (st_null = st_traced);
+  check_bool "trace non-empty" true (Buffer.length buf > 2)
+
+let test_search_log_attempts () =
+  let g = Ts_workload.Motivating.ddg () in
+  let params = Ts_isa.Spmt_params.default in
+  let buf = Buffer.create 4096 in
+  let tr = Trace.to_buffer ~format:Trace.Jsonl buf in
+  let r = Ts_tms.Tms.schedule ~trace:tr ~p_max:0.05 ~params g in
+  Trace.close tr;
+  let lines =
+    String.split_on_char '\n' (Buffer.contents buf)
+    |> List.filter (fun l -> l <> "")
+  in
+  let events =
+    List.map
+      (fun l ->
+        match J.parse l with
+        | Ok ev -> ev
+        | Error msg -> Alcotest.failf "search log line invalid: %s" msg)
+      lines
+  in
+  let attempts =
+    List.filter (fun ev -> J.member "name" ev = Some (J.Str "tms.attempt")) events
+  in
+  check_int "one event per attempt" r.Ts_tms.Tms.attempts (List.length attempts);
+  check_bool "has result event" true
+    (List.exists (fun ev -> J.member "name" ev = Some (J.Str "tms.result")) events)
+
+(* --- Legacy env parsing --- *)
+
+let test_legacy_range_parse () =
+  check_bool "ok" true (Ts_spmt.Sim.parse_trace_range "3-17" = Ok (3, 17));
+  check_bool "ws ok" true (Ts_spmt.Sim.parse_trace_range " 0 - 0 " = Ok (0, 0));
+  List.iter
+    (fun s ->
+      match Ts_spmt.Sim.parse_trace_range s with
+      | Ok _ -> Alcotest.failf "expected error for %S" s
+      | Error msg ->
+          check_bool "error names the var" true (contains msg "TS_SIM_TRACE"))
+    [ ""; "x"; "5"; "7-3"; "-1-4"; "a-b"; "1-2-3" ]
+
+let test_legacy_nodes_parse () =
+  check_bool "ok" true
+    (Ts_spmt.Sim.parse_trace_nodes ~n_nodes:9 "0,3, 8" = Ok [ 0; 3; 8 ]);
+  List.iter
+    (fun s ->
+      match Ts_spmt.Sim.parse_trace_nodes ~n_nodes:9 s with
+      | Ok _ -> Alcotest.failf "expected error for %S" s
+      | Error msg ->
+          check_bool "error names the var" true
+            (contains msg "TS_SIM_TRACE_NODES"))
+    [ ""; "x"; "1,,2"; "9"; "-1" ]
+
+let suite =
+  [
+    Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json parse errors" `Quick test_json_parse_errors;
+    Alcotest.test_case "json member accessors" `Quick test_json_member;
+    Alcotest.test_case "counters monotonic" `Quick test_counters_monotonic;
+    Alcotest.test_case "metrics table" `Quick test_metrics_table;
+    Alcotest.test_case "chrome trace shape" `Quick test_trace_chrome_shape;
+    Alcotest.test_case "null tracer no-op" `Quick test_trace_null_noop;
+    Alcotest.test_case "jsonl format" `Quick test_trace_jsonl;
+    Alcotest.test_case "sim trace valid + balanced" `Quick test_sim_trace_valid;
+    Alcotest.test_case "sim trace deterministic" `Quick test_sim_trace_deterministic;
+    Alcotest.test_case "search log attempts" `Quick test_search_log_attempts;
+    Alcotest.test_case "legacy range parse" `Quick test_legacy_range_parse;
+    Alcotest.test_case "legacy nodes parse" `Quick test_legacy_nodes_parse;
+  ]
