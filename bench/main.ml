@@ -6,12 +6,94 @@
      bench/main.exe table2 fig4          specific experiments
      bench/main.exe --limit 8 all        cap loops per benchmark
      bench/main.exe micro                Bechamel micro-benchmarks
-                                         (one Test.make per table/figure) *)
+                                         (one Test.make per table/figure)
+     bench/main.exe --jobs 4 search      TMS grid-search wall-clock bench;
+                                         writes BENCH_search.json *)
 
 let usage () =
   prerr_endline
-    "usage: main.exe [--limit N] [all|table1|fig2|table2|fig4|table3|fig5|fig6|ablation|micro]...";
+    "usage: main.exe [--limit N] [--jobs N] [--repeat N] [--out FILE] \
+     [all|table1|fig2|table2|fig4|table3|fig5|fig6|ablation|micro|search]...";
   exit 2
+
+(* ------------------------------------------------------------------ *)
+(* The `search` group: wall-clock the TMS grid search itself (the unit
+   future perf PRs must not regress). Workloads: the equake DOACROSS loop
+   of Table 3 and the first applu loops of the Table 2 suite — both
+   resource-bound bodies with real memory-dependence grids. Emits
+   BENCH_search.json: per-workload wall seconds (best of --repeat),
+   attempts and attempts/sec, plus the pool size used. *)
+
+let search_workloads () =
+  let applu = Ts_workload.Spec_suite.find "applu" in
+  let applu_loops =
+    List.filteri (fun i _ -> i < 8) (Ts_workload.Spec_suite.loops applu)
+  in
+  [
+    ("equake", Ts_workload.Doacross.equake.Ts_workload.Doacross.loops);
+    ("applu", applu_loops);
+  ]
+
+(* One grid search finishes in milliseconds, so each measurement runs the
+   sweep over [rounds] copies of the loop set — enough independent tasks
+   to keep a 4-domain pool busy and lift wall time out of timer noise. *)
+let search_rounds = 24
+
+let search ~repeat ~out () =
+  let params = Ts_isa.Spmt_params.default in
+  let jobs = Ts_base.Parallel.get_jobs () in
+  let time_once loops =
+    let tasks =
+      List.concat (List.init search_rounds (fun _ -> loops))
+    in
+    let t0 = Unix.gettimeofday () in
+    let results = Ts_base.Parallel.map (Ts_tms.Tms.schedule_sweep ~params) tasks in
+    let wall = Unix.gettimeofday () -. t0 in
+    let attempts =
+      List.fold_left (fun a (r : Ts_tms.Tms.result) -> a + r.attempts) 0 results
+    in
+    (wall, attempts)
+  in
+  let bench_one (name, loops) =
+    (* Warm once (fills no caches across runs — the search is pure — but
+       pays domain-pool startup), then keep the best of [repeat]. *)
+    ignore (time_once loops);
+    let runs = List.init (max 1 repeat) (fun _ -> time_once loops) in
+    let wall, attempts =
+      List.fold_left (fun (bw, ba) (w, a) -> if w < bw then (w, a) else (bw, ba))
+        (List.hd runs) (List.tl runs)
+    in
+    let rate = float_of_int attempts /. wall in
+    Printf.printf "  search:%-8s %8.4f s  %6d attempts  %10.0f attempts/s\n%!"
+      name wall attempts rate;
+    ( name,
+      Ts_obs.Json.Obj
+        [
+          ("wall_s", Ts_obs.Json.Float wall);
+          ("attempts", Ts_obs.Json.Int attempts);
+          ("attempts_per_sec", Ts_obs.Json.Float rate);
+          ("loops", Ts_obs.Json.Int (List.length loops));
+        ] )
+  in
+  Printf.printf "TMS grid-search benchmark (jobs=%d, best of %d):\n%!" jobs repeat;
+  let t0 = Unix.gettimeofday () in
+  let rows = List.map bench_one (search_workloads ()) in
+  let total = Unix.gettimeofday () -. t0 in
+  let json =
+    Ts_obs.Json.Obj
+      [
+        ("bench", Ts_obs.Json.Str "search");
+        ("jobs", Ts_obs.Json.Int jobs);
+        ("repeat", Ts_obs.Json.Int repeat);
+        ("workloads", Ts_obs.Json.Obj rows);
+        ("total_wall_s", Ts_obs.Json.Float total);
+      ]
+  in
+  let oc = open_out out in
+  output_string oc (Ts_obs.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  wrote %s\n%!" out
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one per table/figure, timing the unit of
@@ -111,6 +193,8 @@ let micro () =
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let limit = ref None in
+  let repeat = ref 3 in
+  let out = ref "BENCH_search.json" in
   let names = ref [] in
   let rec parse = function
     | [] -> ()
@@ -118,6 +202,19 @@ let () =
         (match int_of_string_opt n with
         | Some v when v > 0 -> limit := Some v
         | _ -> usage ());
+        parse rest
+    | "--jobs" :: n :: rest | "-j" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some v when v >= 1 -> Ts_base.Parallel.set_jobs v
+        | _ -> usage ());
+        parse rest
+    | "--repeat" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some v when v >= 1 -> repeat := v
+        | _ -> usage ());
+        parse rest
+    | "--out" :: path :: rest ->
+        out := path;
         parse rest
     | "--help" :: _ | "-h" :: _ -> usage ()
     | name :: rest ->
@@ -129,6 +226,7 @@ let () =
   List.iter
     (fun name ->
       if name = "micro" then micro ()
+      else if name = "search" then search ~repeat:!repeat ~out:!out ()
       else
         try
           Ts_harness.Experiments.run ?limit:!limit ~names:[ name ] (fun block ->

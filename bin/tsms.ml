@@ -34,6 +34,33 @@ let or_die = function
       prerr_endline ("tsms: " ^ msg);
       exit 1
 
+(* --- Parallelism flag shared across subcommands --- *)
+
+let jobs_arg =
+  let doc =
+    "Worker domains for the parallel sweeps (per-P_max TMS searches, \
+     per-benchmark and per-loop harness tasks). Defaults to the \
+     $(b,TSMS_JOBS) environment variable, else to the machine's \
+     recommended domain count minus one. Results are identical at every \
+     jobs level; $(docv)=1 disables the pool."
+  in
+  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+let apply_jobs = function
+  | None -> (
+      (* Surface a malformed TSMS_JOBS now, as a CLI error, rather than as
+         an uncaught exception from the first parallel map. *)
+      try ignore (Ts_base.Parallel.env_jobs ())
+      with Invalid_argument msg ->
+        prerr_endline ("tsms: " ^ msg);
+        exit 1)
+  | Some n ->
+      if n < 1 then begin
+        prerr_endline "tsms: --jobs must be >= 1";
+        exit 1
+      end;
+      Ts_base.Parallel.set_jobs n
+
 (* --- Observability flags shared across subcommands --- *)
 
 let metrics_arg =
@@ -108,7 +135,8 @@ let schedule_cmd =
     in
     Arg.(value & opt (some string) None & info [ "search-log" ] ~docv:"FILE" ~doc)
   in
-  let run loop ncore p_max code unroll search_log metrics =
+  let run jobs loop ncore p_max code unroll search_log metrics =
+    apply_jobs jobs;
     let g = or_die (read_loop loop) in
     let g = if unroll > 1 then Ts_ddg.Unroll.by g ~factor:unroll else g in
     let params = Ts_isa.Spmt_params.with_ncore Ts_isa.Spmt_params.default ncore in
@@ -141,8 +169,8 @@ let schedule_cmd =
   let doc = "Schedule a loop with SMS and TMS and print both kernels." in
   Cmd.v (Cmd.info "schedule" ~doc)
     Term.(
-      const run $ loop_arg $ ncore_arg $ p_max_arg $ code_arg $ unroll_arg
-      $ search_log_arg $ metrics_arg)
+      const run $ jobs_arg $ loop_arg $ ncore_arg $ p_max_arg $ code_arg
+      $ unroll_arg $ search_log_arg $ metrics_arg)
 
 let simulate_cmd =
   let trip_arg =
@@ -154,7 +182,8 @@ let simulate_cmd =
   let timeline_arg =
     Arg.(value & flag & info [ "timeline" ] ~doc:"Draw an ASCII execution timeline of the TMS run.")
   in
-  let run loop ncore trip warmup timeline trace_file metrics =
+  let run jobs loop ncore trip warmup timeline trace_file metrics =
+    apply_jobs jobs;
     let g = or_die (read_loop loop) in
     let cfg = Ts_spmt.Config.with_ncore Ts_spmt.Config.default ncore in
     let params = cfg.Ts_spmt.Config.params in
@@ -200,8 +229,8 @@ let simulate_cmd =
   let doc = "Schedule a loop and simulate SMS/TMS/single-threaded execution." in
   Cmd.v (Cmd.info "simulate" ~doc)
     Term.(
-      const run $ loop_arg $ ncore_arg $ trip_arg $ warmup_arg $ timeline_arg
-      $ trace_arg $ metrics_arg)
+      const run $ jobs_arg $ loop_arg $ ncore_arg $ trip_arg $ warmup_arg
+      $ timeline_arg $ trace_arg $ metrics_arg)
 
 let dot_cmd =
   let run loop =
@@ -219,7 +248,8 @@ let suite_cmd =
   let limit_arg =
     Arg.(value & opt (some int) None & info [ "limit" ] ~docv:"N" ~doc:"Loops per benchmark.")
   in
-  let run bench limit metrics =
+  let run jobs bench limit metrics =
+    apply_jobs jobs;
     let params = Ts_isa.Spmt_params.default in
     let benches =
       if bench = "all" then Ts_workload.Spec_suite.benchmarks
@@ -246,10 +276,11 @@ let suite_cmd =
   in
   let doc = "Schedule a synthetic benchmark's loops and print Table 2 rows." in
   Cmd.v (Cmd.info "suite" ~doc)
-    Term.(const run $ bench_arg $ limit_arg $ metrics_arg)
+    Term.(const run $ jobs_arg $ bench_arg $ limit_arg $ metrics_arg)
 
 let compare_cmd =
-  let run loop ncore trace_file metrics =
+  let run jobs loop ncore trace_file metrics =
+    apply_jobs jobs;
     let g = or_die (read_loop loop) in
     let cfg = Ts_spmt.Config.with_ncore Ts_spmt.Config.default ncore in
     let params = cfg.Ts_spmt.Config.params in
@@ -296,7 +327,7 @@ let compare_cmd =
   in
   let doc = "Compare all four schedulers (and the single core) on one loop." in
   Cmd.v (Cmd.info "compare" ~doc)
-    Term.(const run $ loop_arg $ ncore_arg $ trace_arg $ metrics_arg)
+    Term.(const run $ jobs_arg $ loop_arg $ ncore_arg $ trace_arg $ metrics_arg)
 
 let experiments_cmd =
   let names_arg =
@@ -308,7 +339,8 @@ let experiments_cmd =
   let limit_arg =
     Arg.(value & opt (some int) None & info [ "limit" ] ~docv:"N" ~doc:"Loops per benchmark for table2/fig4.")
   in
-  let run names limit metrics =
+  let run jobs names limit metrics =
+    apply_jobs jobs;
     (try
        Ts_harness.Experiments.run ?limit ~names (fun block ->
            print_string block;
@@ -320,7 +352,7 @@ let experiments_cmd =
   in
   let doc = "Regenerate the paper's tables and figures." in
   Cmd.v (Cmd.info "experiments" ~doc)
-    Term.(const run $ names_arg $ limit_arg $ metrics_arg)
+    Term.(const run $ jobs_arg $ names_arg $ limit_arg $ metrics_arg)
 
 let () =
   let doc = "thread-sensitive modulo scheduling for SpMT multicores (ICPP'08 reproduction)" in

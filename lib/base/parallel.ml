@@ -1,0 +1,60 @@
+let available () = max 1 (Domain.recommended_domain_count () - 1)
+
+(* 0 = unset: resolve from TSMS_JOBS, then the machine. *)
+let configured = Atomic.make 0
+
+let set_jobs n =
+  if n < 1 then invalid_arg "Parallel.set_jobs: jobs must be >= 1";
+  Atomic.set configured n
+
+let env_jobs () =
+  match Sys.getenv_opt "TSMS_JOBS" with
+  | None | Some "" -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> Some n
+      | _ ->
+          invalid_arg
+            (Printf.sprintf "TSMS_JOBS must be a positive integer, got %S" s))
+
+let get_jobs () =
+  match Atomic.get configured with
+  | 0 -> ( match env_jobs () with Some n -> n | None -> available ())
+  | n -> n
+
+(* Workers flag themselves so a parallel map reached from inside another
+   parallel map degrades to List.map instead of spawning domains
+   quadratically (OCaml caps live domains well below that). *)
+let inside_worker = Domain.DLS.new_key (fun () -> false)
+
+let map ?jobs f xs =
+  let jobs = match jobs with Some j -> max 1 j | None -> get_jobs () in
+  let n = List.length xs in
+  if jobs <= 1 || n <= 1 || Domain.DLS.get inside_worker then List.map f xs
+  else begin
+    let input = Array.of_list xs in
+    let out = Array.make n None in
+    let next = Atomic.make 0 in
+    let failure = Atomic.make None in
+    let worker () =
+      Domain.DLS.set inside_worker true;
+      let rec go () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n && Atomic.get failure = None then begin
+          (try out.(i) <- Some (f input.(i))
+           with e ->
+             let bt = Printexc.get_raw_backtrace () in
+             ignore (Atomic.compare_and_set failure None (Some (e, bt))));
+          go ()
+        end
+      in
+      go ()
+    in
+    let domains = List.init (min jobs n) (fun _ -> Domain.spawn worker) in
+    List.iter Domain.join domains;
+    (match Atomic.get failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    Array.to_list
+      (Array.map (function Some v -> v | None -> assert false) out)
+  end

@@ -1,0 +1,42 @@
+(** A small Domain pool for embarrassingly parallel sweeps.
+
+    Independent units of work — the per-[P_max] TMS searches of a sweep,
+    the per-benchmark rows of Table 2, the per-loop simulations of the
+    DOACROSS studies — run on a pool of worker domains while results come
+    back in input order, so every caller stays bit-for-bit deterministic
+    at any pool size.
+
+    The pool size is resolved, in order, from: an explicit [?jobs]
+    argument, {!set_jobs} (the CLI's [--jobs N]), the [TSMS_JOBS]
+    environment variable, and finally [Domain.recommended_domain_count ()
+    - 1] (one core left for the caller). Nested [map]s never spawn:
+    work inside a worker domain runs sequentially, which bounds the live
+    domain count by the pool size. *)
+
+val available : unit -> int
+(** [Domain.recommended_domain_count () - 1], at least 1. *)
+
+val set_jobs : int -> unit
+(** Fix the default pool size for the whole process (overrides
+    [TSMS_JOBS]). Raises [Invalid_argument] when [n < 1]. *)
+
+val env_jobs : unit -> int option
+(** The [TSMS_JOBS] environment variable, if set and non-empty. Raises
+    [Invalid_argument] when it is not a positive integer — callers that
+    want an early, friendly diagnosis (the CLI) can probe this before the
+    first {!map}. *)
+
+val get_jobs : unit -> int
+(** The pool size {!map} will use when called without [?jobs]: the
+    {!set_jobs} value, else [TSMS_JOBS], else {!available}. Raises
+    [Invalid_argument] if [TSMS_JOBS] is set but is not a positive
+    integer. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map f xs] is [List.map f xs] computed on up to [jobs] worker domains.
+    Results are in input order. Runs sequentially (no domains spawned)
+    when the effective [jobs] is 1, the list has at most one element, or
+    the caller is itself a pool worker. If any [f x] raises, the first
+    recorded exception is re-raised in the caller after all workers have
+    drained (remaining items may be skipped). [f] must be safe to call
+    from multiple domains at once. *)

@@ -4,7 +4,8 @@ module Trace = Ts_obs.Trace
 module Metrics = Ts_obs.Metrics
 
 (* Search counters on the default registry (dumped by [tsms --metrics]).
-   Handles are plain int refs, so the hot-path cost is one increment. *)
+   Handles are atomic cells, so the hot-path cost is one fetch-and-add and
+   totals are exact under the Parallel domain pool. *)
 let m_attempts = Metrics.counter Metrics.default "tms.attempts"
 let m_fallbacks = Metrics.counter Metrics.default "tms.fallbacks"
 let m_schedules = Metrics.counter Metrics.default "tms.schedules"
@@ -30,119 +31,192 @@ type result = {
 
 let default_p_max = 0.05
 
-(* Incremental view of the partial schedule: rows/stages computed directly
-   from raw issue cycles (the kernel normalises by a multiple of II, so
-   these values equal the final kernel's). *)
-module Partial = struct
-  let row ~ii t = Ts_base.Intmath.modulo t ii
-  let stage ~ii t = Ts_base.Intmath.div_floor t ii
-
-  let d_ker ~ii ~time_of (e : Ts_ddg.Ddg.edge) =
-    match (time_of e.src, time_of e.dst) with
-    | Some ts, Some td -> Some (e.distance + stage ~ii td - stage ~ii ts)
-    | _ -> None
-
-  let sync g ~ii ~c_reg_com ~time_of (e : Ts_ddg.Ddg.edge) =
-    match (time_of e.src, time_of e.dst) with
-    | Some ts, Some td ->
-        Some (row ~ii ts - row ~ii td + Ts_ddg.Ddg.latency g e.src + c_reg_com)
-    | _ -> None
-
-  (* All inter-iteration dependences of [kind] among placed nodes. *)
-  let inter_iter_deps g ~ii ~time_of kind =
-    Array.to_list g.Ts_ddg.Ddg.edges
-    |> List.filter_map (fun (e : Ts_ddg.Ddg.edge) ->
-           if e.kind <> kind then None
-           else
-             match d_ker ~ii ~time_of e with
-             | Some d when d >= 1 -> Some e
-             | _ -> None)
-
-  let preserved g ~ii ~c_reg_com ~time_of ~reg_deps (e : Ts_ddg.Ddg.edge) =
-    match (time_of e.src, time_of e.dst, d_ker ~ii ~time_of e) with
-    | Some ts, Some td, Some dk when dk >= 1 ->
-        let need =
-          float_of_int (row ~ii ts + Ts_ddg.Ddg.latency g e.src - row ~ii td)
-          /. float_of_int dk
-        in
-        List.exists
-          (fun (r : Ts_ddg.Ddg.edge) ->
-            match (time_of r.src, sync g ~ii ~c_reg_com ~time_of r) with
-            | Some tu, Some sy -> row ~ii tu < row ~ii ts && float_of_int sy >= need
-            | _ -> false)
-          reg_deps
-    | _ -> false
-end
+type slot_verdict = Admit | Reject_resource | Reject_c1 | Reject_c2
 
 (* ISSUE_SLOT_SELECTION (Figure 3, lines 18-28) for node [v] at cycle [c]:
    resource fit, C1 on the new register dependences, C2 on the
-   misspeculation frequency when new memory dependences appear. *)
-let admissible s v ~cycle ~c_delay ~p_max ~c_reg_com =
+   misspeculation frequency when new memory dependences appear.
+
+   The inter-iteration dependence set of the partial schedule is NOT
+   recomputed here: [Sched] maintains per-edge activity masks
+   incrementally as nodes are placed/evicted, and this predicate only
+   overlays the hypothesis "v issues at [cycle]" on the edges incident to
+   [v] (found through the DDG's kind-partitioned incident indexes). All
+   scans run over preallocated arrays — no lists are built. Rows/stages
+   are computed from raw issue cycles; the kernel normalises by a multiple
+   of II, so these values equal the final kernel's. *)
+let admit s v ~cycle ~c_delay ~p_max ~c_reg_com =
   let g = S.ddg s in
   let ii = S.ii s in
-  if not (S.fits s v ~cycle) then begin
-    Metrics.incr m_slot_resource;
-    false
-  end
+  if not (S.fits s v ~cycle) then Reject_resource
   else begin
-    let time_of u = if u = v then Some cycle else S.time s u in
-    let incident (e : Ts_ddg.Ddg.edge) = e.src = v || e.dst = v in
-    let new_deps kind =
-      List.filter incident (Partial.inter_iter_deps g ~ii ~time_of kind)
+    let row t = Ts_base.Intmath.modulo t ii in
+    let stage t = Ts_base.Intmath.div_floor t ii in
+    let reg_arr = Ts_ddg.Ddg.reg_edge_array g in
+    let mem_arr = Ts_ddg.Ddg.mem_edge_array g in
+    let reg_mask = S.reg_active_mask s in
+    let mem_mask = S.mem_active_mask s in
+    (* Issue cycle under the hypothesis; only valid for placed nodes. *)
+    let time_exn u =
+      if u = v then cycle
+      else match S.time s u with Some t -> t | None -> assert false
     in
-    let r_v = new_deps Ts_ddg.Ddg.Reg in
-    let c1 =
-      List.for_all
-        (fun e ->
-          match Partial.sync g ~ii ~c_reg_com ~time_of e with
-          | Some sy -> sy <= c_delay
-          | None -> true)
-        r_v
+    (* Inter-iteration status of partition edge [i] under the hypothesis:
+       edges not touching [v] keep their incrementally-maintained flag. *)
+    let hyp_active mask i (e : Ts_ddg.Ddg.edge) =
+      if e.src <> v && e.dst <> v then mask.(i)
+      else
+        let placed u = u = v || S.time s u <> None in
+        placed e.src && placed e.dst
+        && e.distance + stage (time_exn e.dst) - stage (time_exn e.src) >= 1
     in
-    if not c1 then begin
-      Metrics.incr m_slot_c1;
-      false
-    end
+    (* Definition 2 for an active register dependence. *)
+    let sync_of (e : Ts_ddg.Ddg.edge) =
+      row (time_exn e.src) - row (time_exn e.dst)
+      + Ts_ddg.Ddg.latency g e.src + c_reg_com
+    in
+    let c1_ok =
+      let idxs = Ts_ddg.Ddg.incident_reg g v in
+      let rec check k =
+        if k >= Array.length idxs then true
+        else
+          let i = idxs.(k) in
+          let e = reg_arr.(i) in
+          if hyp_active reg_mask i e && sync_of e > c_delay then false
+          else check (k + 1)
+      in
+      check 0
+    in
+    if not c1_ok then Reject_c1
     else begin
-      let m_v = new_deps Ts_ddg.Ddg.Mem in
-      if m_v = [] then begin
-        Metrics.incr m_slot_admitted;
-        true
-      end
-      else begin
-        let reg_deps = Partial.inter_iter_deps g ~ii ~time_of Ts_ddg.Ddg.Reg in
-        let mem_deps = Partial.inter_iter_deps g ~ii ~time_of Ts_ddg.Ddg.Mem in
-        let m_all =
-          List.filter
-            (fun e -> not (Partial.preserved g ~ii ~c_reg_com ~time_of ~reg_deps e))
-            mem_deps
+      let new_mem =
+        let idxs = Ts_ddg.Ddg.incident_mem g v in
+        let rec check k =
+          if k >= Array.length idxs then false
+          else
+            let i = idxs.(k) in
+            if hyp_active mem_mask i mem_arr.(i) then true else check (k + 1)
         in
-        let freq = Cost_model.p_m (List.map (fun (e : Ts_ddg.Ddg.edge) -> e.prob) m_all) in
-        let ok = freq <= p_max +. 1e-12 in
-        Metrics.incr (if ok then m_slot_admitted else m_slot_c2);
-        ok
+        check 0
+      in
+      if not new_mem then Admit
+      else begin
+        (* A speculated dependence is preserved when some synchronised
+           register dependence already orders the store before the load
+           strongly enough (Section 4.2). *)
+        let preserved (e : Ts_ddg.Ddg.edge) =
+          let ts = time_exn e.src and td = time_exn e.dst in
+          let dk = e.distance + stage td - stage ts in
+          let need =
+            float_of_int (row ts + Ts_ddg.Ddg.latency g e.src - row td)
+            /. float_of_int dk
+          in
+          let nr = Array.length reg_arr in
+          let rec go i =
+            if i >= nr then false
+            else
+              let r = reg_arr.(i) in
+              if
+                hyp_active reg_mask i r
+                && row (time_exn r.src) < row ts
+                && float_of_int (sync_of r) >= need
+              then true
+              else go (i + 1)
+          in
+          go 0
+        in
+        (* P_M over the non-preserved speculated dependences, multiplied in
+           edge order (bit-identical to the list-based seed computation). *)
+        let acc = ref 1.0 in
+        Array.iteri
+          (fun i e ->
+            if hyp_active mem_mask i e && not (preserved e) then
+              acc := !acc *. (1.0 -. e.Ts_ddg.Ddg.prob))
+          mem_arr;
+        let freq = 1.0 -. !acc in
+        if freq <= p_max +. 1e-12 then Admit else Reject_c2
       end
     end
   end
 
-let try_schedule g ~order ~ii ~c_delay ~p_max ~c_reg_com =
-  let s = S.create g ~ii in
-  let place_one (v, prefer) =
-    match S.window ~prefer s v with
-    | None -> false
-    | Some w ->
-        let rec try_cycles = function
-          | [] -> false
-          | c :: rest ->
-              if admissible s v ~cycle:c ~c_delay ~p_max ~c_reg_com then begin
-                S.place s v ~cycle:c;
-                true
-              end
-              else try_cycles rest
-        in
-        try_cycles (S.candidate_cycles w)
+let admissible s v ~cycle ~c_delay ~p_max ~c_reg_com =
+  admit s v ~cycle ~c_delay ~p_max ~c_reg_com = Admit
+
+type reject = {
+  node : int;
+  window_empty : bool;
+  resource_rejects : int;
+  c1_rejects : int;
+  c2_rejects : int;
+}
+
+let reject_reason r =
+  if r.window_empty then "window-empty"
+  else
+    match (r.resource_rejects > 0, r.c1_rejects > 0, r.c2_rejects > 0) with
+    | true, false, false -> "resource-exhausted"
+    | false, true, false -> "c1-exhausted"
+    | false, false, true -> "c2-exhausted"
+    | _ -> "mixed-exhausted"
+
+let try_schedule_explained ?asap g ~order ~ii ~c_delay ~p_max ~c_reg_com =
+  let s = S.create ?asap g ~ii in
+  (* Slot-verdict counters are accumulated in locals and flushed to the
+     shared metrics once per attempt: a fetch_and_add per slot check would
+     ping-pong the counters' cache lines across the sweep's domains. *)
+  let t_resource = ref 0 and t_c1 = ref 0 and t_c2 = ref 0 and t_admit = ref 0 in
+  let flush () =
+    Metrics.incr ~by:!t_resource m_slot_resource;
+    Metrics.incr ~by:!t_c1 m_slot_c1;
+    Metrics.incr ~by:!t_c2 m_slot_c2;
+    Metrics.incr ~by:!t_admit m_slot_admitted
   in
-  if List.for_all place_one order then Some (K.of_schedule s) else None
+  let rec place_all = function
+    | [] -> Ok (K.of_schedule s)
+    | (v, prefer) :: rest -> (
+        match S.window ~prefer s v with
+        | None ->
+            Error
+              { node = v; window_empty = true; resource_rejects = 0;
+                c1_rejects = 0; c2_rejects = 0 }
+        | Some (lo, hi, dir) ->
+            let resource = ref 0 and c1 = ref 0 and c2 = ref 0 in
+            let try_cycle c =
+              match admit s v ~cycle:c ~c_delay ~p_max ~c_reg_com with
+              | Admit ->
+                  incr t_admit;
+                  S.place s v ~cycle:c;
+                  true
+              | Reject_resource -> incr resource; false
+              | Reject_c1 -> incr c1; false
+              | Reject_c2 -> incr c2; false
+            in
+            (* Walk the window in trial order without materialising it. *)
+            let rec scan c step last =
+              if try_cycle c then true
+              else if c = last then false
+              else scan (c + step) step last
+            in
+            let placed =
+              match dir with S.Up -> scan lo 1 hi | S.Down -> scan hi (-1) lo
+            in
+            t_resource := !t_resource + !resource;
+            t_c1 := !t_c1 + !c1;
+            t_c2 := !t_c2 + !c2;
+            if placed then place_all rest
+            else
+              Error
+                { node = v; window_empty = false; resource_rejects = !resource;
+                  c1_rejects = !c1; c2_rejects = !c2 })
+  in
+  let r = place_all order in
+  flush ();
+  r
+
+let try_schedule ?asap g ~order ~ii ~c_delay ~p_max ~c_reg_com =
+  match try_schedule_explained ?asap g ~order ~ii ~c_delay ~p_max ~c_reg_com with
+  | Ok k -> Some k
+  | Error _ -> None
 
 let finish ~params ~p_max ~mii ~attempts ~fell_back ~c_delay_threshold ~f_min kernel =
   let c_reg_com = params.Ts_isa.Spmt_params.c_reg_com in
@@ -159,10 +233,16 @@ let finish ~params ~p_max ~mii ~attempts ~fell_back ~c_delay_threshold ~f_min ke
   }
 
 (* One "tms.attempt" trace event per (II, C_delay) point tried, with the
-   objective value and the accept/reject outcome; searches are logical-time
-   (Trace.tick), not cycle-time. *)
-let attempt_event trace ~base ~ii ~c_delay ~f accepted =
+   objective value, the accept/reject outcome and the reject reason
+   (window-empty vs resource/C1/C2 slot exhaustion); searches are
+   logical-time (Trace.tick), not cycle-time. *)
+let attempt_event trace ~base ~ii ~c_delay ~f ?reason accepted =
   if Trace.enabled trace then
+    let reason =
+      match reason with
+      | Some r -> r
+      | None -> if accepted then "scheduled" else "placement-failed"
+    in
     Trace.instant trace ~ts:(Trace.tick trace) "tms.attempt"
       ~args:
         [
@@ -171,9 +251,7 @@ let attempt_event trace ~base ~ii ~c_delay ~f accepted =
           ("c_delay", Ts_obs.Json.Int c_delay);
           ("f", Ts_obs.Json.Float f);
           ("accepted", Ts_obs.Json.Bool accepted);
-          ( "reason",
-            Ts_obs.Json.Str (if accepted then "scheduled" else "placement-failed")
-          );
+          ("reason", Ts_obs.Json.Str reason);
         ]
 
 let result_event trace (r : result) =
@@ -208,6 +286,17 @@ let schedule ?(trace = Trace.null) ?(p_max = default_p_max) ?max_ii ~params g =
   let c_reg_com = params.Ts_isa.Spmt_params.c_reg_com in
   let cd_max = ii_max - 1 + max_lat + c_reg_com in
   let order = Ts_sms.Order.compute_with_dirs g ~ii:mii in
+  (* The grid revisits each II once per objective group: compute the ASAP
+     table (a Bellman-Ford relaxation) once per II, not per grid point. *)
+  let asap_cache = Hashtbl.create 8 in
+  let asap_for ii =
+    match Hashtbl.find_opt asap_cache ii with
+    | Some a -> a
+    | None ->
+        let a = S.asap_table g ~ii in
+        Hashtbl.add asap_cache ii a;
+        a
+  in
   let groups = Cost_model.f_groups params ~mii ~ii_max ~cd_max in
   if Trace.enabled trace then
     Trace.begin_span trace ~ts:(Trace.tick trace) "tms.search"
@@ -240,13 +329,22 @@ let schedule ?(trace = Trace.null) ?(p_max = default_p_max) ?max_ii ~params g =
           | (ii, cd) :: more -> (
               incr attempts;
               Metrics.incr m_attempts;
-              let res = try_schedule g ~order ~ii ~c_delay:cd ~p_max ~c_reg_com in
-              attempt_event trace ~base:"sms" ~ii ~c_delay:cd ~f (res <> None);
+              let res =
+                try_schedule_explained ~asap:(asap_for ii) g ~order ~ii
+                  ~c_delay:cd ~p_max ~c_reg_com
+              in
+              (match res with
+              | Ok _ ->
+                  attempt_event trace ~base:"sms" ~ii ~c_delay:cd ~f
+                    ~reason:"scheduled" true
+              | Error rej ->
+                  attempt_event trace ~base:"sms" ~ii ~c_delay:cd ~f
+                    ~reason:(reject_reason rej) false);
               match res with
-              | Some kernel ->
+              | Ok kernel ->
                   finish ~params ~p_max ~mii ~attempts:!attempts ~fell_back:false
                     ~c_delay_threshold:cd ~f_min:f kernel
-              | None -> try_points more)
+              | Error _ -> try_points more)
         in
         try_points points
   in
@@ -260,7 +358,14 @@ let schedule ?(trace = Trace.null) ?(p_max = default_p_max) ?max_ii ~params g =
 let schedule_sweep ?(trace = Trace.null) ?(p_maxes = [ 0.01; 0.05; 0.25 ]) ~params
     g =
   let n = 1000 in
-  let results = List.map (fun p_max -> schedule ~trace ~p_max ~params g) p_maxes in
+  let run p_max = schedule ~trace ~p_max ~params g in
+  (* One worker domain per P_max. An enabled tracer is a single shared
+     sink, so traced sweeps stay sequential (and their event order
+     deterministic); results are identical either way. *)
+  let results =
+    if Trace.enabled trace then List.map run p_maxes
+    else Ts_base.Parallel.map run p_maxes
+  in
   let cost (r : result) =
     Cost_model.estimate params ~ii:r.kernel.K.ii
       ~c_delay:r.achieved_c_delay ~p_m:r.misspec ~n

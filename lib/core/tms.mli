@@ -61,7 +61,38 @@ val schedule :
     Slot-level admission outcomes (resource/C1/C2 rejections, admissions)
     are counted on {!Ts_obs.Metrics.default} under [tms.slots.*]. *)
 
+type reject = {
+  node : int;  (** the node whose placement failed *)
+  window_empty : bool;  (** its scheduling window was empty *)
+  resource_rejects : int;  (** slots rejected by the resource check *)
+  c1_rejects : int;  (** slots rejected by C1 *)
+  c2_rejects : int;  (** slots rejected by C2 *)
+}
+(** Why one [(II, C_delay)] attempt died: either the failing node had no
+    window at all, or every candidate slot was rejected (with the
+    per-condition counts). *)
+
+val reject_reason : reject -> string
+(** Compact label for traces: ["window-empty"],
+    ["resource-exhausted"], ["c1-exhausted"], ["c2-exhausted"], or
+    ["mixed-exhausted"] when several conditions contributed. *)
+
+val try_schedule_explained :
+  ?asap:int array ->
+  Ts_ddg.Ddg.t ->
+  order:(int * Ts_modsched.Sched.direction) list ->
+  ii:int ->
+  c_delay:int ->
+  p_max:float ->
+  c_reg_com:int ->
+  (Ts_modsched.Kernel.t, reject) Stdlib.result
+(** One TMS attempt at a fixed [(II, C_delay)] (Figure 3 lines 8-15) with
+    the failure diagnosis. [asap] must be
+    [Ts_modsched.Sched.asap_table g ~ii] when supplied (grid searches
+    cache it per II). *)
+
 val try_schedule :
+  ?asap:int array ->
   Ts_ddg.Ddg.t ->
   order:(int * Ts_modsched.Sched.direction) list ->
   ii:int ->
@@ -69,8 +100,25 @@ val try_schedule :
   p_max:float ->
   c_reg_com:int ->
   Ts_modsched.Kernel.t option
-(** One TMS attempt at a fixed [(II, C_delay)] (Figure 3 lines 8-15),
-    exposed for tests and for the ablation benches. *)
+(** {!try_schedule_explained} without the diagnosis, exposed for tests
+    and for the ablation benches. *)
+
+type slot_verdict = Admit | Reject_resource | Reject_c1 | Reject_c2
+
+val admit :
+  Ts_modsched.Sched.t ->
+  int ->
+  cycle:int ->
+  c_delay:int ->
+  p_max:float ->
+  c_reg_com:int ->
+  slot_verdict
+(** The bare [ISSUE_SLOT_SELECTION] predicate (Figure 3 lines 18-28) with
+    the rejecting condition: resource fit, C1 on the new inter-iteration
+    register dependences, C2 on the resulting misspeculation frequency.
+    Allocation-free: it reads the partial schedule's incrementally
+    maintained dependence masks ({!Ts_modsched.Sched.reg_active_mask})
+    and only examines the edges incident to the candidate node. *)
 
 val admissible :
   Ts_modsched.Sched.t ->
@@ -80,11 +128,8 @@ val admissible :
   p_max:float ->
   c_reg_com:int ->
   bool
-(** The bare [ISSUE_SLOT_SELECTION] predicate (Figure 3 lines 18-28):
-    resource fit, C1 on the new inter-iteration register dependences, C2
-    on the resulting misspeculation frequency. Exposed so other base
-    schedulers can be made thread-sensitive (see {!Tms_ims}) and for
-    tests. *)
+(** [admit ... = Admit]. Exposed so other base schedulers can be made
+    thread-sensitive (see {!Tms_ims}) and for tests. *)
 
 val attempt_event :
   Ts_obs.Trace.t ->
@@ -92,11 +137,14 @@ val attempt_event :
   ii:int ->
   c_delay:int ->
   f:float ->
+  ?reason:string ->
   bool ->
   unit
 (** Emit one ["tms.attempt"] instant event (no-op on the null tracer);
     shared with the other thread-sensitive instantiations ({!Tms_ims}).
-    [base] names the underlying scheduler (["sms"], ["ims"]). *)
+    [base] names the underlying scheduler (["sms"], ["ims"]); [reason]
+    defaults to ["scheduled"] / ["placement-failed"] by acceptance —
+    pass {!reject_reason} for the diagnosis. *)
 
 val result_event : Ts_obs.Trace.t -> result -> unit
 (** Emit the ["tms.result"] event for a finished search. *)

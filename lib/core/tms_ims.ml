@@ -26,6 +26,20 @@ let schedule ?(trace = Ts_obs.Trace.null) ?(p_max = Tms.default_p_max) ?max_ii
   let c_reg_com = params.Ts_isa.Spmt_params.c_reg_com in
   let cd_max = ii_max - 1 + max_lat + c_reg_com in
   let groups = Cost_model.f_groups params ~mii ~ii_max ~cd_max in
+  (* Per-II caches: the grid revisits an II once per objective group, and
+     both the ASAP relaxation and the priority sort depend only on
+     (g, II). *)
+  let per_ii = Hashtbl.create 8 in
+  let cached ii =
+    match Hashtbl.find_opt per_ii ii with
+    | Some c -> c
+    | None ->
+        let c =
+          (Ts_modsched.Sched.asap_table g ~ii, Ts_sms.Ims.priority_order g ~ii)
+        in
+        Hashtbl.add per_ii ii c;
+        c
+  in
   let attempts = ref 0 in
   let finish ~fell_back ~c_delay_threshold ~f_min kernel =
     {
@@ -61,7 +75,8 @@ let schedule ?(trace = Ts_obs.Trace.null) ?(p_max = Tms.default_p_max) ?max_ii
               let admissible s v ~cycle =
                 Tms.admissible s v ~cycle ~c_delay:cd ~p_max ~c_reg_com
               in
-              let res = Ts_sms.Ims.try_ii ~admissible g ~ii in
+              let asap, prio = cached ii in
+              let res = Ts_sms.Ims.try_ii ~admissible ~asap ~prio g ~ii in
               Tms.attempt_event trace ~base:"ims" ~ii ~c_delay:cd ~f (res <> None);
               match res with
               | Some kernel ->

@@ -11,17 +11,23 @@ type t = {
   edges : edge array;
   succs : edge list array;
   preds : edge list array;
+  reg_arr : edge array;
+  mem_arr : edge array;
+  inc_reg : int array array;
+  inc_mem : int array array;
 }
 
 let n_nodes t = Array.length t.nodes
 let node t i = t.nodes.(i)
 let latency t i = t.nodes.(i).latency
 
-let mem_edges t =
-  Array.to_list t.edges |> List.filter (fun e -> e.kind = Mem)
+let reg_edge_array t = t.reg_arr
+let mem_edge_array t = t.mem_arr
+let incident_reg t v = t.inc_reg.(v)
+let incident_mem t v = t.inc_mem.(v)
 
-let reg_edges t =
-  Array.to_list t.edges |> List.filter (fun e -> e.kind = Reg)
+let mem_edges t = Array.to_list t.mem_arr
+let reg_edges t = Array.to_list t.reg_arr
 
 let n_mem_ops t =
   Array.fold_left
@@ -55,6 +61,22 @@ let check_edges name nodes edges =
             fail "memory dependence %d -> %d must sink at a load" e.src e.dst)
     edges
 
+(* Edges of one kind, in [edges]-array order, plus for every node the
+   indices (into that partition) of the edges touching it. Self edges
+   appear once in their node's index list. *)
+let partition_by_kind nodes edges kind =
+  let part =
+    Array.of_list (List.filter (fun e -> e.kind = kind) (Array.to_list edges))
+  in
+  let n = Array.length nodes in
+  let inc = Array.make n [] in
+  Array.iteri
+    (fun i e ->
+      inc.(e.src) <- i :: inc.(e.src);
+      if e.dst <> e.src then inc.(e.dst) <- i :: inc.(e.dst))
+    part;
+  (part, Array.map (fun l -> Array.of_list (List.rev l)) inc)
+
 let make ~name ~machine ~nodes ~edges =
   check_edges name nodes edges;
   let n = Array.length nodes in
@@ -67,7 +89,9 @@ let make ~name ~machine ~nodes ~edges =
     edges;
   Array.iteri (fun i l -> succs.(i) <- List.rev l) succs;
   Array.iteri (fun i l -> preds.(i) <- List.rev l) preds;
-  { name; machine; nodes; edges; succs; preds }
+  let reg_arr, inc_reg = partition_by_kind nodes edges Reg in
+  let mem_arr, inc_mem = partition_by_kind nodes edges Mem in
+  { name; machine; nodes; edges; succs; preds; reg_arr; mem_arr; inc_reg; inc_mem }
 
 let validate t = check_edges t.name t.nodes t.edges
 

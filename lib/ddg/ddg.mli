@@ -35,12 +35,32 @@ type t = private {
   edges : edge array;
   succs : edge list array;  (** outgoing edges per node *)
   preds : edge list array;  (** incoming edges per node *)
+  reg_arr : edge array;  (** register edges, in [edges] order *)
+  mem_arr : edge array;  (** memory edges, in [edges] order *)
+  inc_reg : int array array;
+      (** per node, indices into [reg_arr] of the register edges whose
+          source or sink is the node (self edges listed once) *)
+  inc_mem : int array array;  (** same, into [mem_arr] *)
 }
 
 val n_nodes : t -> int
 val node : t -> int -> node
 val latency : t -> int -> int
 (** Latency of node [i]. *)
+
+val reg_edge_array : t -> edge array
+(** All register dependence edges in [edges]-array order. Built once at
+    graph construction; callers must not mutate it. *)
+
+val mem_edge_array : t -> edge array
+(** All memory dependence edges in [edges]-array order (do not mutate). *)
+
+val incident_reg : t -> int -> int array
+(** Indices into {!reg_edge_array} of the register edges incident to a
+    node (as source or sink; self edges once). Do not mutate. *)
+
+val incident_mem : t -> int -> int array
+(** Same for memory edges, indexing {!mem_edge_array}. *)
 
 val mem_edges : t -> edge list
 (** All memory dependence edges. *)

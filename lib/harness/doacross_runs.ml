@@ -14,27 +14,43 @@ type t = { sel : Ts_workload.Doacross.selected; loops : loop_data list }
    every stream is cache-resident and the measurement is steady-state. *)
 let warmup = 512
 
+let compute_loop ~cfg ~params ~trip g =
+  let plan = Ts_spmt.Address_plan.create g in
+  let sms = Ts_sms.Sms.schedule g in
+  let tms = Ts_tms.Tms.schedule_sweep ~params g in
+  {
+    g;
+    plan;
+    sms;
+    tms;
+    sim_sms = Ts_spmt.Sim.run ~plan ~warmup cfg sms.Ts_sms.Sms.kernel ~trip;
+    sim_tms = Ts_spmt.Sim.run ~plan ~warmup cfg tms.Ts_tms.Tms.kernel ~trip;
+    sim_single = Ts_spmt.Single.run ~plan ~warmup cfg g ~trip;
+  }
+
 let compute ~cfg =
   let params = cfg.Ts_spmt.Config.params in
-  List.map
-    (fun (sel : Ts_workload.Doacross.selected) ->
-      let loops =
-        List.map
-          (fun g ->
-            let plan = Ts_spmt.Address_plan.create g in
-            let sms = Ts_sms.Sms.schedule g in
-            let tms = Ts_tms.Tms.schedule_sweep ~params g in
-            let trip = sel.trip in
-            {
-              g;
-              plan;
-              sms;
-              tms;
-              sim_sms = Ts_spmt.Sim.run ~plan ~warmup cfg sms.Ts_sms.Sms.kernel ~trip;
-              sim_tms = Ts_spmt.Sim.run ~plan ~warmup cfg tms.Ts_tms.Tms.kernel ~trip;
-              sim_single = Ts_spmt.Single.run ~plan ~warmup cfg g ~trip;
-            })
-          sel.loops
-      in
-      { sel; loops })
-    Ts_workload.Doacross.all
+  (* Flatten to one pool task per loop (art alone holds four of the seven),
+     then regroup the ordered results under their benchmarks. *)
+  let tasks =
+    List.concat_map
+      (fun (sel : Ts_workload.Doacross.selected) ->
+        List.map (fun g -> (sel, g)) sel.loops)
+      Ts_workload.Doacross.all
+  in
+  let datas =
+    Ts_base.Parallel.map
+      (fun ((sel : Ts_workload.Doacross.selected), g) ->
+        compute_loop ~cfg ~params ~trip:sel.trip g)
+      tasks
+  in
+  let rec regroup sels datas =
+    match sels with
+    | [] -> []
+    | (sel : Ts_workload.Doacross.selected) :: rest ->
+        let k = List.length sel.loops in
+        let mine = List.filteri (fun i _ -> i < k) datas in
+        let others = List.filteri (fun i _ -> i >= k) datas in
+        { sel; loops = mine } :: regroup rest others
+  in
+  regroup Ts_workload.Doacross.all datas

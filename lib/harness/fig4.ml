@@ -12,7 +12,8 @@ let program_speedup_of ~coverage ~loop_speedup_pct =
 
 let compute ?limit ~cfg () =
   let params = cfg.Ts_spmt.Config.params in
-  List.map
+  (* One pool task per benchmark: schedule + simulate its loops. *)
+  Ts_base.Parallel.map
     (fun (bench : Ts_workload.Spec_suite.bench) ->
       let runs = Suite.run_bench ?limit ~params bench in
       let totals =

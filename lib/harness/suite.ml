@@ -16,4 +16,5 @@ let run_bench ?limit ~params bench =
     | None -> loops
     | Some k -> List.filteri (fun i _ -> i < k) loops
   in
-  List.map (schedule_loop ~params) loops
+  (* One pool task per loop; results stay in loop order. *)
+  Ts_base.Parallel.map (schedule_loop ~params) loops

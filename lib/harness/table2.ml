@@ -34,7 +34,10 @@ let row_of_runs ~params bench runs =
   }
 
 let compute ?limit ~params () =
-  List.map
+  (* One pool task per benchmark (rows stay in Table 2 order); the
+     per-loop parallelism inside [run_bench] only kicks in when this
+     outer level runs sequentially. *)
+  Ts_base.Parallel.map
     (fun bench -> row_of_runs ~params bench (Suite.run_bench ?limit ~params bench))
     Ts_workload.Spec_suite.benchmarks
 

@@ -8,9 +8,11 @@ type t = {
   asap_tbl : int array;
   mutable placed_rev : int list;
   mutable n_placed : int;
+  reg_active : bool array;
+  mem_active : bool array;
 }
 
-let compute_asap (g : Ts_ddg.Ddg.t) ~ii =
+let asap_table (g : Ts_ddg.Ddg.t) ~ii =
   let n = Ts_ddg.Ddg.n_nodes g in
   let asap = Array.make n 0 in
   (* Longest path from a virtual source; II >= RecII makes all cycles
@@ -34,16 +36,18 @@ let compute_asap (g : Ts_ddg.Ddg.t) ~ii =
   done;
   asap
 
-let create g ~ii =
+let create ?asap g ~ii =
   let n = Ts_ddg.Ddg.n_nodes g in
   {
     g;
     ii;
     time = Array.make n None;
     mrt = Mrt.create g.machine ~ii;
-    asap_tbl = compute_asap g ~ii;
+    asap_tbl = (match asap with Some a -> a | None -> asap_table g ~ii);
     placed_rev = [];
     n_placed = 0;
+    reg_active = Array.make (Array.length (Ts_ddg.Ddg.reg_edge_array g)) false;
+    mem_active = Array.make (Array.length (Ts_ddg.Ddg.mem_edge_array g)) false;
   }
 
 let ddg t = t.g
@@ -53,6 +57,8 @@ let is_scheduled t v = t.time.(v) <> None
 let n_scheduled t = t.n_placed
 let scheduled_nodes t = List.rev t.placed_rev
 let asap t v = t.asap_tbl.(v)
+let reg_active_mask t = t.reg_active
+let mem_active_mask t = t.mem_active
 
 let window ?(prefer = Up) t v =
   let lat u = Ts_ddg.Ddg.latency t.g u in
@@ -96,13 +102,36 @@ let candidate_cycles (lo, hi, dir) =
 
 let fits t v ~cycle = Mrt.fits t.mrt (Ts_ddg.Ddg.node t.g v).op ~cycle
 
+(* Whether an edge with both endpoints placed is an inter-iteration
+   dependence of the partial schedule (paper Definition 1, kernel
+   distance >= 1). Stages come from raw issue cycles; the kernel
+   normalises by a multiple of II, which preserves stage differences. *)
+let edge_active t (e : Ts_ddg.Ddg.edge) =
+  match (t.time.(e.src), t.time.(e.dst)) with
+  | Some ts, Some td ->
+      e.distance
+      + Ts_base.Intmath.div_floor td t.ii
+      - Ts_base.Intmath.div_floor ts t.ii
+      >= 1
+  | _ -> false
+
+(* Re-derive the active flags of the edges incident to [v] after it was
+   placed or evicted; only these can have changed. *)
+let refresh_incident t v =
+  let update mask arr idxs =
+    Array.iter (fun i -> mask.(i) <- edge_active t arr.(i)) idxs
+  in
+  update t.reg_active (Ts_ddg.Ddg.reg_edge_array t.g) (Ts_ddg.Ddg.incident_reg t.g v);
+  update t.mem_active (Ts_ddg.Ddg.mem_edge_array t.g) (Ts_ddg.Ddg.incident_mem t.g v)
+
 let place t v ~cycle =
   if is_scheduled t v then
     invalid_arg (Printf.sprintf "Sched.place: node %d already scheduled" v);
   Mrt.reserve t.mrt (Ts_ddg.Ddg.node t.g v).op ~cycle;
   t.time.(v) <- Some cycle;
   t.placed_rev <- v :: t.placed_rev;
-  t.n_placed <- t.n_placed + 1
+  t.n_placed <- t.n_placed + 1;
+  refresh_incident t v
 
 let unplace t v =
   match t.time.(v) with
@@ -111,7 +140,8 @@ let unplace t v =
       Mrt.release t.mrt (Ts_ddg.Ddg.node t.g v).op ~cycle;
       t.time.(v) <- None;
       t.placed_rev <- List.filter (fun w -> w <> v) t.placed_rev;
-      t.n_placed <- t.n_placed - 1
+      t.n_placed <- t.n_placed - 1;
+      refresh_incident t v
 
 let is_complete t = t.n_placed = Ts_ddg.Ddg.n_nodes t.g
 

@@ -17,8 +17,17 @@
 
 type t
 
-val create : Ts_ddg.Ddg.t -> ii:int -> t
-(** Empty schedule at the given II. Also computes per-node ASAP times. *)
+val asap_table : Ts_ddg.Ddg.t -> ii:int -> int array
+(** Per-node static earliest start times at [ii] (longest path from a
+    virtual source over weights [lat - II * distance], clamped at 0).
+    Depends only on [(g, ii)], so grid searches that revisit an II can
+    compute it once and feed it back through [create ?asap]. Raises
+    [Invalid_argument] when [ii] is below the recurrence-constrained
+    minimum (the relaxation would diverge). *)
+
+val create : ?asap:int array -> Ts_ddg.Ddg.t -> ii:int -> t
+(** Empty schedule at the given II. [asap] must be [asap_table g ~ii] (it
+    is trusted and shared, not copied); when absent it is computed. *)
 
 val ddg : t -> Ts_ddg.Ddg.t
 val ii : t -> int
@@ -35,6 +44,16 @@ val scheduled_nodes : t -> int list
 val asap : t -> int -> int
 (** Static earliest start of a node at this II (longest-path from the
     virtual source over weights [lat - II * distance], clamped at 0). *)
+
+val reg_active_mask : t -> bool array
+(** One flag per edge of {!Ts_ddg.Ddg.reg_edge_array}: [true] iff both
+    endpoints are placed and the dependence is inter-iteration in the
+    partial schedule (kernel distance [>= 1]). Maintained incrementally by
+    {!place}/{!unplace} — admission checks read it instead of rescanning
+    the edge array. Callers must not mutate it. *)
+
+val mem_active_mask : t -> bool array
+(** Same, for {!Ts_ddg.Ddg.mem_edge_array}. *)
 
 type direction = Up | Down
 

@@ -1,31 +1,44 @@
-type counter = { mutable count : int }
-type gauge = { mutable value : float }
+(* Domain-safety: counters and gauges are Atomic cells (counters use
+   fetch-and-add, so totals are exact under any number of worker domains);
+   histograms update several fields together and take a tiny per-histogram
+   mutex; the registry table itself is guarded by a per-registry mutex so
+   concurrent registration/reset/dump cannot corrupt it. *)
+
+type counter = int Atomic.t
+type gauge = float Atomic.t
 
 type histogram = {
+  lock : Mutex.t;
   mutable n : int;
   mutable sum : float;
-  mutable min : float;
-  mutable max : float;
+  mutable minv : float;
+  mutable maxv : float;
 }
 
 type metric = Counter of counter | Gauge of gauge | Histogram of histogram
-type registry = (string, metric) Hashtbl.t
+type registry = { tbl : (string, metric) Hashtbl.t; reg_lock : Mutex.t }
 
-let create () : registry = Hashtbl.create 32
+let create () : registry = { tbl = Hashtbl.create 32; reg_lock = Mutex.create () }
 let default : registry = create ()
 
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
 let reset reg =
+  with_lock reg.reg_lock @@ fun () ->
   Hashtbl.iter
     (fun _ m ->
       match m with
-      | Counter c -> c.count <- 0
-      | Gauge g -> g.value <- 0.0
+      | Counter c -> Atomic.set c 0
+      | Gauge g -> Atomic.set g 0.0
       | Histogram h ->
+          with_lock h.lock @@ fun () ->
           h.n <- 0;
           h.sum <- 0.0;
-          h.min <- infinity;
-          h.max <- neg_infinity)
-    reg
+          h.minv <- infinity;
+          h.maxv <- neg_infinity)
+    reg.tbl
 
 let kind_name = function
   | Counter _ -> "counter"
@@ -33,7 +46,8 @@ let kind_name = function
   | Histogram _ -> "histogram"
 
 let register reg name make extract expected =
-  match Hashtbl.find_opt reg name with
+  with_lock reg.reg_lock @@ fun () ->
+  match Hashtbl.find_opt reg.tbl name with
   | Some m -> (
       match extract m with
       | Some handle -> handle
@@ -43,53 +57,62 @@ let register reg name make extract expected =
                expected))
   | None ->
       let handle, m = make () in
-      Hashtbl.add reg name m;
+      Hashtbl.add reg.tbl name m;
       handle
 
 let counter reg name =
   register reg name
     (fun () ->
-      let c = { count = 0 } in
+      let c = Atomic.make 0 in
       (c, Counter c))
     (function Counter c -> Some c | _ -> None)
     "counter"
 
 let incr ?(by = 1) c =
   if by < 0 then invalid_arg "Metrics.incr: counters are monotonic (by < 0)";
-  c.count <- c.count + by
+  ignore (Atomic.fetch_and_add c by)
 
-let counter_value c = c.count
+let counter_value c = Atomic.get c
 
 let gauge reg name =
   register reg name
     (fun () ->
-      let g = { value = 0.0 } in
+      let g = Atomic.make 0.0 in
       (g, Gauge g))
     (function Gauge g -> Some g | _ -> None)
     "gauge"
 
-let set_gauge g v = g.value <- v
-let gauge_value g = g.value
+let set_gauge g v = Atomic.set g v
+let gauge_value g = Atomic.get g
 
 let histogram reg name =
   register reg name
     (fun () ->
-      let h = { n = 0; sum = 0.0; min = infinity; max = neg_infinity } in
+      let h =
+        { lock = Mutex.create (); n = 0; sum = 0.0; minv = infinity;
+          maxv = neg_infinity }
+      in
       (h, Histogram h))
     (function Histogram h -> Some h | _ -> None)
     "histogram"
 
 let observe h v =
+  with_lock h.lock @@ fun () ->
   h.n <- h.n + 1;
   h.sum <- h.sum +. v;
-  if v < h.min then h.min <- v;
-  if v > h.max then h.max <- v
+  if v < h.minv then h.minv <- v;
+  if v > h.maxv then h.maxv <- v
 
-let histogram_count h = h.n
-let histogram_sum h = h.sum
+let histogram_count h = with_lock h.lock (fun () -> h.n)
+let histogram_sum h = with_lock h.lock (fun () -> h.sum)
+
+(* Consistent (n, sum, min, max) snapshot for rendering. *)
+let histogram_snapshot h =
+  with_lock h.lock (fun () -> (h.n, h.sum, h.minv, h.maxv))
 
 let sorted_bindings reg =
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) reg []
+  with_lock reg.reg_lock (fun () ->
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) reg.tbl [])
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let render_table reg =
@@ -101,17 +124,20 @@ let render_table reg =
   List.iter
     (fun (name, m) ->
       match m with
-      | Counter c -> add_row t [ name; "counter"; string_of_int c.count; "" ]
-      | Gauge g -> add_row t [ name; "gauge"; Printf.sprintf "%g" g.value; "" ]
+      | Counter c ->
+          add_row t [ name; "counter"; string_of_int (Atomic.get c); "" ]
+      | Gauge g ->
+          add_row t [ name; "gauge"; Printf.sprintf "%g" (Atomic.get g); "" ]
       | Histogram h ->
+          let n, sum, minv, maxv = histogram_snapshot h in
           let detail =
-            if h.n = 0 then "empty"
+            if n = 0 then "empty"
             else
               Printf.sprintf "mean=%.2f min=%g max=%g"
-                (h.sum /. float_of_int h.n)
-                h.min h.max
+                (sum /. float_of_int n)
+                minv maxv
           in
-          add_row t [ name; "histogram"; string_of_int h.n; detail ])
+          add_row t [ name; "histogram"; string_of_int n; detail ])
     (sorted_bindings reg);
   render t
 
@@ -121,15 +147,16 @@ let to_json reg =
        (fun (name, m) ->
          let v =
            match m with
-           | Counter c -> Json.Int c.count
-           | Gauge g -> Json.Float g.value
+           | Counter c -> Json.Int (Atomic.get c)
+           | Gauge g -> Json.Float (Atomic.get g)
            | Histogram h ->
+               let n, sum, minv, maxv = histogram_snapshot h in
                Json.Obj
                  [
-                   ("count", Json.Int h.n);
-                   ("sum", Json.Float h.sum);
-                   ("min", if h.n = 0 then Json.Null else Json.Float h.min);
-                   ("max", if h.n = 0 then Json.Null else Json.Float h.max);
+                   ("count", Json.Int n);
+                   ("sum", Json.Float sum);
+                   ("min", if n = 0 then Json.Null else Json.Float minv);
+                   ("max", if n = 0 then Json.Null else Json.Float maxv);
                  ]
          in
          (name, v))

@@ -2,11 +2,16 @@
     SpMT simulator.
 
     Metrics are registered in a {!registry} by name; handles are cheap
-    mutable cells, so instrumentation sites pay one integer (or float)
-    update per event — there is no sink to configure, and nothing is
-    emitted unless the registry is explicitly dumped ({!render_table},
-    {!to_json}). The process-wide {!default} registry is what the CLI's
-    [--metrics] flag prints after a subcommand runs.
+    cells, so instrumentation sites pay one integer (or float) update per
+    event — there is no sink to configure, and nothing is emitted unless
+    the registry is explicitly dumped ({!render_table}, {!to_json}). The
+    process-wide {!default} registry is what the CLI's [--metrics] flag
+    prints after a subcommand runs.
+
+    All operations are domain-safe: counters and gauges are atomic cells
+    (counter totals are exact — identical at any {!Ts_base.Parallel} pool
+    size), histograms take a per-histogram mutex, and registration is
+    serialised per registry.
 
     Naming convention: dotted lower-case paths grouped by subsystem, e.g.
     [tms.attempts], [tms.slots.c1_reject], [sim.squashes]. *)

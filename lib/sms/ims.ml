@@ -20,13 +20,13 @@ let priority_order g ~ii =
     (List.init (Ts_ddg.Ddg.n_nodes g) Fun.id)
 
 let try_ii_counting ?(budget_ratio = 6) ?(admissible = fun _ _ ~cycle:_ -> true)
-    (g : Ts_ddg.Ddg.t) ~ii =
+    ?asap ?prio (g : Ts_ddg.Ddg.t) ~ii =
   let n = Ts_ddg.Ddg.n_nodes g in
-  let s = S.create g ~ii in
+  let s = S.create ?asap g ~ii in
   let budget = ref (budget_ratio * n) in
   let placements = ref 0 in
   let prev_time = Array.make n min_int in
-  let prio = priority_order g ~ii in
+  let prio = match prio with Some p -> p | None -> priority_order g ~ii in
   let pick_unscheduled () = List.find_opt (fun v -> not (S.is_scheduled s v)) prio in
   let lat u = Ts_ddg.Ddg.latency g u in
   (* earliest start w.r.t. currently scheduled predecessors *)
@@ -111,8 +111,8 @@ let try_ii_counting ?(budget_ratio = 6) ?(admissible = fun _ _ ~cycle:_ -> true)
   if !ok && S.is_complete s then (Some (Ts_modsched.Kernel.of_schedule s), !placements)
   else (None, !placements)
 
-let try_ii ?budget_ratio ?admissible g ~ii =
-  fst (try_ii_counting ?budget_ratio ?admissible g ~ii)
+let try_ii ?budget_ratio ?admissible ?asap ?prio g ~ii =
+  fst (try_ii_counting ?budget_ratio ?admissible ?asap ?prio g ~ii)
 
 let schedule ?max_ii ?budget_ratio g =
   let mii = Ts_ddg.Mii.mii g in

@@ -28,13 +28,22 @@ val schedule :
     operations per II attempt at [ratio * n_nodes], after which the II is
     increased, as in Rau's formulation. *)
 
+val priority_order : Ts_ddg.Ddg.t -> ii:int -> int list
+(** Rau's height-based placement priority at [ii] (highest first, ties by
+    node id). Deterministic in [(g, ii)]; grid searches that revisit an II
+    compute it once and feed it back through [try_ii ?prio]. *)
+
 val try_ii :
   ?budget_ratio:int ->
   ?admissible:(Ts_modsched.Sched.t -> int -> cycle:int -> bool) ->
+  ?asap:int array ->
+  ?prio:int list ->
   Ts_ddg.Ddg.t ->
   ii:int ->
   Ts_modsched.Kernel.t option
 (** One IMS attempt at a fixed II. [admissible] adds an extra admission
     predicate on (partial schedule, node, cycle) — resource feasibility is
     always checked; thread-sensitive wrappers pass their C1/C2 checks
-    here. *)
+    here. [asap] and [prio] must equal [Ts_modsched.Sched.asap_table g
+    ~ii] and {!priority_order} when supplied (per-II caches for grid
+    searches). *)

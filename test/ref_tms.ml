@@ -1,0 +1,175 @@
+(* Reference TMS search: the pre-optimisation implementation, kept as a
+   golden oracle for the equivalence tests. This is the list-based seed
+   algorithm — inter-iteration dependence sets recomputed from scratch on
+   every admissibility check, ASAP tables recomputed per attempt — with
+   tracing and metrics stripped. It must NOT be "improved": its whole
+   value is that it computes the answer the slow, obviously-correct way.
+   The optimised [Ts_tms.Tms] search must return byte-identical kernels,
+   [f_min] and attempt counts. *)
+
+module K = Ts_modsched.Kernel
+module S = Ts_modsched.Sched
+module Cost_model = Ts_tms.Cost_model
+module Overheads = Ts_tms.Overheads
+
+type result = {
+  kernel : K.t;
+  f_min : float;
+  attempts : int;
+  fell_back : bool;
+}
+
+(* Incremental view of the partial schedule: rows/stages computed directly
+   from raw issue cycles. *)
+module Partial = struct
+  let row ~ii t = Ts_base.Intmath.modulo t ii
+  let stage ~ii t = Ts_base.Intmath.div_floor t ii
+
+  let d_ker ~ii ~time_of (e : Ts_ddg.Ddg.edge) =
+    match (time_of e.src, time_of e.dst) with
+    | Some ts, Some td -> Some (e.distance + stage ~ii td - stage ~ii ts)
+    | _ -> None
+
+  let sync g ~ii ~c_reg_com ~time_of (e : Ts_ddg.Ddg.edge) =
+    match (time_of e.src, time_of e.dst) with
+    | Some ts, Some td ->
+        Some (row ~ii ts - row ~ii td + Ts_ddg.Ddg.latency g e.src + c_reg_com)
+    | _ -> None
+
+  let inter_iter_deps g ~ii ~time_of kind =
+    Array.to_list g.Ts_ddg.Ddg.edges
+    |> List.filter_map (fun (e : Ts_ddg.Ddg.edge) ->
+           if e.kind <> kind then None
+           else
+             match d_ker ~ii ~time_of e with
+             | Some d when d >= 1 -> Some e
+             | _ -> None)
+
+  let preserved g ~ii ~c_reg_com ~time_of ~reg_deps (e : Ts_ddg.Ddg.edge) =
+    match (time_of e.src, time_of e.dst, d_ker ~ii ~time_of e) with
+    | Some ts, Some td, Some dk when dk >= 1 ->
+        let need =
+          float_of_int (row ~ii ts + Ts_ddg.Ddg.latency g e.src - row ~ii td)
+          /. float_of_int dk
+        in
+        List.exists
+          (fun (r : Ts_ddg.Ddg.edge) ->
+            match (time_of r.src, sync g ~ii ~c_reg_com ~time_of r) with
+            | Some tu, Some sy -> row ~ii tu < row ~ii ts && float_of_int sy >= need
+            | _ -> false)
+          reg_deps
+    | _ -> false
+end
+
+let admissible s v ~cycle ~c_delay ~p_max ~c_reg_com =
+  let g = S.ddg s in
+  let ii = S.ii s in
+  if not (S.fits s v ~cycle) then false
+  else begin
+    let time_of u = if u = v then Some cycle else S.time s u in
+    let incident (e : Ts_ddg.Ddg.edge) = e.src = v || e.dst = v in
+    let new_deps kind =
+      List.filter incident (Partial.inter_iter_deps g ~ii ~time_of kind)
+    in
+    let r_v = new_deps Ts_ddg.Ddg.Reg in
+    let c1 =
+      List.for_all
+        (fun e ->
+          match Partial.sync g ~ii ~c_reg_com ~time_of e with
+          | Some sy -> sy <= c_delay
+          | None -> true)
+        r_v
+    in
+    if not c1 then false
+    else begin
+      let m_v = new_deps Ts_ddg.Ddg.Mem in
+      if m_v = [] then true
+      else begin
+        let reg_deps = Partial.inter_iter_deps g ~ii ~time_of Ts_ddg.Ddg.Reg in
+        let mem_deps = Partial.inter_iter_deps g ~ii ~time_of Ts_ddg.Ddg.Mem in
+        let m_all =
+          List.filter
+            (fun e -> not (Partial.preserved g ~ii ~c_reg_com ~time_of ~reg_deps e))
+            mem_deps
+        in
+        let freq =
+          Cost_model.p_m (List.map (fun (e : Ts_ddg.Ddg.edge) -> e.prob) m_all)
+        in
+        freq <= p_max +. 1e-12
+      end
+    end
+  end
+
+let try_schedule g ~order ~ii ~c_delay ~p_max ~c_reg_com =
+  let s = S.create g ~ii in
+  let place_one (v, prefer) =
+    match S.window ~prefer s v with
+    | None -> false
+    | Some w ->
+        let rec try_cycles = function
+          | [] -> false
+          | c :: rest ->
+              if admissible s v ~cycle:c ~c_delay ~p_max ~c_reg_com then begin
+                S.place s v ~cycle:c;
+                true
+              end
+              else try_cycles rest
+        in
+        try_cycles (S.candidate_cycles w)
+  in
+  if List.for_all place_one order then Some (K.of_schedule s) else None
+
+let schedule ?(p_max = Ts_tms.Tms.default_p_max) ?max_ii ~params g =
+  let mii = Ts_ddg.Mii.mii g in
+  let ii_max =
+    match max_ii with
+    | Some m -> m
+    | None -> min (Ts_ddg.Mii.ii_upper_bound g) (max (Ts_ddg.Mii.ldp g) mii + 8)
+  in
+  let max_lat =
+    Array.fold_left (fun acc (nd : Ts_ddg.Ddg.node) -> max acc nd.latency) 1 g.nodes
+  in
+  let c_reg_com = params.Ts_isa.Spmt_params.c_reg_com in
+  let cd_max = ii_max - 1 + max_lat + c_reg_com in
+  let order = Ts_sms.Order.compute_with_dirs g ~ii:mii in
+  let groups = Cost_model.f_groups params ~mii ~ii_max ~cd_max in
+  let attempts = ref 0 in
+  let rec walk = function
+    | [] ->
+        let sms = Ts_sms.Sms.schedule g in
+        let kernel = sms.Ts_sms.Sms.kernel in
+        let f_min =
+          Cost_model.f_value params ~ii:kernel.K.ii
+            ~c_delay:(max 1 (K.c_delay kernel ~c_reg_com))
+        in
+        { kernel; f_min; attempts = !attempts; fell_back = true }
+    | (f, points) :: rest ->
+        let rec try_points = function
+          | [] -> walk rest
+          | (ii, cd) :: more -> (
+              incr attempts;
+              match try_schedule g ~order ~ii ~c_delay:cd ~p_max ~c_reg_com with
+              | Some kernel ->
+                  { kernel; f_min = f; attempts = !attempts; fell_back = false }
+              | None -> try_points more)
+        in
+        try_points points
+  in
+  walk groups
+
+let schedule_sweep ?(p_maxes = [ 0.01; 0.05; 0.25 ]) ~params g =
+  let n = 1000 in
+  let results =
+    List.map (fun p_max -> (p_max, schedule ~p_max ~params g)) p_maxes
+  in
+  let c_reg_com = params.Ts_isa.Spmt_params.c_reg_com in
+  let cost (r : result) =
+    Cost_model.estimate params ~ii:r.kernel.K.ii
+      ~c_delay:(K.c_delay r.kernel ~c_reg_com)
+      ~p_m:(Overheads.misspec_prob r.kernel ~c_reg_com)
+      ~n
+  in
+  match results with
+  | [] -> invalid_arg "Ref_tms.schedule_sweep: empty p_max list"
+  | (_, r0) :: rest ->
+      List.fold_left (fun best (_, r) -> if cost r < cost best then r else best) r0 rest

@@ -14,6 +14,7 @@ let () =
       ("order+sms", Test_order_sms.suite);
       ("cost-model", Test_cost_model.suite);
       ("tms", Test_tms.suite);
+      ("tms-equiv", Test_equiv.suite);
       ("cache+mdt", Test_cache_mdt.suite);
       ("sim", Test_sim.suite);
       ("workload", Test_workload.suite);
