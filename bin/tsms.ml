@@ -6,6 +6,7 @@
      compare     all four schedulers plus the single core, one table
      dot         emit Graphviz for a .ddg loop
      suite       print scheduling statistics for a synthetic benchmark
+     check       differential-fuzz the schedulers, checker and simulator
      experiments regenerate the paper's tables and figures *)
 
 open Cmdliner
@@ -329,6 +330,76 @@ let compare_cmd =
   Cmd.v (Cmd.info "compare" ~doc)
     Term.(const run $ jobs_arg $ loop_arg $ ncore_arg $ trace_arg $ metrics_arg)
 
+let check_cmd =
+  let seeds_arg =
+    Arg.(value & opt int Ts_fuzz.Fuzz.default_config.seeds
+         & info [ "seeds" ] ~docv:"N" ~doc:"Fuzz seeds to run (0 .. N-1).")
+  in
+  let trip_arg =
+    Arg.(value & opt int Ts_fuzz.Fuzz.default_config.trip
+         & info [ "trip" ] ~docv:"N" ~doc:"Measured iterations per simulation.")
+  in
+  let warmup_arg =
+    Arg.(value & opt int Ts_fuzz.Fuzz.default_config.warmup
+         & info [ "warmup" ] ~docv:"N" ~doc:"Warmup iterations per simulation.")
+  in
+  let out_arg =
+    let doc =
+      "Directory to write the shrunken counterexample into (as \
+       $(b,counterexample-SEED.ddg), replayable with the other \
+       subcommands) when the sweep fails."
+    in
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"DIR" ~doc)
+  in
+  let run jobs seeds trip warmup out metrics =
+    apply_jobs jobs;
+    if seeds < 1 then begin
+      prerr_endline "tsms: --seeds must be >= 1";
+      exit 1
+    end;
+    let cfg = { Ts_fuzz.Fuzz.default_config with seeds; trip; warmup } in
+    let t0 = Unix.gettimeofday () in
+    let result =
+      or_invalid (fun () ->
+          Ts_fuzz.Fuzz.run ~log:(fun line -> Printf.printf "[check] %s\n%!" line) cfg)
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    (match result with
+    | None ->
+        Printf.printf
+          "[check] PASS: %d seeds x %d machine points clean in %.1fs\n" seeds
+          (List.length cfg.points) dt
+    | Some f ->
+        Format.printf "%a@." Ts_fuzz.Fuzz.pp_failure f;
+        (match (out, f.ddg) with
+        | Some dir, Some g ->
+            let path =
+              Filename.concat dir (Printf.sprintf "counterexample-%d.ddg" f.seed)
+            in
+            (try
+               if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+               let oc = open_out path in
+               output_string oc (Ts_ddg.Parse.to_string g);
+               close_out oc;
+               Printf.printf "[check] counterexample written to %s\n" path
+             with Sys_error msg ->
+               prerr_endline ("tsms: cannot write counterexample: " ^ msg))
+        | _ -> ());
+        dump_metrics metrics;
+        exit 1);
+    dump_metrics metrics
+  in
+  let doc =
+    "Differential fuzzing of the schedulers, the checker and the simulator: \
+     generated loops are scheduled with SMS/TMS/TMS-IMS across machine \
+     points, every kernel is re-validated from first principles (C1/C2 \
+     included), simulated with runtime invariants mirrored against naive \
+     reference models, and compared to the analytic cost model. A failure \
+     is shrunk to a minimal .ddg counterexample."
+  in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(const run $ jobs_arg $ seeds_arg $ trip_arg $ warmup_arg $ out_arg $ metrics_arg)
+
 let experiments_cmd =
   let names_arg =
     let doc =
@@ -357,4 +428,4 @@ let experiments_cmd =
 let () =
   let doc = "thread-sensitive modulo scheduling for SpMT multicores (ICPP'08 reproduction)" in
   let info = Cmd.info "tsms" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ schedule_cmd; simulate_cmd; compare_cmd; dot_cmd; suite_cmd; experiments_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ schedule_cmd; simulate_cmd; compare_cmd; dot_cmd; suite_cmd; check_cmd; experiments_cmd ]))

@@ -77,6 +77,22 @@ let schedule ?(trace = Ts_obs.Trace.null) ?(p_max = Tms.default_p_max) ?max_ii
               in
               let asap, prio = cached ii in
               let res = Ts_sms.Ims.try_ii ~admissible ~asap ~prio g ~ii in
+              (* Every placement passed [admissible], but IMS eviction can
+                 retract decisions those checks relied on: unscheduling the
+                 register dependence that preserved a speculative memory
+                 dependence un-preserves it behind C2's back (and moving a
+                 producer can likewise raise an already-checked sync past
+                 C_delay). Re-derive both claims on the finished kernel and
+                 reject the grid point if eviction broke them. *)
+              let res =
+                match res with
+                | Some kernel
+                  when K.c_delay kernel ~c_reg_com <= cd
+                       && Overheads.misspec_prob kernel ~c_reg_com
+                          <= p_max +. 1e-12 ->
+                    Some kernel
+                | Some _ | None -> None
+              in
               Tms.attempt_event trace ~base:"ims" ~ii ~c_delay:cd ~f (res <> None);
               match res with
               | Some kernel ->

@@ -70,15 +70,19 @@ let c_delay t ~c_reg_com =
 
 (* A producer's value is born at its issue and dies at the issue of its last
    register consumer ([+ II * d] unrolls the consumer into absolute time).
-   Values with no consumer still occupy a register for at least one cycle. *)
+   Values with no consumer still occupy a register for at least one cycle;
+   stores and branches produce no register value and contribute nothing. *)
+let produces_value (op : Ts_isa.Opcode.t) =
+  match op with Store | Branch -> false | _ -> true
+
 let lifetimes t =
   let n = Ts_ddg.Ddg.n_nodes t.g in
   let res = ref [] in
   for v = 0 to n - 1 do
-    let consumers =
-      List.filter (fun (e : Ts_ddg.Ddg.edge) -> e.kind = Ts_ddg.Ddg.Reg) t.g.succs.(v)
-    in
-    if consumers <> [] then begin
+    if produces_value (Ts_ddg.Ddg.node t.g v).op then begin
+      let consumers =
+        List.filter (fun (e : Ts_ddg.Ddg.edge) -> e.kind = Ts_ddg.Ddg.Reg) t.g.succs.(v)
+      in
       let birth = t.time.(v) in
       let death =
         List.fold_left

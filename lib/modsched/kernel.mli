@@ -58,6 +58,13 @@ val c_delay : t -> c_reg_com:int -> int
     [inter_iter_reg_deps], or 0 when the kernel has none (a DOALL-style
     kernel whose threads never wait on registers). *)
 
+val lifetimes : t -> (int * int * int) list
+(** [(node, birth, death)] register lifetimes, one per value-producing
+    node (stores and branches produce none): born at the producer's issue
+    cycle, dead at its last register consumer's issue ([+ II * distance]
+    unrolls the consumer into absolute time), and held at least one cycle
+    even with no consumer. *)
+
 val max_live : t -> int
 (** Maximum number of simultaneously-live register lifetimes at any cycle
     of the steady-state kernel (the MaxLive column of Tables 2 and 3). *)

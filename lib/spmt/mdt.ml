@@ -11,10 +11,12 @@ let create ~horizon = { horizon; table = Hashtbl.create 256; live = 0; peak = 0 
 
 let record_store t ~thread ~addr ~finish =
   let cur = try Hashtbl.find t.table addr with Not_found -> [] in
-  (* Keep only in-flight entries for this address. *)
-  let cur = List.filter (fun e -> e.thread > thread - t.horizon) cur in
-  Hashtbl.replace t.table addr ({ thread; finish } :: cur);
-  t.live <- t.live + 1;
+  (* Keep only in-flight entries for this address; the stale ones leave
+     the table here (not through [retire]), so they must come off the
+     live count too. *)
+  let kept = List.filter (fun e -> e.thread > thread - t.horizon) cur in
+  Hashtbl.replace t.table addr ({ thread; finish } :: kept);
+  t.live <- t.live + 1 - (List.length cur - List.length kept);
   if t.live > t.peak then t.peak <- t.live
 
 let conflicting_store t ~thread ~addr ~issue =

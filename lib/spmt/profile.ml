@@ -27,10 +27,17 @@ let measure ?plan (g : Ts_ddg.Ddg.t) ~train_iters =
   done;
   Hashtbl.fold
     (fun edge_index occurrences acc ->
+      (* A distance-d dependence has no producer during the first d
+         iterations, so it is observable on only [train_iters - d] of
+         them; dividing by the full training count would deflate the
+         probability (and with it C2 admission) for long distances. *)
+      let window = train_iters - g.edges.(edge_index).distance in
       {
         edge_index;
         occurrences;
-        probability = float_of_int occurrences /. float_of_int train_iters;
+        probability =
+          (if window <= 0 then 0.0
+           else float_of_int occurrences /. float_of_int window);
       }
       :: acc)
     counts []

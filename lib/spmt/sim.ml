@@ -1,6 +1,8 @@
 module K = Ts_modsched.Kernel
 module Trace = Ts_obs.Trace
 module J = Ts_obs.Json
+module Chk = Ts_check.Invariant
+module Ref = Ts_check.Ref_models
 
 (* Simulator totals on the default metrics registry ([tsms --metrics]). *)
 let m_threads = Ts_obs.Metrics.counter Ts_obs.Metrics.default "sim.threads"
@@ -120,7 +122,7 @@ let legacy_trace_env ~n_nodes =
       in
       Some (range, nodes)
 
-let run ?seed ?plan ?(sync_mem = false) ?(warmup = 0) ?observe
+let run ?seed ?plan ?(sync_mem = false) ?(warmup = 0) ?(check = false) ?observe
     ?(trace = Trace.null) ?(trace_pid = 0) cfg (k : K.t) ~trip =
   if trip <= 0 then invalid_arg "Sim.run: trip must be positive";
   if warmup < 0 then invalid_arg "Sim.run: warmup must be non-negative";
@@ -153,6 +155,46 @@ let run ?seed ?plan ?(sync_mem = false) ?(warmup = 0) ?observe
         Cache.create ~size:cfg.l1_size ~assoc:cfg.l1_assoc ~line:cfg.line)
   in
   let l2 = Cache.create ~size:cfg.l2_size ~assoc:cfg.l2_assoc ~line:cfg.line in
+  (* Shadow reference models for [check] mode. Every cache and MDT
+     operation below goes through a wrapper that mirrors it onto the naive
+     model and compares the answers; the wrappers are the only way the hot
+     loop touches these structures, so an unchecked run is byte-identical
+     to a checked one. *)
+  let rl1 =
+    Array.init ncore (fun _ ->
+        Ref.Cache.create ~size:cfg.l1_size ~assoc:cfg.l1_assoc ~line:cfg.line)
+  in
+  let rl2 = Ref.Cache.create ~size:cfg.l2_size ~assoc:cfg.l2_assoc ~line:cfg.line in
+  let cache_access ~what real refm a =
+    let hit = Cache.access real a in
+    if check then begin
+      let expect = Ref.Cache.access refm a in
+      if hit <> expect then
+        Chk.failf "Sim.run: %s access at addr %d was a %s but the reference \
+                   LRU model says %s"
+          what a
+          (if hit then "hit" else "miss")
+          (if expect then "hit" else "miss")
+    end;
+    hit
+  in
+  let cache_fill real refm a =
+    Cache.fill real a;
+    if check then Ref.Cache.fill refm a
+  in
+  let cache_invalidate real refm a =
+    Cache.invalidate real a;
+    if check then Ref.Cache.invalidate refm a
+  in
+  let check_cache_stats ~what real refm =
+    if check then begin
+      let h, m = Cache.stats real and h', m' = Ref.Cache.stats refm in
+      if (h, m) <> (h', m') then
+        Chk.failf "Sim.run: %s counted %d hits / %d misses but the reference \
+                   LRU model counted %d / %d"
+          what h m h' m'
+    end
+  in
   (* Inter-thread register dependences, grouped by consumer node. *)
   let reg_in = Array.make n [] in
   let mem_in = Array.make n [] in
@@ -189,13 +231,74 @@ let run ?seed ?plan ?(sync_mem = false) ?(warmup = 0) ?observe
       | None -> None
   in
   let mdt = Mdt.create ~horizon:ncore in
-  let stores_per_thread =
-    Array.fold_left
-      (fun acc (nd : Ts_ddg.Ddg.node) ->
-        if nd.op = Ts_isa.Opcode.Store then acc + 1 else acc)
-      0 g.nodes
+  let rmdt = Ref.Mdt.create ~horizon:ncore in
+  let mdt_record ~thread ~addr ~finish =
+    Mdt.record_store mdt ~thread ~addr ~finish;
+    if check then begin
+      Ref.Mdt.record_store rmdt ~thread ~addr ~finish;
+      if Mdt.live_entries mdt <> Ref.Mdt.live_entries rmdt then
+        Chk.failf "Sim.run: after a store by thread %d at addr %d the MDT \
+                   holds %d live entries but the reference model holds %d"
+          thread addr (Mdt.live_entries mdt) (Ref.Mdt.live_entries rmdt);
+      if Mdt.peak_entries mdt <> Ref.Mdt.peak_entries rmdt then
+        Chk.failf "Sim.run: MDT peak %d diverged from the reference model's %d"
+          (Mdt.peak_entries mdt) (Ref.Mdt.peak_entries rmdt)
+    end
+  in
+  let mdt_conflict ~thread ~addr ~issue =
+    let got = Mdt.conflicting_store mdt ~thread ~addr ~issue in
+    if check then begin
+      let expect = Ref.Mdt.conflicting_store rmdt ~thread ~addr ~issue in
+      if got <> expect then
+        Chk.failf "Sim.run: MDT conflict query (thread %d, addr %d, issue %d) \
+                   answered %s but the reference model says %s"
+          thread addr issue
+          (match got with None -> "none" | Some f -> string_of_int f)
+          (match expect with None -> "none" | Some f -> string_of_int f)
+    end;
+    got
+  in
+  let mdt_retire ~upto =
+    Mdt.retire mdt ~upto;
+    if check then begin
+      Ref.Mdt.retire rmdt ~upto;
+      if Mdt.live_entries mdt <> Ref.Mdt.live_entries rmdt then
+        Chk.failf "Sim.run: after retiring below thread %d the MDT holds %d \
+                   live entries but the reference model holds %d"
+          upto (Mdt.live_entries mdt) (Ref.Mdt.live_entries rmdt)
+    end
   in
   let pairs_per_iter = K.send_recv_pairs_per_iter k in
+  (* Speculative write-buffer occupancy, tracked as an event sweep: each
+     executed store allocates an entry at its issue and frees it when the
+     thread's commit drains the buffer (or when a squash invalidates it).
+     Later threads both issue stores and commit after earlier threads'
+     *starts* but not after their *commits*, so events cannot be swept in
+     thread order directly; instead they accumulate in [wb_pending] and
+     are folded into the running occupancy once the sweep point (the
+     newest thread's start, a monotonically non-decreasing bound below
+     every future event) passes them. Releases sort before allocations at
+     the same instant, so a drain concurrent with an issue never inflates
+     the peak. *)
+  let wb_pending = ref [] in
+  let wb_cur = ref 0 in
+  let wb_peak = ref 0 in
+  let wb_finalize upto =
+    let ready, rest = List.partition (fun (t, _) -> t < upto) !wb_pending in
+    wb_pending := rest;
+    List.iter
+      (fun (_, d) ->
+        wb_cur := !wb_cur + d;
+        if !wb_cur > !wb_peak then wb_peak := !wb_cur)
+      (List.sort compare ready)
+  in
+  let wb_stores (te : thread_exec) ~drain =
+    Array.iteri
+      (fun v (nd : Ts_ddg.Ddg.node) ->
+        if nd.op = Ts_isa.Opcode.Store then
+          wb_pending := (te.issue_of.(v), 1) :: (drain, -1) :: !wb_pending)
+      g.nodes
+  in
   (* accumulators *)
   let stall_tbl : (int * int, int) Hashtbl.t = Hashtbl.create 16 in
   let sync_stall = ref 0 in
@@ -274,8 +377,9 @@ let run ?seed ?plan ?(sync_mem = false) ?(warmup = 0) ?observe
           match nd.op with
           | Ts_isa.Opcode.Load ->
               let a = Address_plan.addr plan ~node:v ~iter:(j - k.K.stage.(v)) in
-              if Cache.access l1.(core) a then cfg.l1_hit
-              else if Cache.access l2 a then cfg.l2_hit
+              if cache_access ~what:(Printf.sprintf "L1 (core %d)" core) l1.(core) rl1.(core) a
+              then cfg.l1_hit
+              else if cache_access ~what:"L2" l2 rl2 a then cfg.l2_hit
               else cfg.mem_latency
           | Ts_isa.Opcode.Store -> nd.latency
           | _ -> nd.latency
@@ -300,6 +404,9 @@ let run ?seed ?plan ?(sync_mem = false) ?(warmup = 0) ?observe
     if measured && core_free.(core) > spawn_ready then
       spawn_stall := !spawn_stall + (core_free.(core) - spawn_ready);
     let te = exec_thread j start ~recv:true ~count_stalls:measured in
+    (* All of this thread's (and every later thread's) write-buffer events
+       lie at or after [start]; older events are now final. *)
+    wb_finalize start;
     (* MDT check: did any load read a location a less speculative thread
        had not yet written? *)
     let viol = ref None in
@@ -307,7 +414,7 @@ let run ?seed ?plan ?(sync_mem = false) ?(warmup = 0) ?observe
       (fun v (nd : Ts_ddg.Ddg.node) ->
         if nd.op = Ts_isa.Opcode.Load && mem_in.(v) <> [] then begin
           let a = Address_plan.addr plan ~node:v ~iter:(j - k.K.stage.(v)) in
-          match Mdt.conflicting_store mdt ~thread:j ~addr:a ~issue:te.issue_of.(v) with
+          match mdt_conflict ~thread:j ~addr:a ~issue:te.issue_of.(v) with
           | Some t_detect ->
               viol := Some (match !viol with None -> t_detect | Some t -> max t t_detect)
           | None -> ()
@@ -322,6 +429,13 @@ let run ?seed ?plan ?(sync_mem = false) ?(warmup = 0) ?observe
       | Some t_detect ->
           if measured then incr squashes;
           let restart = t_detect + p.c_inv in
+          if check && restart < t_detect + p.c_inv then
+            Chk.failf "Sim.run: thread %d restarts at %d, before detection %d \
+                       + invalidation overhead %d"
+              j restart t_detect p.c_inv;
+          (* The wasted attempt's stores sat in the buffer until the
+             invalidation completed. *)
+          wb_stores te ~drain:restart;
           if traced && measured then begin
             (* The wasted first attempt, cut off where the MDT caught the
                premature load; the re-execution follows after [c_inv]. *)
@@ -339,30 +453,64 @@ let run ?seed ?plan ?(sync_mem = false) ?(warmup = 0) ?observe
             emit_exec_span ~core ~j "re-exec" te ~end_ts:te.end_exec;
           te
     in
+    if check then
+      List.iter
+        (fun v ->
+          if te.issue_of.(v) < te.start then
+            Chk.failf "Sim.run: thread %d issues node %d at %d, before its \
+                       own start %d"
+              j v te.issue_of.(v) te.start;
+          if te.finish_of.(v) < te.issue_of.(v) then
+            Chk.failf "Sim.run: thread %d finishes node %d at %d, before its \
+                       issue %d"
+              j v te.finish_of.(v) te.issue_of.(v))
+        by_row;
     (* Record this thread's stores in the MDT. *)
     Array.iteri
       (fun v (nd : Ts_ddg.Ddg.node) ->
         if nd.op = Ts_isa.Opcode.Store then
           let a = Address_plan.addr plan ~node:v ~iter:(j - k.K.stage.(v)) in
-          Mdt.record_store mdt ~thread:j ~addr:a ~finish:te.finish_of.(v))
+          mdt_record ~thread:j ~addr:a ~finish:te.finish_of.(v))
       g.nodes;
     (* Sequential head-thread commit; the write buffer drains into L2 and
        invalidates stale L1 copies in the other cores. *)
     let commit_start = max te.end_exec !last_commit_end in
     let commit_end = commit_start + p.c_commit in
+    if check then begin
+      if commit_start < !last_commit_end then
+        Chk.failf "Sim.run: thread %d starts committing at %d while its \
+                   predecessor commits until %d (sequential commit order \
+                   violated)"
+          j commit_start !last_commit_end;
+      if commit_start < te.end_exec then
+        Chk.failf "Sim.run: thread %d starts committing at %d before it \
+                   finished executing at %d"
+          j commit_start te.end_exec;
+      if commit_end < commit_start + p.c_commit then
+        Chk.failf "Sim.run: thread %d commit %d..%d is shorter than the \
+                   commit overhead %d"
+          j commit_start commit_end p.c_commit
+    end;
     last_commit_end := commit_end;
+    wb_stores te ~drain:commit_end;
     if j = warmup - 1 then begin
       warm_end := commit_end;
       Array.iter Cache.reset_stats l1;
-      Cache.reset_stats l2
+      Cache.reset_stats l2;
+      if check then begin
+        Array.iter Ref.Cache.reset_stats rl1;
+        Ref.Cache.reset_stats rl2
+      end
     end;
     core_free.(core) <- commit_end;
     Array.iteri
       (fun v (nd : Ts_ddg.Ddg.node) ->
         if nd.op = Ts_isa.Opcode.Store then begin
           let a = Address_plan.addr plan ~node:v ~iter:(j - k.K.stage.(v)) in
-          Cache.fill l2 a;
-          Array.iteri (fun c l1c -> if c <> core then Cache.invalidate l1c a) l1
+          cache_fill l2 rl2 a;
+          Array.iteri
+            (fun c l1c -> if c <> core then cache_invalidate l1c rl1.(c) a)
+            l1
         end)
       g.nodes;
     if traced && measured then begin
@@ -375,7 +523,10 @@ let run ?seed ?plan ?(sync_mem = false) ?(warmup = 0) ?observe
         Trace.counter_sample trace ~pid:trace_pid ~ts:commit_end "occupancy"
           [
             ("mdt", float_of_int (Mdt.live_entries mdt));
-            ("wb", float_of_int stores_per_thread);
+            (* Write-buffer entries across all in-flight threads, as of
+               this thread's start (the latest instant the event sweep has
+               fully resolved). *)
+            ("wb", float_of_int !wb_cur);
           ]
     end;
     (match observe with
@@ -403,8 +554,25 @@ let run ?seed ?plan ?(sync_mem = false) ?(warmup = 0) ?observe
     | _ -> ());
     (* Successors respawn from the (possibly re-executed) thread's start. *)
     prev_spawn_base := te.start;
-    if j mod 64 = 63 then Mdt.retire mdt ~upto:(j - horizon)
+    if j mod 64 = 63 then mdt_retire ~upto:(j - horizon)
   done;
+  wb_finalize max_int;
+  if check then begin
+    if !wb_cur <> 0 then
+      Chk.failf "Sim.run: %d write-buffer entries never drained" !wb_cur;
+    if !sync_stall < 0 then
+      Chk.failf "Sim.run: negative sync stall total %d" !sync_stall;
+    if !spawn_stall < 0 then
+      Chk.failf "Sim.run: negative spawn stall total %d" !spawn_stall;
+    if !last_commit_end < !warm_end then
+      Chk.failf "Sim.run: last commit %d precedes the warmup boundary %d"
+        !last_commit_end !warm_end;
+    check_cache_stats ~what:"L2" l2 rl2;
+    Array.iteri
+      (fun c l1c ->
+        check_cache_stats ~what:(Printf.sprintf "L1 (core %d)" c) l1c rl1.(c))
+      l1
+  end;
   let l1_hits, l1_misses =
     Array.fold_left
       (fun (h, m) c ->
@@ -444,7 +612,7 @@ let run ?seed ?plan ?(sync_mem = false) ?(warmup = 0) ?observe
     l1_misses;
     l2_hits;
     l2_misses;
-    wb_peak = stores_per_thread;
+    wb_peak = !wb_peak;
     mdt_peak = Mdt.peak_entries mdt;
     stall_breakdown =
       Hashtbl.fold (fun key v acc -> (key, v) :: acc) stall_tbl []

@@ -30,7 +30,11 @@ type stats = {
   l1_misses : int;
   l2_hits : int;
   l2_misses : int;
-  wb_peak : int;  (** most speculative-write-buffer entries used by a thread *)
+  wb_peak : int;
+      (** peak speculative-write-buffer occupancy across all in-flight
+          threads: entries are allocated at each store's issue and drain at
+          the owning thread's commit end (or at the invalidation end when
+          the thread is squashed). Covers the whole run including warmup. *)
   mdt_peak : int;  (** most MDT entries live at once *)
   stall_breakdown : ((int * int) * int) list;
       (** total RECV stall cycles per synchronised dependence
@@ -54,6 +58,7 @@ val run :
   ?plan:Address_plan.t ->
   ?sync_mem:bool ->
   ?warmup:int ->
+  ?check:bool ->
   ?observe:(thread_obs -> unit) ->
   ?trace:Ts_obs.Trace.t ->
   ?trace_pid:int ->
@@ -71,6 +76,17 @@ val run :
     synchronised like a register dependence (post/wait over the ring, same
     [c_reg_com] cost) and the MDT never squashes anything.
 
+    [check] (default false) turns on the {!Ts_check} runtime invariants:
+    every cache access and MDT operation is mirrored onto the naive
+    reference models of {!Ts_check.Ref_models} and compared, commits are
+    checked to be sequential and no earlier than execution end, squash
+    restarts to honour the invalidation overhead, per-node issue/finish
+    times to be well-ordered, stall totals to be non-negative, and the
+    write buffer to drain completely. Any violation raises
+    {!Ts_check.Invariant.Check_failed}. A checked run returns stats
+    byte-identical to an unchecked one (regression-tested) — the checks
+    observe, they never steer.
+
     [warmup] (default 0) executes that many extra iterations first and
     excludes them from every counter, so [stats] describe the steady state
     (warm caches) rather than the cold-miss ramp — the paper simulates its
@@ -86,8 +102,10 @@ val run :
     - ["squash"] instant events at the detection cycle, and ["sync-stall"]
       instants carrying the blamed producer→consumer dependence edge and
       the stalled cycles;
-    - an ["occupancy"] counter track sampling MDT entries and the
-      speculative-write-buffer footprint every 32 threads;
+    - an ["occupancy"] counter track sampling, every 32 threads, the live
+      MDT entries and the speculative-write-buffer occupancy across all
+      in-flight threads (the latter as of the sampling thread's start, the
+      latest instant the occupancy sweep has fully resolved);
     - ["sim.start"]/["sim.end"] markers with the run configuration and
       totals.
 

@@ -116,6 +116,98 @@ let test_mdt_peak () =
   Ts_spmt.Mdt.record_store m ~thread:1 ~addr:2 ~finish:1;
   check_int "peak" 2 (Ts_spmt.Mdt.peak_entries m)
 
+let test_mdt_live_count_drops_horizon_expired () =
+  (* Regression: [record_store] prunes entries that fell out of the
+     horizon, and the live count must drop with them. It used to grow by
+     one per store regardless of pruning, so long runs reported an MDT
+     occupancy that drifted arbitrarily far above the real table size. *)
+  let m = Ts_spmt.Mdt.create ~horizon:2 in
+  Ts_spmt.Mdt.record_store m ~thread:1 ~addr:0x40 ~finish:10;
+  Ts_spmt.Mdt.record_store m ~thread:2 ~addr:0x40 ~finish:20;
+  check_int "both within horizon" 2 (Ts_spmt.Mdt.live_entries m);
+  (* thread 5 is 4 past thread 1 and 3 past thread 2: both expire *)
+  Ts_spmt.Mdt.record_store m ~thread:5 ~addr:0x40 ~finish:50;
+  check_int "expired entries leave the live count" 1
+    (Ts_spmt.Mdt.live_entries m);
+  check_int "peak saw the crowded moment" 2 (Ts_spmt.Mdt.peak_entries m)
+
+(* --- differential properties against the Ts_check reference models --- *)
+
+(* Deterministic op streams from Ts_base.Rng: each QCheck case is a seed. *)
+
+let prop_mdt_matches_reference =
+  QCheck.Test.make ~count:60 ~name:"MDT matches the naive reference model"
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let rng = Ts_base.Rng.of_string (Printf.sprintf "test-mdt/%d" seed) in
+      let horizon = 1 + Ts_base.Rng.int rng 5 in
+      let real = Ts_spmt.Mdt.create ~horizon in
+      let refm = Ts_check.Ref_models.Mdt.create ~horizon in
+      let thread = ref horizon in
+      let ok = ref true in
+      for step = 1 to 120 do
+        let addr = 8 * Ts_base.Rng.int rng 5 in
+        (match Ts_base.Rng.int rng 8 with
+        | 0 | 1 | 2 ->
+            let finish = (10 * step) + Ts_base.Rng.int rng 30 in
+            Ts_spmt.Mdt.record_store real ~thread:!thread ~addr ~finish;
+            Ts_check.Ref_models.Mdt.record_store refm ~thread:!thread ~addr
+              ~finish
+        | 3 | 4 ->
+            let issue = (10 * step) - Ts_base.Rng.int rng 100 in
+            if
+              Ts_spmt.Mdt.conflicting_store real ~thread:!thread ~addr ~issue
+              <> Ts_check.Ref_models.Mdt.conflicting_store refm ~thread:!thread
+                   ~addr ~issue
+            then ok := false
+        | 5 ->
+            let upto = !thread - horizon + Ts_base.Rng.int_in rng (-2) 2 in
+            Ts_spmt.Mdt.retire real ~upto;
+            Ts_check.Ref_models.Mdt.retire refm ~upto
+        | _ -> thread := !thread + 1 + Ts_base.Rng.int rng 2);
+        if
+          Ts_spmt.Mdt.live_entries real
+          <> Ts_check.Ref_models.Mdt.live_entries refm
+          || Ts_spmt.Mdt.peak_entries real
+             <> Ts_check.Ref_models.Mdt.peak_entries refm
+        then ok := false
+      done;
+      !ok)
+
+let prop_cache_matches_reference =
+  QCheck.Test.make ~count:60
+    ~name:"cache matches the reference model (incl. fill/invalidate)"
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let rng = Ts_base.Rng.of_string (Printf.sprintf "test-cache/%d" seed) in
+      let size = 256 and assoc = 2 and line = 32 in
+      let real = Ts_spmt.Cache.create ~size ~assoc ~line in
+      let refm = Ts_check.Ref_models.Cache.create ~size ~assoc ~line in
+      let ok = ref true in
+      for _ = 1 to 200 do
+        let addr = line * Ts_base.Rng.int rng (3 * size / line) in
+        (match Ts_base.Rng.int rng 8 with
+        | 0 | 1 | 2 | 3 ->
+            if
+              Ts_spmt.Cache.access real addr
+              <> Ts_check.Ref_models.Cache.access refm addr
+            then ok := false
+        | 4 | 5 ->
+            if
+              Ts_spmt.Cache.probe real addr
+              <> Ts_check.Ref_models.Cache.probe refm addr
+            then ok := false
+        | 6 ->
+            Ts_spmt.Cache.fill real addr;
+            Ts_check.Ref_models.Cache.fill refm addr
+        | _ ->
+            Ts_spmt.Cache.invalidate real addr;
+            Ts_check.Ref_models.Cache.invalidate refm addr);
+        if Ts_spmt.Cache.stats real <> Ts_check.Ref_models.Cache.stats refm then
+          ok := false
+      done;
+      !ok)
+
 let suite =
   [
     Alcotest.test_case "cache: cold miss then hit" `Quick test_cache_cold_miss_then_hit;
@@ -131,4 +223,8 @@ let suite =
     Alcotest.test_case "mdt: latest finish" `Quick test_mdt_latest_finish;
     Alcotest.test_case "mdt: retire" `Quick test_mdt_retire;
     Alcotest.test_case "mdt: peak entries" `Quick test_mdt_peak;
+    Alcotest.test_case "mdt: live count drops expired entries" `Quick
+      test_mdt_live_count_drops_horizon_expired;
+    QCheck_alcotest.to_alcotest prop_mdt_matches_reference;
+    QCheck_alcotest.to_alcotest prop_cache_matches_reference;
   ]

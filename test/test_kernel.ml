@@ -81,18 +81,44 @@ let test_c_delay_no_deps () =
 
 let test_max_live_chain () =
   let k = chain_kernel () in
-  (* lifetimes: n0:[0,1) n1:[1,2); at rows 0 and 1 exactly one value lives *)
-  check_int "max_live" 1 (K.max_live k)
+  (* lifetimes: n0:[0,1) n1:[1,2) and the tail n2 holds its (unconsumed)
+     result for one cycle, [2,3) — rows 0 and 1 each see one of
+     {n0, n2} plus nothing else, so two values coexist at row 0 *)
+  check_int "max_live" 2 (K.max_live k)
 
 let test_max_live_overlap () =
-  (* producer consumed 2*ii later: the value spans two kernel instances *)
+  (* producer consumed 2*ii later: the value spans two kernel instances;
+     the consumer's own (unconsumed) result occupies a third register *)
   let b = Ts_ddg.Ddg.Builder.create Ts_isa.Machine.spmt_core in
   let p = Ts_ddg.Ddg.Builder.add b Ts_isa.Opcode.Ialu in
   let c = Ts_ddg.Ddg.Builder.add b Ts_isa.Opcode.Ialu in
   Ts_ddg.Ddg.Builder.dep b p c;
   let g = Ts_ddg.Ddg.Builder.build b in
   let k = K.of_times g ~ii:2 [| 0; 4 |] in
-  check_int "two live copies" 2 (K.max_live k)
+  check_int "three live copies" 3 (K.max_live k)
+
+let test_max_live_counts_dead_producers () =
+  (* Regression: a value-producing node with no register consumer still
+     occupies a register for at least one cycle. Two loads issuing in the
+     same row, each feeding only a store through memory, used to report
+     max_live = 0. Stores and branches produce no value and stay out. *)
+  let b = Ts_ddg.Ddg.Builder.create Ts_isa.Machine.spmt_core in
+  let s = Ts_ddg.Ddg.Builder.add b Ts_isa.Opcode.Store in
+  let l1 = Ts_ddg.Ddg.Builder.add b Ts_isa.Opcode.Load in
+  let l2 = Ts_ddg.Ddg.Builder.add b Ts_isa.Opcode.Load in
+  Ts_ddg.Ddg.Builder.mem_dep b ~dist:1 ~prob:0.5 s l1;
+  Ts_ddg.Ddg.Builder.mem_dep b ~dist:1 ~prob:0.5 s l2;
+  let g = Ts_ddg.Ddg.Builder.build b in
+  let k = K.of_times g ~ii:4 [| 0; 1; 1 |] in
+  check_int "both loaded values occupy registers" 2 (K.max_live k);
+  check_int "store holds no register" 2
+    (List.length (K.lifetimes k))
+
+let test_max_live_motivating () =
+  (* pin the figure the register-pressure analyses consume *)
+  let g = Fixtures.motivating () in
+  let sms = (Ts_sms.Sms.schedule g).Ts_sms.Sms.kernel in
+  check_int "motivating SMS max_live" 5 (K.max_live sms)
 
 let test_copies_needed () =
   let b = Ts_ddg.Ddg.Builder.create Ts_isa.Machine.spmt_core in
@@ -183,6 +209,8 @@ let suite =
     Alcotest.test_case "c_delay: no inter deps" `Quick test_c_delay_no_deps;
     Alcotest.test_case "max_live: chain" `Quick test_max_live_chain;
     Alcotest.test_case "max_live: overlapping lifetime" `Quick test_max_live_overlap;
+    Alcotest.test_case "max_live: dead producers counted" `Quick test_max_live_counts_dead_producers;
+    Alcotest.test_case "max_live: motivating loop pinned" `Quick test_max_live_motivating;
     Alcotest.test_case "copies_needed" `Quick test_copies_needed;
     Alcotest.test_case "producers and SEND/RECV pairs" `Quick test_producers_and_pairs;
     Alcotest.test_case "producers: shared consumer" `Quick test_producers_shared;

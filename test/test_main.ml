@@ -21,4 +21,5 @@ let () =
       ("harness", Test_harness.suite);
       ("extensions", Test_extensions.suite);
       ("profile+slices", Test_profile.suite);
+      ("fuzz+check", Fuzz_check.suite);
     ]

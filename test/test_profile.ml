@@ -30,7 +30,31 @@ let test_measure_certain_dependence () =
   match Ts_spmt.Profile.measure g ~train_iters:500 with
   | [ p ] ->
       (* iteration 0 has no producer; all others alias *)
-      check_int "occurrences" 499 p.occurrences
+      check_int "occurrences" 499 p.occurrences;
+      (* 499 hits out of 499 observable iterations: the first [distance]
+         iterations have no producer and must not dilute the estimate *)
+      Alcotest.(check (float 1e-9)) "probability exactly 1" 1.0 p.probability
+  | _ -> Alcotest.fail "expected one profile"
+
+let test_measure_window_excludes_warmup () =
+  (* distance-3 dependence firing every iteration: only [train_iters - 3]
+     iterations can observe it, and the probability is over that window *)
+  let b = Ts_ddg.Ddg.Builder.create Ts_isa.Machine.spmt_core in
+  let ld = Ts_ddg.Ddg.Builder.add b Ts_isa.Opcode.Load in
+  let st = Ts_ddg.Ddg.Builder.add b Ts_isa.Opcode.Store in
+  Ts_ddg.Ddg.Builder.dep b ld st;
+  Ts_ddg.Ddg.Builder.mem_dep b ~dist:3 ~prob:1.0 st ld;
+  let g = Ts_ddg.Ddg.Builder.build b in
+  (match Ts_spmt.Profile.measure g ~train_iters:10 with
+  | [ p ] ->
+      check_int "7 observable occurrences" 7 p.occurrences;
+      Alcotest.(check (float 1e-9)) "probability over the window" 1.0 p.probability
+  | _ -> Alcotest.fail "expected one profile");
+  (* degenerate: training shorter than the dependence distance *)
+  match Ts_spmt.Profile.measure g ~train_iters:2 with
+  | [ p ] ->
+      check_int "no observable iterations" 0 p.occurrences;
+      Alcotest.(check (float 1e-9)) "empty window measures 0" 0.0 p.probability
   | _ -> Alcotest.fail "expected one profile"
 
 let test_apply_replaces_probabilities () =
@@ -171,6 +195,8 @@ let suite =
       test_measure_tracks_ground_truth;
     Alcotest.test_case "profile: certain dependence" `Quick
       test_measure_certain_dependence;
+    Alcotest.test_case "profile: window excludes warmup" `Quick
+      test_measure_window_excludes_warmup;
     Alcotest.test_case "profile: apply" `Quick test_apply_replaces_probabilities;
     Alcotest.test_case "profile: zero floored" `Quick test_apply_floor;
     Alcotest.test_case "profile: pipeline to scheduler" `Quick

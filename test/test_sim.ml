@@ -196,6 +196,41 @@ let test_sim_bad_args () =
     | _ -> false
     | exception Invalid_argument _ -> true)
 
+let test_sim_wb_peak_counts_stores () =
+  (* one store per iteration: with a single core, threads run one at a
+     time, so at most one speculative write is buffered at once *)
+  let g = Fixtures.spec_loop () in
+  let k = kernel_of g in
+  let one = Ts_spmt.Sim.run (Ts_spmt.Config.with_ncore cfg 1) k ~trip:200 in
+  check_int "single core buffers one store" 1 one.Ts_spmt.Sim.wb_peak;
+  (* several threads in flight: their unbuffered stores accumulate *)
+  let many = Ts_spmt.Sim.run cfg k ~trip:200 in
+  check_bool
+    (Printf.sprintf "overlapped threads stack writes (peak %d)"
+       many.Ts_spmt.Sim.wb_peak)
+    true
+    (many.Ts_spmt.Sim.wb_peak > 1);
+  (* storeless loop: the buffer is never touched *)
+  let chain = K.of_times (Fixtures.chain 3) ~ii:2 [| 0; 1; 2 |] in
+  let none = Ts_spmt.Sim.run cfg chain ~trip:100 in
+  check_int "no stores, no occupancy" 0 none.Ts_spmt.Sim.wb_peak
+
+let test_sim_check_does_not_perturb () =
+  (* ~check:true must observe only: stats byte-identical to an unchecked
+     run, on both a squash-heavy loop and the motivating one *)
+  List.iter
+    (fun g ->
+      let k = kernel_of g in
+      let plan = Ts_spmt.Address_plan.create g in
+      let plain = Ts_spmt.Sim.run ~plan ~warmup:64 cfg k ~trip:300 in
+      let checked =
+        Ts_spmt.Sim.run ~plan ~warmup:64 ~check:true cfg k ~trip:300
+      in
+      check_bool
+        (g.Ts_ddg.Ddg.name ^ ": checked stats identical")
+        true (plain = checked))
+    [ Fixtures.spec_loop (); Fixtures.motivating () ]
+
 let test_ipc () =
   let g = Fixtures.motivating () in
   let k = kernel_of g in
@@ -331,6 +366,9 @@ let suite =
     Alcotest.test_case "sim: warmup excluded" `Quick test_sim_warmup_excluded;
     Alcotest.test_case "sim: stall breakdown" `Quick test_sim_stall_breakdown_consistent;
     Alcotest.test_case "sim: argument validation" `Quick test_sim_bad_args;
+    Alcotest.test_case "sim: wb peak occupancy" `Quick test_sim_wb_peak_counts_stores;
+    Alcotest.test_case "sim: check does not perturb" `Quick
+      test_sim_check_does_not_perturb;
     Alcotest.test_case "sim: ipc sanity" `Quick test_ipc;
     Alcotest.test_case "single: basic" `Quick test_single_basic;
     Alcotest.test_case "single: ResII floor" `Quick test_single_res_ii_floor;

@@ -122,6 +122,38 @@ let prop_tms_valid_and_bounded =
           && (r.Ts_tms.Tms.fell_back
              || r.Ts_tms.Tms.achieved_c_delay <= r.Ts_tms.Tms.c_delay_threshold))
 
+let test_ims_eviction_keeps_claims () =
+  (* Regression (found by `tsms check`, seed 35 shrunk): IMS eviction can
+     unschedule the register dependence that preserved a speculative
+     memory dependence, so a kernel whose every placement passed
+     admission still ends up violating C2. TMS-over-IMS must re-derive
+     C1/C2 on the finished kernel and reject the grid point instead of
+     returning the kernel with a false claim. *)
+  let b = Ts_ddg.Ddg.Builder.create Ts_isa.Machine.spmt_core in
+  let n0 = Ts_ddg.Ddg.Builder.add b ~latency:3 Ts_isa.Opcode.Load in
+  let n1 = Ts_ddg.Ddg.Builder.add b ~latency:3 Ts_isa.Opcode.Fadd in
+  let n2 = Ts_ddg.Ddg.Builder.add b ~latency:3 Ts_isa.Opcode.Fadd in
+  let n8 = Ts_ddg.Ddg.Builder.add b ~latency:3 Ts_isa.Opcode.Load in
+  let n17 = Ts_ddg.Ddg.Builder.add b ~latency:1 Ts_isa.Opcode.Store in
+  Ts_ddg.Ddg.Builder.dep b n0 n1;
+  Ts_ddg.Ddg.Builder.dep b n1 n2;
+  Ts_ddg.Ddg.Builder.dep b n2 n8;
+  Ts_ddg.Ddg.Builder.dep b n8 n17;
+  Ts_ddg.Ddg.Builder.mem_dep b ~dist:1 ~prob:0.145595 n17 n0;
+  let g = Ts_ddg.Ddg.Builder.build b in
+  let params8 = { params with Ts_isa.Spmt_params.ncore = 8; c_reg_com = 8 } in
+  let r = Ts_tms.Tms_ims.schedule ~params:params8 g in
+  K.validate r.Ts_tms.Tms_ims.kernel;
+  check_bool
+    (Printf.sprintf "claimed P_max honoured (misspec %.4f, P_max %.4f)"
+       r.Ts_tms.Tms_ims.misspec r.Ts_tms.Tms_ims.p_max)
+    true
+    (r.Ts_tms.Tms_ims.fell_back
+    || r.Ts_tms.Tms_ims.misspec <= r.Ts_tms.Tms_ims.p_max +. 1e-12);
+  check_bool "claimed C_delay honoured" true
+    (r.Ts_tms.Tms_ims.fell_back
+    || r.Ts_tms.Tms_ims.achieved_c_delay <= r.Ts_tms.Tms_ims.c_delay_threshold)
+
 let test_doacross_c_delay_regression () =
   (* on the Table 3 loops TMS's achieved C_delay never exceeds SMS's
      (lucas ties: its recurrence pins the delay for both schedulers) *)
@@ -152,6 +184,8 @@ let suite =
     Alcotest.test_case "fallback on impossible constraints" `Quick
       test_fallback_on_impossible;
     QCheck_alcotest.to_alcotest prop_tms_valid_and_bounded;
+    Alcotest.test_case "IMS eviction cannot break C1/C2 claims" `Quick
+      test_ims_eviction_keeps_claims;
     Alcotest.test_case "DOACROSS loops: C_delay regression" `Slow
       test_doacross_c_delay_regression;
   ]
