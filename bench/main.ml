@@ -8,12 +8,15 @@
      bench/main.exe micro                Bechamel micro-benchmarks
                                          (one Test.make per table/figure)
      bench/main.exe --jobs 4 search      TMS grid-search wall-clock bench;
-                                         writes BENCH_search.json *)
+                                         writes BENCH_search.json
+     bench/main.exe sim                  simulator fast-path + result-cache
+                                         wall-clock bench; writes
+                                         BENCH_sim.json *)
 
 let usage () =
   prerr_endline
     "usage: main.exe [--limit N] [--jobs N] [--repeat N] [--out FILE] \
-     [all|table1|fig2|table2|fig4|table3|fig5|fig6|ablation|micro|search]...";
+     [all|table1|fig2|table2|fig4|table3|fig5|fig6|ablation|micro|search|sim]...";
   exit 2
 
 (* ------------------------------------------------------------------ *)
@@ -87,6 +90,166 @@ let search ~repeat ~out () =
         ("repeat", Ts_obs.Json.Int repeat);
         ("workloads", Ts_obs.Json.Obj rows);
         ("total_wall_s", Ts_obs.Json.Float total);
+      ]
+  in
+  let oc = open_out out in
+  output_string oc (Ts_obs.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  wrote %s\n%!" out
+
+(* ------------------------------------------------------------------ *)
+(* The `sim` group: wall-clock the simulator on the Fig. 4 / Fig. 5
+   regeneration workloads (each loop simulated under its SMS and TMS
+   kernels at the drivers' trip and warmup), three ways:
+
+     exact          the cycle-by-cycle simulator (fast path off)
+     fast           the steady-state fast path (stats proven identical)
+     cache cold/warm one full schedule+simulate regeneration into an
+                    empty result store, then the same regeneration again
+
+   Scheduling is done up front and not timed in the exact/fast legs, so
+   their ratio is the simulator speedup alone. Emits BENCH_sim.json. *)
+
+let sim_workloads ~limit () =
+  let take l =
+    match limit with
+    | None -> List.filteri (fun i _ -> i < 3) l
+    | Some k -> List.filteri (fun i _ -> i < k) l
+  in
+  let fig4 =
+    List.concat_map
+      (fun (b : Ts_workload.Spec_suite.bench) ->
+        List.map (fun g -> (g, b.trip)) (take (Ts_workload.Spec_suite.loops b)))
+      Ts_workload.Spec_suite.benchmarks
+  in
+  let fig5 =
+    List.concat_map
+      (fun (sel : Ts_workload.Doacross.selected) ->
+        List.map (fun g -> (g, sel.trip)) sel.loops)
+      Ts_workload.Doacross.all
+  in
+  [ ("fig4", fig4); ("fig5", fig5) ]
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let sim_bench ~limit ~repeat ~out () =
+  let params = Ts_isa.Spmt_params.default in
+  let cfg = Ts_spmt.Config.default in
+  let warmup = Ts_harness.Defaults.warmup in
+  let jobs = Ts_base.Parallel.get_jobs () in
+  let groups = sim_workloads ~limit () in
+  Printf.printf "simulator benchmark (jobs=%d, best of %d):\n%!" jobs repeat;
+  (* Schedule everything once, untimed: the legs below time simulation. *)
+  let scheduled =
+    List.map
+      (fun (name, loops) ->
+        ( name,
+          Ts_base.Parallel.map
+            (fun ((g : Ts_ddg.Ddg.t), trip) ->
+              ( g,
+                trip,
+                (Ts_sms.Sms.schedule g).Ts_sms.Sms.kernel,
+                (Ts_tms.Tms.schedule_sweep ~params g).Ts_tms.Tms.kernel ))
+            loops ))
+      groups
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let best f =
+    ignore (time f);
+    List.fold_left min max_float (List.init (max 1 repeat) (fun _ -> time f))
+  in
+  let leg ~fast tasks () =
+    ignore
+      (Ts_base.Parallel.map
+         (fun ((g : Ts_ddg.Ddg.t), trip, sms_k, tms_k) ->
+           let plan = Ts_spmt.Address_plan.create g in
+           let s = Ts_spmt.Sim.run ~plan ~warmup ~fast cfg sms_k ~trip in
+           let t = Ts_spmt.Sim.run ~plan ~warmup ~fast cfg tms_k ~trip in
+           s.Ts_spmt.Sim.cycles + t.Ts_spmt.Sim.cycles)
+         tasks)
+  in
+  let rows =
+    List.map
+      (fun (name, tasks) ->
+        let exact_s = best (leg ~fast:false tasks) in
+        let fast_s = best (leg ~fast:true tasks) in
+        let speedup = exact_s /. fast_s in
+        Printf.printf
+          "  sim:%-6s %3d loops  exact %7.3f s  fast %7.3f s  speedup %4.2fx\n%!"
+          name (List.length tasks) exact_s fast_s speedup;
+        ( name,
+          Ts_obs.Json.Obj
+            [
+              ("loops", Ts_obs.Json.Int (List.length tasks));
+              ("exact_wall_s", Ts_obs.Json.Float exact_s);
+              ("fast_wall_s", Ts_obs.Json.Float fast_s);
+              ("speedup", Ts_obs.Json.Float speedup);
+            ] ))
+      scheduled
+  in
+  (* Cache legs: one full regeneration (schedules + simulations through
+     the result store) cold, then again warm. Single-shot — a "best of"
+     warm pass against a cold store would not be cold. *)
+  let cache_dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tsms-bench-cache-%d" (Unix.getpid ()))
+  in
+  rm_rf cache_dir;
+  Ts_harness.Cached.set_store (Some (Ts_persist.open_store ~dir:cache_dir));
+  let regen () =
+    List.iter
+      (fun (_, loops) ->
+        ignore
+          (Ts_base.Parallel.map
+             (fun ((g : Ts_ddg.Ddg.t), trip) ->
+               let r = Ts_harness.Suite.schedule_loop ~params g in
+               let s =
+                 Ts_harness.Cached.sim ~warmup cfg
+                   r.Ts_harness.Suite.sms.Ts_sms.Sms.kernel ~trip
+               in
+               let t =
+                 Ts_harness.Cached.sim ~warmup cfg
+                   r.Ts_harness.Suite.tms.Ts_tms.Tms.kernel ~trip
+               in
+               s.Ts_spmt.Sim.cycles + t.Ts_spmt.Sim.cycles)
+             loops))
+      groups
+  in
+  let cold_s = time regen in
+  let warm_s = time regen in
+  Ts_harness.Cached.set_store None;
+  rm_rf cache_dir;
+  let ratio = warm_s /. cold_s in
+  Printf.printf
+    "  cache       regen cold %7.3f s  warm %7.3f s  warm/cold %4.1f%%\n%!"
+    cold_s warm_s (100.0 *. ratio);
+  let json =
+    Ts_obs.Json.Obj
+      [
+        ("bench", Ts_obs.Json.Str "sim");
+        ("jobs", Ts_obs.Json.Int jobs);
+        ("repeat", Ts_obs.Json.Int repeat);
+        ("warmup", Ts_obs.Json.Int warmup);
+        ("workloads", Ts_obs.Json.Obj rows);
+        ( "cache",
+          Ts_obs.Json.Obj
+            [
+              ("cold_wall_s", Ts_obs.Json.Float cold_s);
+              ("warm_wall_s", Ts_obs.Json.Float warm_s);
+              ("warm_over_cold", Ts_obs.Json.Float ratio);
+            ] );
       ]
   in
   let oc = open_out out in
@@ -194,7 +357,7 @@ let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let limit = ref None in
   let repeat = ref 3 in
-  let out = ref "BENCH_search.json" in
+  let out = ref None in
   let names = ref [] in
   let rec parse = function
     | [] -> ()
@@ -214,7 +377,7 @@ let () =
         | _ -> usage ());
         parse rest
     | "--out" :: path :: rest ->
-        out := path;
+        out := Some path;
         parse rest
     | "--help" :: _ | "-h" :: _ -> usage ()
     | name :: rest ->
@@ -226,7 +389,14 @@ let () =
   List.iter
     (fun name ->
       if name = "micro" then micro ()
-      else if name = "search" then search ~repeat:!repeat ~out:!out ()
+      else if name = "search" then
+        search ~repeat:!repeat
+          ~out:(Option.value !out ~default:"BENCH_search.json")
+          ()
+      else if name = "sim" then
+        sim_bench ~limit:!limit ~repeat:!repeat
+          ~out:(Option.value !out ~default:"BENCH_sim.json")
+          ()
       else
         try
           Ts_harness.Experiments.run ?limit:!limit ~names:[ name ] (fun block ->

@@ -62,6 +62,50 @@ let apply_jobs = function
       end;
       Ts_base.Parallel.set_jobs n
 
+(* --- Result-cache flags shared by the sweep subcommands --- *)
+
+let cache_dir_arg =
+  let doc =
+    "Root of the persistent result cache (schedules and steady-state \
+     simulations, keyed by loop + configuration content). Defaults to \
+     $(b,TSMS_CACHE_DIR), else $(b,XDG_CACHE_HOME)/tsms, else \
+     ~/.cache/tsms."
+  in
+  Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+
+let no_cache_arg =
+  let doc = "Disable the persistent result cache (recompute everything)." in
+  Arg.(value & flag & info [ "no-cache" ] ~doc)
+
+let resume_arg =
+  let doc =
+    "Resume an interrupted sweep from its journal: loops the killed run \
+     completed are replayed from disk, the rest are recomputed. Requires \
+     the cache (incompatible with $(b,--no-cache))."
+  in
+  Arg.(value & flag & info [ "resume" ] ~doc)
+
+let apply_cache ~no_cache ~dir ~resume =
+  if no_cache then begin
+    if resume then begin
+      prerr_endline "tsms: --resume needs the cache (drop --no-cache)";
+      exit 1
+    end;
+    Ts_harness.Cached.set_store None
+  end
+  else begin
+    let dir =
+      match dir with Some d -> d | None -> Ts_persist.default_dir ()
+    in
+    match Ts_persist.open_store ~dir with
+    | s ->
+        Ts_harness.Cached.set_store (Some s);
+        Ts_harness.Cached.set_resume resume
+    | exception Sys_error msg ->
+        prerr_endline ("tsms: cannot open cache directory: " ^ msg);
+        exit 1
+  end
+
 (* --- Observability flags shared across subcommands --- *)
 
 let metrics_arg =
@@ -249,8 +293,9 @@ let suite_cmd =
   let limit_arg =
     Arg.(value & opt (some int) None & info [ "limit" ] ~docv:"N" ~doc:"Loops per benchmark.")
   in
-  let run jobs bench limit metrics =
+  let run jobs bench limit cache_dir no_cache metrics =
     apply_jobs jobs;
+    apply_cache ~no_cache ~dir:cache_dir ~resume:false;
     let params = Ts_isa.Spmt_params.default in
     let benches =
       if bench = "all" then Ts_workload.Spec_suite.benchmarks
@@ -277,7 +322,9 @@ let suite_cmd =
   in
   let doc = "Schedule a synthetic benchmark's loops and print Table 2 rows." in
   Cmd.v (Cmd.info "suite" ~doc)
-    Term.(const run $ jobs_arg $ bench_arg $ limit_arg $ metrics_arg)
+    Term.(
+      const run $ jobs_arg $ bench_arg $ limit_arg $ cache_dir_arg
+      $ no_cache_arg $ metrics_arg)
 
 let compare_cmd =
   let run jobs loop ncore trace_file metrics =
@@ -410,8 +457,9 @@ let experiments_cmd =
   let limit_arg =
     Arg.(value & opt (some int) None & info [ "limit" ] ~docv:"N" ~doc:"Loops per benchmark for table2/fig4.")
   in
-  let run jobs names limit metrics =
+  let run jobs names limit cache_dir no_cache resume metrics =
     apply_jobs jobs;
+    apply_cache ~no_cache ~dir:cache_dir ~resume;
     (try
        Ts_harness.Experiments.run ?limit ~names (fun block ->
            print_string block;
@@ -423,7 +471,9 @@ let experiments_cmd =
   in
   let doc = "Regenerate the paper's tables and figures." in
   Cmd.v (Cmd.info "experiments" ~doc)
-    Term.(const run $ jobs_arg $ names_arg $ limit_arg $ metrics_arg)
+    Term.(
+      const run $ jobs_arg $ names_arg $ limit_arg $ cache_dir_arg
+      $ no_cache_arg $ resume_arg $ metrics_arg)
 
 let () =
   let doc = "thread-sensitive modulo scheduling for SpMT multicores (ICPP'08 reproduction)" in

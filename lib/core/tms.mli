@@ -18,6 +18,15 @@
     same [F] is admitted under the larger one, and the objective value is
     identical), in increasing II order.
 
+    The walk does not stop at the first feasible point: greedy swing
+    placement often misses the paper-preferred low-II points, whose [F]
+    sits within a cycle or so of the optimum (DESIGN.md §7.9(a)).  After
+    the first success fixes [F0], the search keeps scanning groups up to
+    [F0 + default_f_slack] and returns the feasible point with the lowest
+    II, re-trying each failed placement up to [default_place_retries]
+    times with the blocking node hoisted to the front of the swing
+    order.
+
     If the whole [(II, C_delay)] grid is exhausted — possible only when a
     memory dependence's probability alone exceeds [P_max] and no
     synchronised dependence can preserve it — TMS degenerates to SMS, as
@@ -39,6 +48,17 @@ type result = {
 val default_p_max : float
 (** 0.05 — a handful of misspeculations per hundred iterations at most;
     the paper reports observed misspeculation frequencies below 0.1%. *)
+
+val default_f_slack : float
+(** 1.5 — how far past the first feasible objective value the grid walk
+    keeps scanning for a lower-II point.  Below the cost model's
+    resolution against the simulator (~6% MAE), so the deeper pipelining
+    is free at modeled accuracy. *)
+
+val default_place_retries : int
+(** 3 — bounded order repair: how many times a failed placement is
+    re-run with the blocking node hoisted to the front of the swing
+    order before the grid point is abandoned. *)
 
 val schedule :
   ?trace:Ts_obs.Trace.t ->

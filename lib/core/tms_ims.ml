@@ -54,8 +54,69 @@ let schedule ?(trace = Ts_obs.Trace.null) ?(p_max = Tms.default_p_max) ?max_ii
       fell_back;
     }
   in
+  (* F-plateau walk with lowest-II tie-breaking, mirroring [Tms.schedule]
+     (§7.9(a)).  IMS reports no blocking node, so there is no
+     order-repair retry here — the plateau scan alone recovers the
+     deeper-pipelining points. *)
+  let f0 = ref None in
+  let best = ref None in
   let rec walk = function
-    | [] ->
+    | [] -> ()
+    | (f, points) :: rest ->
+        let past_plateau =
+          match !f0 with
+          | Some f0v -> f > f0v +. Tms.default_f_slack +. 1e-9
+          | None -> false
+        in
+        if not past_plateau then begin
+          List.iter
+            (fun (ii, cd) ->
+              let worth =
+                match !best with
+                | None -> true
+                | Some (bii, _, _, _) -> ii < bii
+              in
+              if worth then begin
+                incr attempts;
+                let admissible s v ~cycle =
+                  Tms.admissible s v ~cycle ~c_delay:cd ~p_max ~c_reg_com
+                in
+                let asap, prio = cached ii in
+                let res = Ts_sms.Ims.try_ii ~admissible ~asap ~prio g ~ii in
+                (* Every placement passed [admissible], but IMS eviction can
+                   retract decisions those checks relied on: unscheduling the
+                   register dependence that preserved a speculative memory
+                   dependence un-preserves it behind C2's back (and moving a
+                   producer can likewise raise an already-checked sync past
+                   C_delay). Re-derive both claims on the finished kernel and
+                   reject the grid point if eviction broke them. *)
+                let res =
+                  match res with
+                  | Some kernel
+                    when K.c_delay kernel ~c_reg_com <= cd
+                         && Overheads.misspec_prob kernel ~c_reg_com
+                            <= p_max +. 1e-12 ->
+                      Some kernel
+                  | Some _ | None -> None
+                in
+                Tms.attempt_event trace ~base:"ims" ~ii ~c_delay:cd ~f
+                  (res <> None);
+                match res with
+                | Some kernel ->
+                    if !f0 = None then f0 := Some f;
+                    best := Some (ii, cd, f, kernel)
+                | None -> ()
+              end)
+            points;
+          walk rest
+        end
+  in
+  walk groups;
+  let r =
+    match !best with
+    | Some (_, cd, f, kernel) ->
+        finish ~fell_back:false ~c_delay_threshold:cd ~f_min:f kernel
+    | None ->
         (* grid exhausted: plain IMS fallback *)
         if Ts_obs.Trace.enabled trace then
           Ts_obs.Trace.instant trace ~ts:(Ts_obs.Trace.tick trace) "tms.fallback"
@@ -67,40 +128,6 @@ let schedule ?(trace = Ts_obs.Trace.null) ?(p_max = Tms.default_p_max) ?max_ii
             ~c_delay:(max 1 (K.c_delay kernel ~c_reg_com))
         in
         finish ~fell_back:true ~c_delay_threshold:cd_max ~f_min kernel
-    | (f, points) :: rest ->
-        let rec try_points = function
-          | [] -> walk rest
-          | (ii, cd) :: more -> (
-              incr attempts;
-              let admissible s v ~cycle =
-                Tms.admissible s v ~cycle ~c_delay:cd ~p_max ~c_reg_com
-              in
-              let asap, prio = cached ii in
-              let res = Ts_sms.Ims.try_ii ~admissible ~asap ~prio g ~ii in
-              (* Every placement passed [admissible], but IMS eviction can
-                 retract decisions those checks relied on: unscheduling the
-                 register dependence that preserved a speculative memory
-                 dependence un-preserves it behind C2's back (and moving a
-                 producer can likewise raise an already-checked sync past
-                 C_delay). Re-derive both claims on the finished kernel and
-                 reject the grid point if eviction broke them. *)
-              let res =
-                match res with
-                | Some kernel
-                  when K.c_delay kernel ~c_reg_com <= cd
-                       && Overheads.misspec_prob kernel ~c_reg_com
-                          <= p_max +. 1e-12 ->
-                    Some kernel
-                | Some _ | None -> None
-              in
-              Tms.attempt_event trace ~base:"ims" ~ii ~c_delay:cd ~f (res <> None);
-              match res with
-              | Some kernel ->
-                  finish ~fell_back:false ~c_delay_threshold:cd ~f_min:f kernel
-              | None -> try_points more)
-        in
-        try_points points
   in
-  let r = walk groups in
   Tms.result_event trace r;
   r

@@ -14,12 +14,10 @@ let compute ~cfg (runs : Doacross_runs.t list) =
       let nospec_cycles =
         List.fold_left
           (fun acc l ->
-            let tms0 =
-              Ts_tms.Tms.schedule ~p_max:0.0 ~params l.Doacross_runs.g
-            in
+            let tms0 = Cached.tms ~p_max:0.0 ~params l.Doacross_runs.g in
             let st =
-              Ts_spmt.Sim.run ~plan:l.Doacross_runs.plan ~sync_mem:true
-                ~warmup:Doacross_runs.warmup cfg tms0.Ts_tms.Tms.kernel ~trip
+              Cached.sim ~sync_mem:true ~warmup:Defaults.warmup cfg
+                tms0.Ts_tms.Tms.kernel ~trip
             in
             acc + st.Ts_spmt.Sim.cycles)
           0 r.loops

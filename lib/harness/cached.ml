@@ -1,0 +1,233 @@
+module K = Ts_modsched.Kernel
+
+let code_version = 1
+let store : Ts_persist.t option ref = ref None
+let resume = ref false
+let set_store s = store := s
+let get_store () = !store
+let set_resume b = resume := b
+let get_resume () = !resume
+
+(* ---- fingerprints ---- *)
+
+(* A DDG's machine record holds a closure, so serialise its scalar fields
+   and the node/edge arrays (plain records) instead of the whole value. *)
+let ddg_fp (g : Ts_ddg.Ddg.t) =
+  let m = g.machine in
+  Marshal.to_string
+    ( g.name,
+      m.Ts_isa.Machine.name,
+      m.Ts_isa.Machine.issue_width,
+      m.Ts_isa.Machine.fu_counts,
+      m.Ts_isa.Machine.n_registers,
+      g.nodes,
+      g.edges )
+    []
+
+let cfg_fp (cfg : Ts_spmt.Config.t) = Marshal.to_string cfg []
+let kernel_fp (k : K.t) = Marshal.to_string (k.K.ii, k.K.time) []
+
+let key ~kind parts =
+  Ts_persist.digest_hex
+    (String.concat "\x00" (kind :: string_of_int code_version :: parts))
+
+(* ---- plain schedule projections ---- *)
+
+type sms_plain = { s_ii : int; s_time : int array; s_mii : int; s_attempts : int }
+
+type ims_plain = {
+  i_ii : int;
+  i_time : int array;
+  i_mii : int;
+  i_attempts : int;
+  i_placements : int;
+}
+
+type tms_plain = {
+  t_ii : int;
+  t_time : int array;
+  t_mii : int;
+  t_cdt : int;
+  t_acd : int;
+  t_pmax : float;
+  t_misspec : float;
+  t_fmin : float;
+  t_attempts : int;
+  t_fell_back : bool;
+}
+
+let sms_to_plain (r : Ts_sms.Sms.result) =
+  {
+    s_ii = r.kernel.K.ii;
+    s_time = r.kernel.K.time;
+    s_mii = r.mii;
+    s_attempts = r.attempts;
+  }
+
+let sms_of_plain g (p : sms_plain) : Ts_sms.Sms.result =
+  {
+    kernel = K.of_times g ~ii:p.s_ii p.s_time;
+    mii = p.s_mii;
+    attempts = p.s_attempts;
+  }
+
+let ims_to_plain (r : Ts_sms.Ims.result) =
+  {
+    i_ii = r.kernel.K.ii;
+    i_time = r.kernel.K.time;
+    i_mii = r.mii;
+    i_attempts = r.attempts;
+    i_placements = r.placements;
+  }
+
+let ims_of_plain g (p : ims_plain) : Ts_sms.Ims.result =
+  {
+    kernel = K.of_times g ~ii:p.i_ii p.i_time;
+    mii = p.i_mii;
+    attempts = p.i_attempts;
+    placements = p.i_placements;
+  }
+
+let tms_to_plain (r : Ts_tms.Tms.result) =
+  {
+    t_ii = r.kernel.K.ii;
+    t_time = r.kernel.K.time;
+    t_mii = r.mii;
+    t_cdt = r.c_delay_threshold;
+    t_acd = r.achieved_c_delay;
+    t_pmax = r.p_max;
+    t_misspec = r.misspec;
+    t_fmin = r.f_min;
+    t_attempts = r.attempts;
+    t_fell_back = r.fell_back;
+  }
+
+let tms_of_plain g (p : tms_plain) : Ts_tms.Tms.result =
+  {
+    kernel = K.of_times g ~ii:p.t_ii p.t_time;
+    mii = p.t_mii;
+    c_delay_threshold = p.t_cdt;
+    achieved_c_delay = p.t_acd;
+    p_max = p.t_pmax;
+    misspec = p.t_misspec;
+    f_min = p.t_fmin;
+    attempts = p.t_attempts;
+    fell_back = p.t_fell_back;
+  }
+
+(* ---- cached computations ----
+
+   [cached] adds a reconstruction layer over {!Ts_persist.memo}: values
+   are stored as plain projections and rebuilt per hit; a reconstruction
+   failure (stale entry whose times no longer validate against today's
+   generator output) falls back to recomputing and overwriting. *)
+
+let cached ~key:k ~to_plain ~of_plain f =
+  match !store with
+  | None -> f ()
+  | Some s -> (
+      match Ts_persist.find s ~key:k with
+      | Some p -> (
+          match of_plain p with
+          | v -> v
+          | exception _ ->
+              let v = f () in
+              Ts_persist.store s ~key:k (to_plain v);
+              v)
+      | None ->
+          let v = f () in
+          Ts_persist.store s ~key:k (to_plain v);
+          v)
+
+let sms g =
+  cached
+    ~key:(key ~kind:"sms" [ ddg_fp g ])
+    ~to_plain:sms_to_plain
+    ~of_plain:(sms_of_plain g)
+    (fun () -> Ts_sms.Sms.schedule g)
+
+let ims g =
+  cached
+    ~key:(key ~kind:"ims" [ ddg_fp g ])
+    ~to_plain:ims_to_plain
+    ~of_plain:(ims_of_plain g)
+    (fun () -> Ts_sms.Ims.schedule g)
+
+let params_fp (p : Ts_isa.Spmt_params.t) = Marshal.to_string p []
+
+let tms_sweep ~params g =
+  cached
+    ~key:(key ~kind:"tms_sweep" [ params_fp params; ddg_fp g ])
+    ~to_plain:tms_to_plain
+    ~of_plain:(tms_of_plain g)
+    (fun () -> Ts_tms.Tms.schedule_sweep ~params g)
+
+let tms ?p_max ~params g =
+  let pm =
+    match p_max with None -> "default" | Some x -> Printf.sprintf "%h" x
+  in
+  cached
+    ~key:(key ~kind:"tms" [ pm; params_fp params; ddg_fp g ])
+    ~to_plain:tms_to_plain
+    ~of_plain:(tms_of_plain g)
+    (fun () -> Ts_tms.Tms.schedule ?p_max ~params g)
+
+let tms_ims ~params g =
+  cached
+    ~key:(key ~kind:"tms_ims" [ params_fp params; ddg_fp g ])
+    ~to_plain:tms_to_plain
+    ~of_plain:(tms_of_plain g)
+    (fun () -> Ts_tms.Tms_ims.schedule ~params g)
+
+(* Simulator stats are plain records: no projection needed. *)
+let sim ?(sync_mem = false) ?seed ?(warmup = 0) ?(fast = true) cfg (k : K.t)
+    ~trip =
+  let g = k.K.g in
+  let seed = match seed with Some s -> s | None -> g.Ts_ddg.Ddg.name in
+  let k' =
+    key ~kind:"sim"
+      [
+        cfg_fp cfg;
+        ddg_fp g;
+        kernel_fp k;
+        seed;
+        string_of_bool sync_mem;
+        string_of_int warmup;
+        string_of_int trip;
+      ]
+  in
+  Ts_persist.memo !store ~key:k' (fun () ->
+      Ts_spmt.Sim.run ~seed ~sync_mem ~warmup ~fast cfg k ~trip)
+
+let sim_single ?seed ?(warmup = 0) cfg g ~trip =
+  let seed = match seed with Some s -> s | None -> g.Ts_ddg.Ddg.name in
+  let k' =
+    key ~kind:"single"
+      [ cfg_fp cfg; ddg_fp g; seed; string_of_int warmup; string_of_int trip ]
+  in
+  Ts_persist.memo !store ~key:k' (fun () ->
+      Ts_spmt.Single.run ~seed ~warmup cfg g ~trip)
+
+(* ---- journals ---- *)
+
+let journal ~name ~fingerprint =
+  match !store with
+  | None -> None
+  | Some s ->
+      Some
+        (Ts_persist.Journal.load s ~name
+           ~fingerprint:(fingerprint ^ "\x00" ^ string_of_int code_version)
+           ~resume:!resume)
+
+let j_item j ~id f =
+  match j with
+  | None -> f ()
+  | Some j -> (
+      match Ts_persist.Journal.find j ~id with
+      | Some v -> v
+      | None ->
+          let v = f () in
+          Ts_persist.Journal.record j ~id v;
+          v)
+
+let j_finish = function None -> () | Some j -> Ts_persist.Journal.finish j

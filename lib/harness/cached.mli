@@ -1,0 +1,118 @@
+(** Content-addressed caching of schedules and simulations.
+
+    Every experiment driver funnels its schedule searches and simulator
+    runs through this module. When a {!Ts_persist} store has been
+    configured (the CLI's [--cache-dir], default on), each result is
+    keyed by a digest of everything that determines it — the loop's full
+    DDG (nodes, edges, machine parameters), the SpMT configuration, the
+    address-plan seed, trip and warmup counts, and a code-version stamp —
+    so regenerating an experiment reuses every loop whose inputs did not
+    change, across runs and across drivers (Fig. 4 and Table 2 share
+    schedule entries, the DOACROSS studies share simulations).
+
+    Cached values store only plain data: kernels are persisted as their
+    [(ii, time)] vectors and rebuilt with {!Ts_modsched.Kernel.of_times},
+    which revalidates every dependence constraint — a corrupt or stale
+    entry fails reconstruction and is recomputed.
+
+    With no store configured every function here is exactly its uncached
+    counterpart. Nothing in this module changes results: cache keys
+    separate all inputs, and a cold-cache run equals a warm-cache run
+    equals an uncached run (regression-tested). *)
+
+val code_version : int
+(** Stamped into every key; bump when scheduler or simulator semantics
+    change so stale entries miss instead of resurfacing. *)
+
+val set_store : Ts_persist.t option -> unit
+(** Install the store used by all functions below (default [None] =
+    caching off). Set once, before spawning parallel work. *)
+
+val get_store : unit -> Ts_persist.t option
+
+val set_resume : bool -> unit
+(** When [true], {!journal} resumes from an interrupted sweep's journal
+    instead of starting fresh (the CLI's [--resume]). Default [false]. *)
+
+val get_resume : unit -> bool
+
+(** {2 Fingerprints and keys} *)
+
+val ddg_fp : Ts_ddg.Ddg.t -> string
+(** Canonical serialisation of a loop: name, machine scalars, nodes and
+    edges (everything except the machine's closures). *)
+
+val cfg_fp : Ts_spmt.Config.t -> string
+
+(** {2 Cached schedulers} *)
+
+val sms : Ts_ddg.Ddg.t -> Ts_sms.Sms.result
+val ims : Ts_ddg.Ddg.t -> Ts_sms.Ims.result
+
+val tms_sweep : params:Ts_isa.Spmt_params.t -> Ts_ddg.Ddg.t -> Ts_tms.Tms.result
+
+val tms :
+  ?p_max:float -> params:Ts_isa.Spmt_params.t -> Ts_ddg.Ddg.t -> Ts_tms.Tms.result
+
+val tms_ims : params:Ts_isa.Spmt_params.t -> Ts_ddg.Ddg.t -> Ts_tms.Tms.result
+
+(** {2 Cached simulations}
+
+    Both create the address plan from [seed] (default: the loop name, as
+    everywhere else) rather than taking one, so the plan identity is part
+    of the key by construction. The SpMT simulation runs with the
+    steady-state fast path on — proven (and regression-tested) to return
+    stats identical to exact execution; pass [fast:false] to force the
+    exact path (the simulator benchmark measures one against the
+    other). *)
+
+val sim :
+  ?sync_mem:bool ->
+  ?seed:string ->
+  ?warmup:int ->
+  ?fast:bool ->
+  Ts_spmt.Config.t ->
+  Ts_modsched.Kernel.t ->
+  trip:int ->
+  Ts_spmt.Sim.stats
+
+val sim_single :
+  ?seed:string ->
+  ?warmup:int ->
+  Ts_spmt.Config.t ->
+  Ts_ddg.Ddg.t ->
+  trip:int ->
+  Ts_spmt.Single.stats
+
+(** {2 Plain schedule projections}
+
+    Marshal-safe images of scheduler results (DDGs and kernels carry
+    machine closures, so the results themselves cannot be persisted).
+    Reconstruction takes the DDG the schedule was built from; it raises
+    if the stored times do not form a valid schedule for that DDG. *)
+
+type sms_plain
+type tms_plain
+
+val sms_to_plain : Ts_sms.Sms.result -> sms_plain
+val sms_of_plain : Ts_ddg.Ddg.t -> sms_plain -> Ts_sms.Sms.result
+val tms_to_plain : Ts_tms.Tms.result -> tms_plain
+val tms_of_plain : Ts_ddg.Ddg.t -> tms_plain -> Ts_tms.Tms.result
+
+(** {2 Sweep journals}
+
+    Thin wrappers over {!Ts_persist.Journal} that no-op without a store.
+    A driver opens a journal named after itself, records each loop's row
+    as it completes, and {!j_finish}es on success; a run killed mid-sweep
+    leaves the journal behind, and the next [--resume] run replays the
+    completed rows. *)
+
+val journal : name:string -> fingerprint:string -> Ts_persist.Journal.j option
+(** [None] when no store is configured. The fingerprint (any string
+    identifying the sweep's inputs; {!code_version} is appended) guards
+    against resuming a sweep whose configuration changed. *)
+
+val j_item : Ts_persist.Journal.j option -> id:string -> (unit -> 'a) -> 'a
+(** Replay item [id] from the journal, or compute and record it. *)
+
+val j_finish : Ts_persist.Journal.j option -> unit

@@ -1,0 +1,11 @@
+(* Shared measurement parameters for the experiment drivers. *)
+
+(* Warm-up iterations simulated before counters start. The longest
+   address-stream wrap is 2 KB working set / 4 B stride = 512 iterations:
+   after that every stream has been walked end to end, the caches hold
+   their steady-state residents, and the measurement no longer sees the
+   cold-miss ramp. Every driver uses this value (scaled down only when a
+   loop body is unrolled, since one iteration then covers [factor]
+   original iterations), so SMS, TMS and single-core runs of the same
+   loop are always compared on identical cache state. *)
+let warmup = 512

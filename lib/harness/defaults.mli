@@ -1,0 +1,6 @@
+(** Shared measurement parameters for the experiment drivers. *)
+
+val warmup : int
+(** Warm-up iterations simulated (and excluded from counters) before any
+    steady-state measurement: 512, one full wrap of the longest address
+    stream. Hoisted here so every driver warms caches identically. *)

@@ -13,10 +13,8 @@ type loop_data = {
 
 type t = { sel : Ts_workload.Doacross.selected; loops : loop_data list }
 
-val warmup : int
-(** Warmup iterations excluded from every measurement (long enough for all
-    address streams to wrap and the caches to reach steady state). *)
-
 val compute : cfg:Ts_spmt.Config.t -> t list
 (** Schedule and simulate all seven loops (SMS, TMS, single-threaded, one
-    shared address plan per loop). *)
+    shared address plan per loop, {!Defaults.warmup} warm-up iterations).
+    Results go through {!Cached} and a ["doacross"] sweep journal, so an
+    interrupted run resumes per loop. *)

@@ -14,19 +14,18 @@ let fig2 () =
   pr "Figures 1-2: the motivating example on a two-core SpMT machine\n\n";
   pr "ResII = %d, RecII = %d, MII = %d (paper: 4, 8, 8)\n\n"
     (Ts_ddg.Mii.res_ii g) (Ts_ddg.Mii.rec_ii g) (Ts_ddg.Mii.mii g);
-  let sms = (Ts_sms.Sms.schedule g).Ts_sms.Sms.kernel in
+  let sms = (Cached.sms g).Ts_sms.Sms.kernel in
   pr "%s\n" (Format.asprintf "SMS %a" K.pp sms);
   pr "SMS: II=%d, C_delay=%d (paper: 11), MaxLive=%d\n\n" sms.K.ii
     (K.c_delay sms ~c_reg_com) (K.max_live sms);
-  let tms = Ts_tms.Tms.schedule_sweep ~params g in
+  let tms = Cached.tms_sweep ~params g in
   let tk = tms.Ts_tms.Tms.kernel in
   pr "%s\n" (Format.asprintf "TMS %a" K.pp tk);
   pr "TMS: II=%d, C_delay=%d (paper: 1 + C_reg_com + slack), P_M=%.4f\n\n" tk.K.ii
     tms.Ts_tms.Tms.achieved_c_delay tms.Ts_tms.Tms.misspec;
-  let plan = Ts_spmt.Address_plan.create g in
   let trip = 2000 in
-  let s1 = Ts_spmt.Sim.run ~plan cfg sms ~trip in
-  let s2 = Ts_spmt.Sim.run ~plan cfg tk ~trip in
+  let s1 = Cached.sim cfg sms ~trip in
+  let s2 = Cached.sim cfg tk ~trip in
   pr "two-core simulation over %d iterations:\n" trip;
   pr "  SMS: %d cycles (%.2f/iter), %d sync-stall cycles, %d squashes\n"
     s1.Ts_spmt.Sim.cycles

@@ -12,23 +12,50 @@ let program_speedup_of ~coverage ~loop_speedup_pct =
 
 let compute ?limit ~cfg () =
   let params = cfg.Ts_spmt.Config.params in
-  (* One pool task per benchmark: schedule + simulate its loops. *)
-  Ts_base.Parallel.map
-    (fun (bench : Ts_workload.Spec_suite.bench) ->
-      let runs = Suite.run_bench ?limit ~params bench in
-      let totals =
+  let take l =
+    match limit with
+    | None -> l
+    | Some k -> List.filteri (fun i _ -> i < k) l
+  in
+  (* One pool task per loop (flattened across benchmarks, so the pool
+     stays busy through the tail of the big suites), each journalled: a
+     killed run resumes from its last completed loop. *)
+  let tasks =
+    List.concat_map
+      (fun (bench : Ts_workload.Spec_suite.bench) ->
         List.map
-          (fun (r : Suite.loop_run) ->
-            let plan = Ts_spmt.Address_plan.create r.g in
-            let trip = bench.trip in
-            let warmup = 512 in
-            let sms = Ts_spmt.Sim.run ~plan ~warmup cfg r.sms.Ts_sms.Sms.kernel ~trip in
-            let tms = Ts_spmt.Sim.run ~plan ~warmup cfg r.tms.Ts_tms.Tms.kernel ~trip in
-            (sms.Ts_spmt.Sim.cycles, tms.Ts_spmt.Sim.cycles))
-          runs
+          (fun g -> (bench, g))
+          (take (Ts_workload.Spec_suite.loops bench)))
+      Ts_workload.Spec_suite.benchmarks
+  in
+  let j =
+    Cached.journal ~name:"fig4"
+      ~fingerprint:
+        (Cached.cfg_fp cfg
+        ^ match limit with None -> "" | Some k -> string_of_int k)
+  in
+  let totals =
+    Ts_base.Parallel.map
+      (fun ((bench : Ts_workload.Spec_suite.bench), (g : Ts_ddg.Ddg.t)) ->
+        Cached.j_item j ~id:(bench.name ^ "/" ^ g.name) (fun () ->
+            let r = Suite.schedule_loop ~params g in
+            let trip = bench.trip and warmup = Defaults.warmup in
+            let sms = Cached.sim ~warmup cfg r.Suite.sms.Ts_sms.Sms.kernel ~trip in
+            let tms = Cached.sim ~warmup cfg r.Suite.tms.Ts_tms.Tms.kernel ~trip in
+            (sms.Ts_spmt.Sim.cycles, tms.Ts_spmt.Sim.cycles)))
+      tasks
+  in
+  Cached.j_finish j;
+  List.map
+    (fun (bench : Ts_workload.Spec_suite.bench) ->
+      let mine =
+        List.filter_map
+          (fun ((b : Ts_workload.Spec_suite.bench), t) ->
+            if b.name = bench.name then Some t else None)
+          (List.combine (List.map fst tasks) totals)
       in
-      let sms_cycles = List.fold_left (fun a (s, _) -> a + s) 0 totals in
-      let tms_cycles = List.fold_left (fun a (_, t) -> a + t) 0 totals in
+      let sms_cycles = List.fold_left (fun a (s, _) -> a + s) 0 mine in
+      let tms_cycles = List.fold_left (fun a (_, t) -> a + t) 0 mine in
       let loop_speedup =
         Ts_base.Stats.speedup_percent
           ~baseline:(float_of_int sms_cycles)

@@ -10,20 +10,19 @@ type row = {
 }
 
 let compute ?(ncores = [ 2; 4; 8; 16 ]) () =
-  let trip = 1500 and warmup = 512 in
+  let trip = 1500 and warmup = Defaults.warmup in
   List.concat_map
     (fun (sel : Ts_workload.Doacross.selected) ->
       let g = List.hd sel.loops in
-      let plan = Ts_spmt.Address_plan.create g in
-      let sms = (Ts_sms.Sms.schedule g).Ts_sms.Sms.kernel in
+      let sms = (Cached.sms g).Ts_sms.Sms.kernel in
       List.map
         (fun ncore ->
           let cfg = Ts_spmt.Config.with_ncore Ts_spmt.Config.default ncore in
           let params = cfg.Ts_spmt.Config.params in
-          let tms = Ts_tms.Tms.schedule_sweep ~params g in
+          let tms = Cached.tms_sweep ~params g in
           let tk = tms.Ts_tms.Tms.kernel in
-          let s_sms = Ts_spmt.Sim.run ~plan ~warmup cfg sms ~trip in
-          let s_tms = Ts_spmt.Sim.run ~plan ~warmup cfg tk ~trip in
+          let s_sms = Cached.sim ~warmup cfg sms ~trip in
+          let s_tms = Cached.sim ~warmup cfg tk ~trip in
           let cpi (st : Ts_spmt.Sim.stats) =
             float_of_int st.cycles /. float_of_int trip
           in

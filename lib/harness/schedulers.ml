@@ -13,23 +13,22 @@ type row = {
 let compute ~cfg =
   let params = cfg.Ts_spmt.Config.params in
   let c_reg_com = params.Ts_isa.Spmt_params.c_reg_com in
-  let trip = 1500 and warmup = 512 in
+  let trip = 1500 and warmup = Defaults.warmup in
   List.concat_map
     (fun (sel : Ts_workload.Doacross.selected) ->
       let g = List.hd sel.loops in
-      let plan = Ts_spmt.Address_plan.create g in
       let variants =
         [
-          ("sms", (Ts_sms.Sms.schedule g).Ts_sms.Sms.kernel);
-          ("ims", (Ts_sms.Ims.schedule g).Ts_sms.Ims.kernel);
-          ("ts-sms", (Ts_tms.Tms.schedule_sweep ~params g).Ts_tms.Tms.kernel);
-          ("ts-sms-c1", (Ts_tms.Tms.schedule ~p_max:1.0 ~params g).Ts_tms.Tms.kernel);
-          ("ts-ims", (Ts_tms.Tms_ims.schedule ~params g).Ts_tms.Tms.kernel);
+          ("sms", (Cached.sms g).Ts_sms.Sms.kernel);
+          ("ims", (Cached.ims g).Ts_sms.Ims.kernel);
+          ("ts-sms", (Cached.tms_sweep ~params g).Ts_tms.Tms.kernel);
+          ("ts-sms-c1", (Cached.tms ~p_max:1.0 ~params g).Ts_tms.Tms.kernel);
+          ("ts-ims", (Cached.tms_ims ~params g).Ts_tms.Tms.kernel);
         ]
       in
       List.map
         (fun (variant, k) ->
-          let st = Ts_spmt.Sim.run ~plan ~warmup cfg k ~trip in
+          let st = Cached.sim ~warmup cfg k ~trip in
           {
             loop = g.Ts_ddg.Ddg.name;
             variant;

@@ -5,8 +5,8 @@ type loop_run = {
 }
 
 let schedule_loop ~params g =
-  let sms = Ts_sms.Sms.schedule g in
-  let tms = Ts_tms.Tms.schedule_sweep ~params g in
+  let sms = Cached.sms g in
+  let tms = Cached.tms_sweep ~params g in
   { g; sms; tms }
 
 let run_bench ?limit ~params bench =

@@ -20,12 +20,14 @@ let compute ?(factors = [ 1; 2; 3; 4 ]) ~cfg () =
       List.filter_map
         (fun factor ->
           let g = Ts_ddg.Unroll.by g0 ~factor in
-          match Ts_tms.Tms.schedule_sweep ~params g with
+          match Cached.tms_sweep ~params g with
           | exception Ts_sms.Sms.No_schedule _ -> None
           | r ->
               let k = r.Ts_tms.Tms.kernel in
               let trip = iterations / factor in
-              let st = Ts_spmt.Sim.run ~warmup:(512 / factor) cfg k ~trip in
+              let st =
+                Cached.sim ~warmup:(Defaults.warmup / factor) cfg k ~trip
+              in
               Some
                 {
                   bench = sel.bench;

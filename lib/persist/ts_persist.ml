@@ -1,0 +1,228 @@
+(* On-disk layout:
+
+     <dir>/version        human-readable store format stamp
+     <dir>/objects/<k0k1>/<key>.bin
+     <dir>/journals/<name>.j
+
+   Entry format ("tsp1" magic):
+
+     tsp1 <payload-digest-hex>\n<marshalled payload>
+
+   Journal format ("tsj1" magic):
+
+     tsj1 <fingerprint-hex>\n
+     r <id-length> <payload-length>\n<id><marshalled payload>\n  (repeated)
+
+   The magics double as the format version: bumping them makes every old
+   entry unreadable, which the readers below treat as a miss. *)
+
+let m_hits = Ts_obs.Metrics.counter Ts_obs.Metrics.default "persist.hits"
+let m_misses = Ts_obs.Metrics.counter Ts_obs.Metrics.default "persist.misses"
+let m_stores = Ts_obs.Metrics.counter Ts_obs.Metrics.default "persist.stores"
+
+let m_replayed =
+  Ts_obs.Metrics.counter Ts_obs.Metrics.default "persist.journal.replayed"
+
+type t = { root : string; lock : Mutex.t; mutable tmp_seq : int }
+
+let rec mkdir_p path =
+  if path <> "" && path <> "." && path <> "/" && not (Sys.file_exists path)
+  then begin
+    mkdir_p (Filename.dirname path);
+    (try Sys.mkdir path 0o755
+     with Sys_error _ when Sys.file_exists path -> ())
+  end
+
+let entry_magic = "tsp1"
+let journal_magic = "tsj1"
+
+let open_store ~dir =
+  mkdir_p (Filename.concat dir "objects");
+  mkdir_p (Filename.concat dir "journals");
+  let vfile = Filename.concat dir "version" in
+  if not (Sys.file_exists vfile) then begin
+    let oc = open_out vfile in
+    output_string oc "tsms result store, entry format tsp1, journal tsj1\n";
+    close_out oc
+  end;
+  { root = dir; lock = Mutex.create (); tmp_seq = 0 }
+
+let dir t = t.root
+
+let default_dir () =
+  match Sys.getenv_opt "TSMS_CACHE_DIR" with
+  | Some d when d <> "" -> d
+  | _ -> (
+      match Sys.getenv_opt "XDG_CACHE_HOME" with
+      | Some d when d <> "" -> Filename.concat d "tsms"
+      | _ -> (
+          match Sys.getenv_opt "HOME" with
+          | Some h when h <> "" ->
+              Filename.concat (Filename.concat h ".cache") "tsms"
+          | _ -> "_tsms_cache"))
+
+let digest_hex s = Digest.to_hex (Digest.string s)
+
+let entry_path t key =
+  let shard = if String.length key >= 2 then String.sub key 0 2 else "xx" in
+  Filename.concat
+    (Filename.concat (Filename.concat t.root "objects") shard)
+    (key ^ ".bin")
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Every failure mode — missing file, bad magic, digest mismatch,
+   truncated marshal — is a miss; a cache must never take the computation
+   down with it. *)
+let find (type a) t ~key : a option =
+  let path = entry_path t key in
+  let parsed =
+    try
+      let s = read_file path in
+      (* "tsp1 " ^ 32 hex ^ "\n" *)
+      let hdr = String.length entry_magic + 1 + 32 + 1 in
+      if
+        String.length s >= hdr
+        && String.sub s 0 (String.length entry_magic) = entry_magic
+        && s.[hdr - 1] = '\n'
+      then begin
+        let want = String.sub s (String.length entry_magic + 1) 32 in
+        let payload = String.sub s hdr (String.length s - hdr) in
+        if Digest.to_hex (Digest.string payload) = want then
+          Some (Marshal.from_string payload 0 : a)
+        else None
+      end
+      else None
+    with _ -> None
+  in
+  (match parsed with
+  | Some _ -> Ts_obs.Metrics.incr m_hits
+  | None ->
+      Ts_obs.Metrics.incr m_misses;
+      if Sys.file_exists path then (try Sys.remove path with Sys_error _ -> ()));
+  parsed
+
+let store t ~key v =
+  let payload = Marshal.to_string v [] in
+  let path = entry_path t key in
+  mkdir_p (Filename.dirname path);
+  let tmp =
+    Mutex.lock t.lock;
+    let seq = t.tmp_seq in
+    t.tmp_seq <- seq + 1;
+    Mutex.unlock t.lock;
+    Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ()) seq
+  in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc entry_magic;
+     output_char oc ' ';
+     output_string oc (Digest.to_hex (Digest.string payload));
+     output_char oc '\n';
+     output_string oc payload;
+     close_out oc;
+     Sys.rename tmp path
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Ts_obs.Metrics.incr m_stores
+
+let memo t ~key f =
+  match t with
+  | None -> f ()
+  | Some t -> (
+      match find t ~key with
+      | Some v -> v
+      | None ->
+          let v = f () in
+          store t ~key v;
+          v)
+
+module Journal = struct
+  type j = {
+    path : string;
+    done_ : (string, string) Hashtbl.t; (* id -> marshalled payload *)
+    mutable oc : out_channel option;
+    jlock : Mutex.t;
+  }
+
+  let journal_path t name = Filename.concat (Filename.concat t.root "journals") (name ^ ".j")
+
+  (* Parse as much of the log as is well formed; a crash mid-append leaves
+     a truncated tail, which just ends the replay early. *)
+  let parse ~fingerprint s =
+    let tbl = Hashtbl.create 64 in
+    let header = journal_magic ^ " " ^ fingerprint ^ "\n" in
+    let hlen = String.length header in
+    if String.length s < hlen || String.sub s 0 hlen <> header then None
+    else begin
+      let pos = ref hlen and ok = ref true in
+      while !ok do
+        match String.index_from_opt s !pos '\n' with
+        | None -> ok := false
+        | Some nl -> (
+            let line = String.sub s !pos (nl - !pos) in
+            match Scanf.sscanf_opt line "r %d %d" (fun a b -> (a, b)) with
+            | Some (idl, pl)
+              when idl >= 0 && pl >= 0 && nl + 1 + idl + pl + 1 <= String.length s
+                   && s.[nl + 1 + idl + pl] = '\n' ->
+                let id = String.sub s (nl + 1) idl in
+                Hashtbl.replace tbl id (String.sub s (nl + 1 + idl) pl);
+                pos := nl + 1 + idl + pl + 1
+            | _ -> ok := false)
+      done;
+      Some tbl
+    end
+
+  let load t ~name ~fingerprint ~resume =
+    let path = journal_path t name in
+    let fingerprint = digest_hex fingerprint in
+    let recovered =
+      if resume && Sys.file_exists path then
+        try parse ~fingerprint (read_file path) with _ -> None
+      else None
+    in
+    match recovered with
+    | Some done_ ->
+        Ts_obs.Metrics.incr ~by:(Hashtbl.length done_) m_replayed;
+        (* Keep appending to the same log: ids recorded twice are fine,
+           the last record wins at the next replay. *)
+        let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+        { path; done_; oc = Some oc; jlock = Mutex.create () }
+    | None ->
+        let oc = open_out_bin path in
+        output_string oc (journal_magic ^ " " ^ fingerprint ^ "\n");
+        flush oc;
+        { path; done_ = Hashtbl.create 64; oc = Some oc; jlock = Mutex.create () }
+
+  let find (type a) j ~id : a option =
+    match Hashtbl.find_opt j.done_ id with
+    | None -> None
+    | Some payload -> ( try Some (Marshal.from_string payload 0 : a) with _ -> None)
+
+  let record j ~id v =
+    match j.oc with
+    | None -> ()
+    | Some oc ->
+        let payload = Marshal.to_string v [] in
+        Mutex.lock j.jlock;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock j.jlock)
+          (fun () ->
+            Printf.fprintf oc "r %d %d\n" (String.length id)
+              (String.length payload);
+            output_string oc id;
+            output_string oc payload;
+            output_char oc '\n';
+            flush oc)
+
+  let finish j =
+    (match j.oc with Some oc -> close_out_noerr oc | None -> ());
+    j.oc <- None;
+    try Sys.remove j.path with Sys_error _ -> ()
+end

@@ -1,0 +1,99 @@
+(** Persistent, content-addressed result store with resumable sweep
+    journals.
+
+    Scheduling a loop and simulating it to steady state is deterministic:
+    the result is a pure function of the loop's DDG, the machine
+    configuration, the address-plan seed and the trip/warmup counts. This
+    store memoises those results on disk so regenerating an experiment
+    table is a cache lookup per loop instead of a schedule search plus a
+    few hundred thousand simulated cycles, and so a killed sweep resumes
+    from its last completed loop instead of from scratch.
+
+    Keys are caller-supplied digests (see {!digest_hex}); the store never
+    interprets them. Values go through [Marshal], so they must be plain
+    data (no closures) and are only readable by the binary that wrote
+    them — both restrictions are fine for a cache, where the worst case
+    of a mismatch is a recompute.
+
+    Robustness guarantees:
+
+    - {b Atomic writes}: entries are written to a tempfile in the store
+      and renamed into place, so readers (including concurrent processes)
+      never see a partial entry.
+    - {b Corruption tolerance}: every entry carries a format magic and a
+      digest of its payload. A truncated, corrupted or
+      wrong-binary-version entry reads as [None] (and is deleted best
+      effort) — the caller recomputes; nothing ever escalates to an
+      exception.
+    - {b Crash-safe journals}: sweep journals are append-only and flushed
+      per record; a journal with a truncated tail replays every record
+      before the truncation point.
+
+    Hit/miss/store counters land on {!Ts_obs.Metrics.default} under
+    [persist.*]. All operations are domain-safe. *)
+
+type t
+(** An open store rooted at a directory. *)
+
+val open_store : dir:string -> t
+(** Open (creating directories as needed) the store rooted at [dir].
+    Raises [Sys_error] if the directory cannot be created. *)
+
+val dir : t -> string
+
+val default_dir : unit -> string
+(** Where the CLI puts the store unless told otherwise:
+    [$TSMS_CACHE_DIR], else [$XDG_CACHE_HOME/tsms], else
+    [$HOME/.cache/tsms], else [_tsms_cache] in the working directory. *)
+
+val digest_hex : string -> string
+(** Hex digest of an arbitrary (binary) string — the key constructor.
+    Callers serialise whatever identifies a computation (loop structure,
+    config, trip counts, a code-version stamp) and digest it. *)
+
+val find : t -> key:string -> 'a option
+(** Look the key up. [None] on absence or corruption (the unreadable
+    entry is removed best effort). The ['a] is whatever {!store} put
+    there — callers keep key spaces for different result types disjoint
+    by construction (a kind tag inside the digested string). *)
+
+val store : t -> key:string -> 'a -> unit
+(** Write atomically (tempfile + rename; concurrent writers of the same
+    key are safe, last rename wins). *)
+
+val memo : t option -> key:string -> (unit -> 'a) -> 'a
+(** [memo (Some s) ~key f] is [find]-else-[f ()]-and-[store]; [memo None]
+    is just [f ()] — callers thread an optional store through without
+    branching. *)
+
+(** {2 Sweep journals}
+
+    A journal is an append-only log of per-item results for one sweep
+    (one experiment driver run). Drivers record each item as it
+    completes; a resumed run replays completed items and recomputes only
+    the rest. The journal is deleted when the sweep {!Journal.finish}es,
+    so a journal file on disk means an interrupted run. *)
+
+module Journal : sig
+  type j
+
+  val load : t -> name:string -> fingerprint:string -> resume:bool -> j
+  (** Open the journal [name]. With [resume:false], or when the on-disk
+      journal was written with a different [fingerprint] (different
+      config, limit or code version — its items would be stale), any
+      existing log is discarded and the journal starts empty. With
+      [resume:true] and a matching fingerprint, previously recorded items
+      become available to {!find}. *)
+
+  val find : j -> id:string -> 'a option
+  (** The recorded result of item [id], if the (possibly resumed) sweep
+      already completed it. [None] on absence or a corrupt record. *)
+
+  val record : j -> id:string -> 'a -> unit
+  (** Append item [id]'s result and flush, so it survives a kill at any
+      later point. Domain-safe. *)
+
+  val finish : j -> unit
+  (** Close and delete the journal: the sweep completed, there is nothing
+      to resume. *)
+end

@@ -49,6 +49,11 @@ let own_addr t node iter =
         (Printf.sprintf "Address_plan.addr: node %d is not a memory instruction" node)
   | Some s -> s.base + (s.stride * iter mod s.working_set)
 
+let stream t ~node =
+  match t.streams.(node) with
+  | None -> None
+  | Some s -> Some (s.base, s.stride, s.working_set)
+
 let realised t ~edge_index ~iter =
   let e = t.g.edges.(edge_index) in
   if e.kind <> Ts_ddg.Ddg.Mem then

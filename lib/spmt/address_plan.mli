@@ -19,6 +19,13 @@ val addr : t -> node:int -> iter:int -> int
 (** Address accessed by memory node [node] at iteration [iter]. Raises
     [Invalid_argument] for a non-memory node. *)
 
+val stream : t -> node:int -> (int * int * int) option
+(** [(base, stride, working_set)] of the node's private affine stream,
+    [None] for non-memory nodes. The simulator's steady-state fast path
+    uses it to enumerate the L1 lines a load's stream can ever touch
+    (the stream revisits addresses with period
+    [working_set / gcd stride working_set]). *)
+
 val realised : t -> edge_index:int -> iter:int -> bool
 (** Does memory-dependence edge [edge_index] (index into the DDG's edge
     array) actually alias at consumer iteration [iter]? Decided by a coin

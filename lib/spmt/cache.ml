@@ -1,14 +1,18 @@
 type t = {
-  n_sets : int;
+  set_mask : int; (* n_sets - 1 *)
+  line_shift : int; (* log2 line *)
   assoc : int;
-  line : int;
-  tags : int array array; (* per set, per way: block tag or -1 *)
-  lru : int array array; (* per set, per way: age; 0 = most recent *)
+  tags : int array; (* flat [set * assoc + way]: block tag or -1 *)
+  lru : int array; (* flat [set * assoc + way]: age; 0 = most recent *)
   mutable hits : int;
   mutable misses : int;
 }
 
 let is_pow2 x = x > 0 && x land (x - 1) = 0
+
+let log2 x =
+  let rec go acc x = if x = 1 then acc else go (acc + 1) (x lsr 1) in
+  go 0 x
 
 let create ~size ~assoc ~line =
   if not (is_pow2 size && is_pow2 assoc && is_pow2 line) then
@@ -16,73 +20,87 @@ let create ~size ~assoc ~line =
   if size < assoc * line then invalid_arg "Cache.create: size too small";
   let n_sets = size / (assoc * line) in
   {
-    n_sets;
+    set_mask = n_sets - 1;
+    line_shift = log2 line;
     assoc;
-    line;
-    tags = Array.init n_sets (fun _ -> Array.make assoc (-1));
-    lru = Array.init n_sets (fun _ -> Array.init assoc Fun.id);
+    tags = Array.make (n_sets * assoc) (-1);
+    lru = Array.init (n_sets * assoc) (fun i -> i mod assoc);
     hits = 0;
     misses = 0;
   }
 
-let locate t addr =
-  let block = addr / t.line in
-  let set = block mod t.n_sets in
-  (block, set)
+(* The paths below run once per simulated cache access, which makes them
+   the hottest code in the whole simulator; flat arrays, shift/mask set
+   selection and unsafe indexing (offsets are in range by construction)
+   keep them cheap. LRU semantics are the textbook aging scheme the naive
+   {!Ts_check.Ref_models} mirror implements: ages count up from 0 = most
+   recent, the victim is the highest age (lowest way on ties). *)
 
-let find_way t set block =
-  let ways = t.tags.(set) in
-  let rec go i = if i = t.assoc then None else if ways.(i) = block then Some i else go (i + 1) in
+let[@inline] base_of t addr =
+  let block = addr lsr t.line_shift in
+  (block, (block land t.set_mask) * t.assoc)
+
+let[@inline] find_way t base block =
+  let rec go i =
+    if i = t.assoc then -1
+    else if Array.unsafe_get t.tags (base + i) = block then i
+    else go (i + 1)
+  in
   go 0
 
-let touch t set way =
-  let ages = t.lru.(set) in
-  let old = ages.(way) in
-  for i = 0 to t.assoc - 1 do
-    if ages.(i) < old then ages.(i) <- ages.(i) + 1
+let touch_at t base way =
+  let old = Array.unsafe_get t.lru (base + way) in
+  for i = base to base + t.assoc - 1 do
+    let a = Array.unsafe_get t.lru i in
+    if a < old then Array.unsafe_set t.lru i (a + 1)
   done;
-  ages.(way) <- 0
+  Array.unsafe_set t.lru (base + way) 0
 
-let victim t set =
-  let ages = t.lru.(set) in
-  let best = ref 0 in
+let[@inline] victim t base =
+  let best = ref 0 and best_age = ref (Array.unsafe_get t.lru base) in
   for i = 1 to t.assoc - 1 do
-    if ages.(i) > ages.(!best) then best := i
+    let a = Array.unsafe_get t.lru (base + i) in
+    if a > !best_age then begin
+      best := i;
+      best_age := a
+    end
   done;
   !best
 
 let access t addr =
-  let block, set = locate t addr in
-  match find_way t set block with
-  | Some way ->
-      t.hits <- t.hits + 1;
-      touch t set way;
-      true
-  | None ->
-      t.misses <- t.misses + 1;
-      let way = victim t set in
-      t.tags.(set).(way) <- block;
-      touch t set way;
-      false
+  let block, base = base_of t addr in
+  let way = find_way t base block in
+  if way >= 0 then begin
+    t.hits <- t.hits + 1;
+    touch_at t base way;
+    true
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    let way = victim t base in
+    Array.unsafe_set t.tags (base + way) block;
+    touch_at t base way;
+    false
+  end
 
 let probe t addr =
-  let block, set = locate t addr in
-  find_way t set block <> None
+  let block, base = base_of t addr in
+  find_way t base block >= 0
 
 let invalidate t addr =
-  let block, set = locate t addr in
-  match find_way t set block with
-  | Some way -> t.tags.(set).(way) <- -1
-  | None -> ()
+  let block, base = base_of t addr in
+  let way = find_way t base block in
+  if way >= 0 then Array.unsafe_set t.tags (base + way) (-1)
 
 let fill t addr =
-  let block, set = locate t addr in
-  match find_way t set block with
-  | Some way -> touch t set way
-  | None ->
-      let way = victim t set in
-      t.tags.(set).(way) <- block;
-      touch t set way
+  let block, base = base_of t addr in
+  let way = find_way t base block in
+  if way >= 0 then touch_at t base way
+  else begin
+    let way = victim t base in
+    Array.unsafe_set t.tags (base + way) block;
+    touch_at t base way
+  end
 
 let stats t = (t.hits, t.misses)
 

@@ -62,6 +62,7 @@ val run :
   ?observe:(thread_obs -> unit) ->
   ?trace:Ts_obs.Trace.t ->
   ?trace_pid:int ->
+  ?fast:bool ->
   Config.t ->
   Ts_modsched.Kernel.t ->
   trip:int ->
@@ -111,6 +112,30 @@ val run :
 
     Tracing does not perturb the simulation: a traced run returns stats
     byte-identical to a null-sink run (regression-tested).
+
+    [fast] (default false) enables the steady-state fast path: once two
+    consecutive windows of threads repeat the same timing signature at a
+    constant shift, remaining threads are extrapolated from the signature
+    instead of replayed cycle-by-cycle. Load cache accesses are still
+    replayed (the address sequence is timing-independent), and any
+    deviation — a latency mismatch, a probabilistic-dependence coin, a
+    squash — drops back to exact execution, so the returned stats are
+    identical to a [fast:false] run. When the signature is pure L1 hits
+    and every line the load streams can touch probes resident, even the
+    cache replay is elided. Between engagements, threads unaffected by
+    probabilistic-dependence coins are memoised: their timing relative to
+    the start cycle is a pure function of the cross-thread arrival offsets
+    (clamped to the threshold below which an arrival cannot influence the
+    schedule) and the replayed load-latency vector, so recurring
+    (offsets, latencies) pairs skip the instruction-level replay even when
+    the cache behaviour never becomes periodic. The fast path quietly
+    disables itself under
+    [trace]/[observe]/[TS_SIM_TRACE] (which need every thread) and for
+    always-realised memory dependences. Combining [fast] with [check]
+    runs {e both} paths on the same address plan and raises
+    {!Ts_check.Invariant.Check_failed} on any stats field divergence.
+    Engagement, extrapolation, mismatch and memo-hit counters land on
+    {!Ts_obs.Metrics.default} under [sim.fastpath.*].
 
     Identical totals are also accumulated on {!Ts_obs.Metrics.default}
     under [sim.*]. *)

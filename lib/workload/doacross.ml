@@ -41,7 +41,7 @@ let art =
                 target_rec_ii = None;
                 n_extra_sccs = 3;
                 ldp_target = Some 29;
-                mem_prob = (0.005, 0.03);
+                mem_prob = (0.0001, 0.0006);
                 mem_dep_rate = 1.0;
                 self_loop_rate = 0.0;
               }
@@ -67,7 +67,7 @@ let equake =
               target_rec_ii = None;
               n_extra_sccs = 3;
               ldp_target = Some 26;
-              mem_prob = (0.003, 0.02);
+              mem_prob = (0.0001, 0.0005);
               mem_dep_rate = 1.0;
               self_loop_rate = 0.0;
             }
@@ -95,7 +95,7 @@ let lucas =
               target_rec_ii = Some 58;
               n_extra_sccs = 8;
               ldp_target = Some 89;
-              mem_prob = (0.005, 0.02);
+              mem_prob = (0.0001, 0.0004);
               mem_dep_rate = 0.6;
               self_loop_rate = 0.0;
             }
@@ -121,7 +121,7 @@ let fma3d =
               target_rec_ii = None;
               n_extra_sccs = 3;
               ldp_target = Some 34;
-              mem_prob = (0.005, 0.03);
+              mem_prob = (0.00006, 0.0003);
               mem_dep_rate = 1.6;
               self_loop_rate = 0.0;
             }

@@ -28,7 +28,7 @@ let default_profile =
     target_rec_ii = None;
     n_extra_sccs = 0;
     mem_dep_rate = 0.5;
-    mem_prob = (0.005, 0.03);
+    mem_prob = (0.0001, 0.0006);
     mem_rec = false;
     ldp_target = None;
   }

@@ -15,38 +15,44 @@ type bench = {
    (the paper does not report per-benchmark loop coverage for Table 2);
    [rec_frac] encodes the paper's qualitative notes: art is
    recurrence-bound (its MII is well above #inst/width), wupwise has one
-   dominant SCC, most others are resource-bound. *)
+   dominant SCC, most others are resource-bound.
+
+   [mem_prob] ranges are calibrated to the SPECfp2000 profile regime the
+   paper reports (§7.9(b)): per-dependence misspeculation probabilities
+   of a few 0.01%, so simulated squash rates over the suite land below
+   0.1% of committed iterations (Section 5.2) while the dependences stay
+   frequent enough that C2 and dependence preservation remain live. *)
 let benchmarks =
   [
     { name = "wupwise"; n_loops = 16; avg_inst = 16.2; avg_mii = 4.4;
-      coverage = 0.40; rec_frac = 0.35; mem_prob = (0.005, 0.03); trip = 400; fp_frac = 0.6; fmul_frac = 0.28 };
+      coverage = 0.40; rec_frac = 0.35; mem_prob = (0.0001, 0.0006); trip = 400; fp_frac = 0.6; fmul_frac = 0.28 };
     { name = "swim"; n_loops = 11; avg_inst = 25.7; avg_mii = 6.0;
-      coverage = 0.55; rec_frac = 0.10; mem_prob = (0.005, 0.03); trip = 400; fp_frac = 0.6; fmul_frac = 0.28 };
+      coverage = 0.55; rec_frac = 0.10; mem_prob = (0.0001, 0.0006); trip = 400; fp_frac = 0.6; fmul_frac = 0.28 };
     { name = "mgrid"; n_loops = 10; avg_inst = 34.3; avg_mii = 8.3;
-      coverage = 0.60; rec_frac = 0.10; mem_prob = (0.005, 0.03); trip = 400; fp_frac = 0.6; fmul_frac = 0.28 };
+      coverage = 0.60; rec_frac = 0.10; mem_prob = (0.0001, 0.0006); trip = 400; fp_frac = 0.6; fmul_frac = 0.28 };
     { name = "applu"; n_loops = 41; avg_inst = 46.8; avg_mii = 11.9;
-      coverage = 0.45; rec_frac = 0.20; mem_prob = (0.005, 0.03); trip = 400; fp_frac = 0.6; fmul_frac = 0.28 };
+      coverage = 0.45; rec_frac = 0.20; mem_prob = (0.0001, 0.0006); trip = 400; fp_frac = 0.6; fmul_frac = 0.28 };
     { name = "mesa"; n_loops = 51; avg_inst = 24.3; avg_mii = 5.7;
-      coverage = 0.30; rec_frac = 0.10; mem_prob = (0.005, 0.03); trip = 400; fp_frac = 0.6; fmul_frac = 0.28 };
+      coverage = 0.30; rec_frac = 0.10; mem_prob = (0.0001, 0.0006); trip = 400; fp_frac = 0.6; fmul_frac = 0.28 };
     { name = "art"; n_loops = 10; avg_inst = 16.1; avg_mii = 7.6;
       (* art is multiplier-bound (dot-product kernels): its MII sits well
          above #inst/width without being recurrence-limited *)
-      coverage = 0.45; rec_frac = 0.15; mem_prob = (0.005, 0.025); trip = 400;
+      coverage = 0.45; rec_frac = 0.15; mem_prob = (0.0001, 0.0005); trip = 400;
       fp_frac = 0.85; fmul_frac = 0.70 };
     { name = "equake"; n_loops = 5; avg_inst = 43.6; avg_mii = 11.4;
-      coverage = 0.60; rec_frac = 0.30; mem_prob = (0.005, 0.025); trip = 400; fp_frac = 0.6; fmul_frac = 0.28 };
+      coverage = 0.60; rec_frac = 0.30; mem_prob = (0.0001, 0.0005); trip = 400; fp_frac = 0.6; fmul_frac = 0.28 };
     { name = "facerec"; n_loops = 26; avg_inst = 31.7; avg_mii = 8.0;
-      coverage = 0.45; rec_frac = 0.15; mem_prob = (0.005, 0.03); trip = 400; fp_frac = 0.6; fmul_frac = 0.28 };
+      coverage = 0.45; rec_frac = 0.15; mem_prob = (0.0001, 0.0006); trip = 400; fp_frac = 0.6; fmul_frac = 0.28 };
     { name = "ammp"; n_loops = 11; avg_inst = 35.6; avg_mii = 9.6;
-      coverage = 0.30; rec_frac = 0.30; mem_prob = (0.005, 0.03); trip = 400; fp_frac = 0.6; fmul_frac = 0.28 };
+      coverage = 0.30; rec_frac = 0.30; mem_prob = (0.0001, 0.0006); trip = 400; fp_frac = 0.6; fmul_frac = 0.28 };
     { name = "lucas"; n_loops = 24; avg_inst = 169.6; avg_mii = 42.2;
-      coverage = 0.35; rec_frac = 0.30; mem_prob = (0.005, 0.03); trip = 200; fp_frac = 0.6; fmul_frac = 0.28 };
+      coverage = 0.35; rec_frac = 0.30; mem_prob = (0.0001, 0.0006); trip = 200; fp_frac = 0.6; fmul_frac = 0.28 };
     { name = "fma3d"; n_loops = 170; avg_inst = 29.0; avg_mii = 7.3;
-      coverage = 0.25; rec_frac = 0.15; mem_prob = (0.005, 0.025); trip = 400; fp_frac = 0.6; fmul_frac = 0.28 };
+      coverage = 0.25; rec_frac = 0.15; mem_prob = (0.0001, 0.0005); trip = 400; fp_frac = 0.6; fmul_frac = 0.28 };
     { name = "sixtrack"; n_loops = 340; avg_inst = 41.2; avg_mii = 10.7;
-      coverage = 0.35; rec_frac = 0.20; mem_prob = (0.005, 0.03); trip = 400; fp_frac = 0.6; fmul_frac = 0.28 };
+      coverage = 0.35; rec_frac = 0.20; mem_prob = (0.0001, 0.0006); trip = 400; fp_frac = 0.6; fmul_frac = 0.28 };
     { name = "apsi"; n_loops = 63; avg_inst = 29.0; avg_mii = 7.7;
-      coverage = 0.40; rec_frac = 0.20; mem_prob = (0.005, 0.03); trip = 400; fp_frac = 0.6; fmul_frac = 0.28 };
+      coverage = 0.40; rec_frac = 0.20; mem_prob = (0.0001, 0.0006); trip = 400; fp_frac = 0.6; fmul_frac = 0.28 };
   ]
 
 let find name = List.find (fun b -> b.name = name) benchmarks

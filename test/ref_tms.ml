@@ -100,6 +100,9 @@ let admissible s v ~cycle ~c_delay ~p_max ~c_reg_com =
     end
   end
 
+(* Returns [Ok kernel], or [Error v] naming the first node whose
+   placement failed (empty window or every candidate slot rejected) —
+   the oracle counterpart of [Tms.try_schedule_explained]'s blame. *)
 let try_schedule g ~order ~ii ~c_delay ~p_max ~c_reg_com =
   let s = S.create g ~ii in
   let place_one (v, prefer) =
@@ -117,7 +120,12 @@ let try_schedule g ~order ~ii ~c_delay ~p_max ~c_reg_com =
         in
         try_cycles (S.candidate_cycles w)
   in
-  if List.for_all place_one order then Some (K.of_schedule s) else None
+  let rec go = function
+    | [] -> Ok (K.of_schedule s)
+    | ((v, _) as entry) :: rest ->
+        if place_one entry then go rest else Error v
+  in
+  go order
 
 let schedule ?(p_max = Ts_tms.Tms.default_p_max) ?max_ii ~params g =
   let mii = Ts_ddg.Mii.mii g in
@@ -134,28 +142,67 @@ let schedule ?(p_max = Ts_tms.Tms.default_p_max) ?max_ii ~params g =
   let order = Ts_sms.Order.compute_with_dirs g ~ii:mii in
   let groups = Cost_model.f_groups params ~mii ~ii_max ~cd_max in
   let attempts = ref 0 in
-  let rec walk = function
-    | [] ->
-        let sms = Ts_sms.Sms.schedule g in
-        let kernel = sms.Ts_sms.Sms.kernel in
-        let f_min =
-          Cost_model.f_value params ~ii:kernel.K.ii
-            ~c_delay:(max 1 (K.c_delay kernel ~c_reg_com))
-        in
-        { kernel; f_min; attempts = !attempts; fell_back = true }
-    | (f, points) :: rest ->
-        let rec try_points = function
-          | [] -> walk rest
-          | (ii, cd) :: more -> (
-              incr attempts;
-              match try_schedule g ~order ~ii ~c_delay:cd ~p_max ~c_reg_com with
-              | Some kernel ->
-                  { kernel; f_min = f; attempts = !attempts; fell_back = false }
-              | None -> try_points more)
-        in
-        try_points points
+  (* Bounded order repair (mirrors [Tms.schedule]): on failure, hoist the
+     blocking node to the front of the swing order and retry, up to
+     [Tms.default_place_retries] times per grid point. *)
+  let try_point ~ii ~cd =
+    let rec go order k =
+      match try_schedule g ~order ~ii ~c_delay:cd ~p_max ~c_reg_com with
+      | Ok kernel -> Some kernel
+      | Error v when k < Ts_tms.Tms.default_place_retries ->
+          let entry = List.find (fun (u, _) -> u = v) order in
+          let rest = List.filter (fun (u, _) -> u <> v) order in
+          go (entry :: rest) (k + 1)
+      | Error _ -> None
+    in
+    go order 0
   in
-  walk groups
+  (* F-plateau walk with lowest-II tie-breaking (mirrors [Tms.schedule]):
+     keep scanning groups up to [F0 + Tms.default_f_slack] past the first
+     feasible objective value, skipping points at or above the incumbent
+     II. *)
+  let f0 = ref None in
+  let best = ref None in
+  let rec walk = function
+    | [] -> ()
+    | (f, points) :: rest ->
+        let past_plateau =
+          match !f0 with
+          | Some f0v -> f > f0v +. Ts_tms.Tms.default_f_slack +. 1e-9
+          | None -> false
+        in
+        if not past_plateau then begin
+          List.iter
+            (fun (ii, cd) ->
+              let worth =
+                match !best with
+                | None -> true
+                | Some (bii, _, _) -> ii < bii
+              in
+              if worth then begin
+                incr attempts;
+                match try_point ~ii ~cd with
+                | Some kernel ->
+                    if !f0 = None then f0 := Some f;
+                    best := Some (ii, f, kernel)
+                | None -> ()
+              end)
+            points;
+          walk rest
+        end
+  in
+  walk groups;
+  match !best with
+  | Some (_, f, kernel) ->
+      { kernel; f_min = f; attempts = !attempts; fell_back = false }
+  | None ->
+      let sms = Ts_sms.Sms.schedule g in
+      let kernel = sms.Ts_sms.Sms.kernel in
+      let f_min =
+        Cost_model.f_value params ~ii:kernel.K.ii
+          ~c_delay:(max 1 (K.c_delay kernel ~c_reg_com))
+      in
+      { kernel; f_min; attempts = !attempts; fell_back = true }
 
 let schedule_sweep ?(p_maxes = [ 0.01; 0.05; 0.25 ]) ~params g =
   let n = 1000 in

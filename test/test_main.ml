@@ -19,6 +19,7 @@ let () =
       ("sim", Test_sim.suite);
       ("workload", Test_workload.suite);
       ("harness", Test_harness.suite);
+      ("persist", Test_persist.suite);
       ("extensions", Test_extensions.suite);
       ("profile+slices", Test_profile.suite);
       ("fuzz+check", Fuzz_check.suite);

@@ -1,0 +1,234 @@
+(* Ts_persist (the on-disk result store + sweep journals) and the Cached
+   layer over it: roundtrips, corruption tolerance, key versioning,
+   journal resume, and the end-to-end guarantee that caching never
+   changes results (cold = warm = uncached), with the simulator fast path
+   agreeing with exact execution on fuzzed loops. *)
+
+module P = Ts_persist
+module Cached = Ts_harness.Cached
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let with_store f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tsms-test-persist-%d-%d" (Unix.getpid ()) (Random.bits ()))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      let rec rm p =
+        if Sys.file_exists p then
+          if Sys.is_directory p then begin
+            Array.iter (fun f -> rm (Filename.concat p f)) (Sys.readdir p);
+            Sys.rmdir p
+          end
+          else Sys.remove p
+      in
+      rm dir)
+    (fun () -> f (P.open_store ~dir))
+
+(* objects/<shard>/<key>.bin — the documented layout, relied on here to
+   corrupt entries in place. *)
+let object_path store key =
+  Filename.concat
+    (Filename.concat (Filename.concat (P.dir store) "objects") (String.sub key 0 2))
+    (key ^ ".bin")
+
+let test_roundtrip () =
+  with_store (fun s ->
+      let key = P.digest_hex "roundtrip" in
+      check_bool "miss before store" true ((P.find s ~key : int option) = None);
+      let v = ("payload", 42, [ 1.5; -3.0 ]) in
+      P.store s ~key v;
+      check_bool "hit after store" true (P.find s ~key = Some v);
+      check_bool "other key still misses" true
+        ((P.find s ~key:(P.digest_hex "other") : int option) = None))
+
+let clobber path f =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let oc = open_out_bin path in
+  output_string oc (f s);
+  close_out oc
+
+let test_corruption_is_a_miss () =
+  with_store (fun s ->
+      let key = P.digest_hex "corrupt" in
+      P.store s ~key [ 1; 2; 3 ];
+      let path = object_path s key in
+      (* Flip a payload byte: digest check fails, entry is dropped. *)
+      clobber path (fun body ->
+          let b = Bytes.of_string body in
+          let i = Bytes.length b - 1 in
+          Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 1));
+          Bytes.to_string b);
+      check_bool "garbled entry misses" true
+        ((P.find s ~key : int list option) = None);
+      check_bool "garbled entry deleted" false (Sys.file_exists path);
+      (* Truncation likewise. *)
+      P.store s ~key [ 1; 2; 3 ];
+      clobber path (fun body -> String.sub body 0 (String.length body / 2));
+      check_bool "truncated entry misses" true
+        ((P.find s ~key : int list option) = None);
+      (* And the store still works after both. *)
+      P.store s ~key [ 4 ];
+      check_bool "recovers" true (P.find s ~key = Some [ 4 ]))
+
+let test_version_in_key_invalidates () =
+  (* Cached stamps code_version into every key; this is the mechanism. *)
+  with_store (fun s ->
+      let key_v n = P.digest_hex (Printf.sprintf "sim\x00%d\x00inputs" n) in
+      P.store s ~key:(key_v Cached.code_version) "old result";
+      check_bool "same version hits" true
+        (P.find s ~key:(key_v Cached.code_version) = Some "old result");
+      check_bool "bumped version misses" true
+        ((P.find s ~key:(key_v (Cached.code_version + 1)) : string option) = None))
+
+let test_memo_computes_once () =
+  with_store (fun s ->
+      let calls = ref 0 in
+      let f () = incr calls; !calls * 10 in
+      check_int "no store: every call computes" 10 (P.memo None ~key:"k" f);
+      check_int "first memo computes" 20 (P.memo (Some s) ~key:"k" f);
+      check_int "second memo replays" 20 (P.memo (Some s) ~key:"k" f);
+      check_int "f ran twice in total" 2 !calls)
+
+let test_journal_resume () =
+  with_store (fun s ->
+      let fp = "sweep-config-v1" in
+      let j = P.Journal.load s ~name:"sweep" ~fingerprint:fp ~resume:false in
+      P.Journal.record j ~id:"loop-a" (1, "a");
+      P.Journal.record j ~id:"loop-b" (2, "b");
+      (* Simulated kill: no [finish]; the log stays on disk. *)
+      let j2 = P.Journal.load s ~name:"sweep" ~fingerprint:fp ~resume:true in
+      check_bool "loop-a replayed" true (P.Journal.find j2 ~id:"loop-a" = Some (1, "a"));
+      check_bool "loop-b replayed" true (P.Journal.find j2 ~id:"loop-b" = Some (2, "b"));
+      check_bool "unknown id misses" true
+        ((P.Journal.find j2 ~id:"loop-c" : (int * string) option) = None);
+      P.Journal.record j2 ~id:"loop-c" (3, "c");
+      P.Journal.finish j2;
+      (* A finished sweep leaves nothing to resume. *)
+      let j3 = P.Journal.load s ~name:"sweep" ~fingerprint:fp ~resume:true in
+      check_bool "finish removes the log" true
+        ((P.Journal.find j3 ~id:"loop-a" : (int * string) option) = None))
+
+let test_journal_fingerprint_guard () =
+  with_store (fun s ->
+      let j = P.Journal.load s ~name:"g" ~fingerprint:"cfg-1" ~resume:false in
+      P.Journal.record j ~id:"x" 7;
+      (* Config changed between runs: the old log must not replay. *)
+      let j2 = P.Journal.load s ~name:"g" ~fingerprint:"cfg-2" ~resume:true in
+      check_bool "stale journal discarded" true
+        ((P.Journal.find j2 ~id:"x" : int option) = None))
+
+let test_journal_truncated_tail () =
+  with_store (fun s ->
+      let j = P.Journal.load s ~name:"t" ~fingerprint:"fp" ~resume:false in
+      P.Journal.record j ~id:"first" 100;
+      P.Journal.record j ~id:"second" 200;
+      let path =
+        Filename.concat (Filename.concat (P.dir s) "journals") "t.j"
+      in
+      (* A crash mid-append leaves a ragged tail; replay keeps the prefix. *)
+      clobber path (fun body -> String.sub body 0 (String.length body - 5));
+      let j2 = P.Journal.load s ~name:"t" ~fingerprint:"fp" ~resume:true in
+      check_bool "intact prefix replays" true (P.Journal.find j2 ~id:"first" = Some 100);
+      check_bool "torn record dropped" true
+        ((P.Journal.find j2 ~id:"second" : int option) = None))
+
+(* --- the Cached layer: caching must never change results --- *)
+
+let sim_setup () =
+  let g = Ts_workload.Motivating.ddg () in
+  let cfg = Ts_spmt.Config.default in
+  let params = cfg.Ts_spmt.Config.params in
+  let tms = (Ts_tms.Tms.schedule_sweep ~params g).Ts_tms.Tms.kernel in
+  (g, cfg, params, tms)
+
+(* Kernels carry closures (the machine's describe function), so compare
+   their marshal-safe projection: (ii, issue times). *)
+let k_plain (k : Ts_modsched.Kernel.t) = (k.ii, k.time)
+
+let test_cached_cold_warm_uncached_equal () =
+  let g, cfg, params, _ = sim_setup () in
+  let saved = Cached.get_store () in
+  Fun.protect
+    ~finally:(fun () -> Cached.set_store saved)
+    (fun () ->
+      Cached.set_store None;
+      let run () =
+        let tms = Cached.tms_sweep ~params g in
+        let sms = Cached.sms g in
+        ( k_plain tms.Ts_tms.Tms.kernel,
+          k_plain sms.Ts_sms.Sms.kernel,
+          Cached.sim ~warmup:64 cfg tms.Ts_tms.Tms.kernel ~trip:256 )
+      in
+      let uncached = run () in
+      with_store (fun s ->
+          Cached.set_store (Some s);
+          let cold = run () in
+          let warm = run () in
+          check_bool "cold = uncached" true (cold = uncached);
+          check_bool "warm = uncached" true (warm = uncached)))
+
+let test_cached_reconstruction_guard () =
+  (* A stored schedule that no longer fits its loop (here: a kernel for a
+     different DDG colliding on... nothing — we corrupt the entry payload
+     to valid marshal of wrong shape) must be recomputed, not returned. *)
+  let g, _cfg, params, _ = sim_setup () in
+  let saved = Cached.get_store () in
+  Fun.protect
+    ~finally:(fun () -> Cached.set_store saved)
+    (fun () ->
+      with_store (fun s ->
+          Cached.set_store (Some s);
+          let r1 = Cached.tms_sweep ~params g in
+          (* Overwrite every object with a marshalled value of the wrong
+             type: find will either fail the digest, or reconstruction
+             will reject it — both must fall back to recomputation. *)
+          let objects = Filename.concat (P.dir s) "objects" in
+          Array.iter
+            (fun shard ->
+              let sd = Filename.concat objects shard in
+              Array.iter
+                (fun f ->
+                  let key = Filename.chop_suffix f ".bin" in
+                  P.store s ~key (( "bogus", [| 3 |] ) : string * int array))
+                (Sys.readdir sd))
+            (Sys.readdir objects);
+          let r2 = Cached.tms_sweep ~params g in
+          check_bool "recomputed result identical" true
+            (k_plain r1.Ts_tms.Tms.kernel = k_plain r2.Ts_tms.Tms.kernel
+            && r1.Ts_tms.Tms.misspec = r2.Ts_tms.Tms.misspec)))
+
+let test_fast_path_equals_exact_on_fuzz_seeds () =
+  let cfg = Ts_spmt.Config.default in
+  let params = cfg.Ts_spmt.Config.params in
+  for seed = 0 to 4 do
+    let g = Ts_fuzz.Fuzz.loop_for_seed seed in
+    let k = (Ts_tms.Tms.schedule_sweep ~params g).Ts_tms.Tms.kernel in
+    let plan = Ts_spmt.Address_plan.create g in
+    let exact = Ts_spmt.Sim.run ~plan ~warmup:32 ~fast:false cfg k ~trip:200 in
+    let fast = Ts_spmt.Sim.run ~plan ~warmup:32 ~fast:true cfg k ~trip:200 in
+    check_bool (Printf.sprintf "seed %d: fast = exact" seed) true (exact = fast)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "store roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "corruption is a miss" `Quick test_corruption_is_a_miss;
+    Alcotest.test_case "version bump invalidates" `Quick test_version_in_key_invalidates;
+    Alcotest.test_case "memo computes once" `Quick test_memo_computes_once;
+    Alcotest.test_case "journal resume replay" `Quick test_journal_resume;
+    Alcotest.test_case "journal fingerprint guard" `Quick test_journal_fingerprint_guard;
+    Alcotest.test_case "journal truncated tail" `Quick test_journal_truncated_tail;
+    Alcotest.test_case "cached: cold = warm = uncached" `Quick
+      test_cached_cold_warm_uncached_equal;
+    Alcotest.test_case "cached: bad entry recomputed" `Quick
+      test_cached_reconstruction_guard;
+    Alcotest.test_case "sim: fast = exact on fuzz seeds" `Slow
+      test_fast_path_equals_exact_on_fuzz_seeds;
+  ]
