@@ -16,6 +16,7 @@
 let usage () =
   prerr_endline
     "usage: main.exe [--limit N] [--jobs N] [--repeat N] [--out FILE] \
+     [--keep-going] [--max-retries N] [--task-timeout MS] [--fault-plan S] \
      [all|table1|fig2|table2|fig4|table3|fig5|fig6|ablation|micro|search|sim]...";
   exit 2
 
@@ -353,12 +354,53 @@ let micro () =
 
 (* ------------------------------------------------------------------ *)
 
+(* Write the recorded sweep failures next to the numbers, so a CI archive
+   of a --keep-going run says exactly which loops are missing and why. *)
+let write_failures_json path failures =
+  let open Ts_obs.Json in
+  let json =
+    Obj
+      [
+        ("bench", Str "failures");
+        ( "failures",
+          List
+            (List.map
+               (fun (f : Ts_resil.Supervise.failure) ->
+                 Obj
+                   [
+                     ("index", Int f.index);
+                     ("label", Str f.label);
+                     ("attempts", Int f.attempts);
+                     ("error", Str f.error);
+                   ])
+               failures) );
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.eprintf "  wrote %s\n%!" path
+
 let () =
+  (* Surface a malformed TSMS_JOBS or TSMS_FAULT_PLAN now, as a startup
+     error, rather than as an uncaught exception mid-sweep. *)
+  (try ignore (Ts_base.Parallel.env_jobs ())
+   with Invalid_argument msg ->
+     prerr_endline ("bench: " ^ msg);
+     exit 2);
+  (match Ts_resil.Fault.arm_from_env () with
+  | Ok () -> ()
+  | Error msg ->
+      prerr_endline ("bench: " ^ msg);
+      exit 2);
   let args = Array.to_list Sys.argv |> List.tl in
   let limit = ref None in
   let repeat = ref 3 in
   let out = ref None in
   let names = ref [] in
+  let max_retries = ref 0 in
+  let task_timeout = ref None in
   let rec parse = function
     | [] -> ()
     | "--limit" :: n :: rest ->
@@ -379,12 +421,38 @@ let () =
     | "--out" :: path :: rest ->
         out := Some path;
         parse rest
+    | "--keep-going" :: rest ->
+        Ts_resil.Supervise.set_keep_going true;
+        parse rest
+    | "--max-retries" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some v when v >= 0 -> max_retries := v
+        | _ -> usage ());
+        parse rest
+    | "--task-timeout" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some v when v > 0 -> task_timeout := Some v
+        | _ -> usage ());
+        parse rest
+    | "--fault-plan" :: s :: rest ->
+        (match Ts_resil.Fault.parse s with
+        | Ok plan -> Ts_resil.Fault.arm plan
+        | Error msg ->
+            prerr_endline ("bench: --fault-plan: " ^ msg);
+            exit 2);
+        parse rest
     | "--help" :: _ | "-h" :: _ -> usage ()
     | name :: rest ->
         names := name :: !names;
         parse rest
   in
   parse args;
+  Ts_resil.Supervise.set_policy
+    {
+      Ts_resil.Supervise.default_policy with
+      max_retries = !max_retries;
+      deadline_ms = !task_timeout;
+    };
   let names = match List.rev !names with [] -> [ "all" ] | ns -> ns in
   List.iter
     (fun name ->
@@ -402,7 +470,21 @@ let () =
           Ts_harness.Experiments.run ?limit:!limit ~names:[ name ] (fun block ->
               print_string block;
               print_newline ())
-        with Invalid_argument msg ->
-          prerr_endline ("bench: " ^ msg);
-          usage ())
-    names
+        with
+        | Invalid_argument msg ->
+            prerr_endline ("bench: " ^ msg);
+            usage ()
+        | e when Ts_resil.Supervise.failures_of_exn e <> None ->
+            (* Without --keep-going a sweep failure aborts the run; report
+               the aggregated per-task failures and stop here. *)
+            let fs = Option.get (Ts_resil.Supervise.failures_of_exn e) in
+            prerr_string (Ts_resil.Supervise.render_failures fs);
+            write_failures_json "BENCH_failures.json" fs;
+            exit 1)
+    names;
+  match Ts_resil.Supervise.failures () with
+  | [] -> ()
+  | fs ->
+      prerr_string (Ts_resil.Supervise.render_failures fs);
+      write_failures_json "BENCH_failures.json" fs;
+      exit 1

@@ -101,10 +101,79 @@ let apply_cache ~no_cache ~dir ~resume =
     | s ->
         Ts_harness.Cached.set_store (Some s);
         Ts_harness.Cached.set_resume resume
-    | exception Sys_error msg ->
-        prerr_endline ("tsms: cannot open cache directory: " ^ msg);
-        exit 1
+    | exception e ->
+        (* An unopenable cache costs speed (and resumability), never the
+           run: degrade to uncached with one warning. *)
+        Ts_obs.Metrics.incr
+          (Ts_obs.Metrics.counter Ts_obs.Metrics.default "persist.degraded");
+        Ts_resil.Warn.once ~key:"cli.cache"
+          (Printf.sprintf
+             "cannot open cache directory %s (%s); continuing uncached%s" dir
+             (Printexc.to_string e)
+             (if resume then " — the sweep will not resume or journal" else ""));
+        Ts_harness.Cached.set_store None
   end
+
+(* --- Resilience flags shared by the sweep subcommands --- *)
+
+let keep_going_arg =
+  let doc =
+    "Let a sweep record per-loop failures and finish the remaining loops. \
+     The failed loops are summarised on stderr at the end and the exit \
+     status is non-zero; the surviving numbers are identical to what a \
+     fault-free run would report for them."
+  in
+  Arg.(value & flag & info [ "keep-going" ] ~doc)
+
+let max_retries_arg =
+  let doc =
+    "Retry a failed sweep task up to $(docv) extra times, with \
+     deterministic exponential backoff (100 ms base)."
+  in
+  Arg.(value & opt int 0 & info [ "max-retries" ] ~docv:"N" ~doc)
+
+let task_timeout_arg =
+  let doc =
+    "Soft per-task deadline in milliseconds: a sweep task that runs longer \
+     is reported (one warning and the supervise.deadline_exceeded metric) \
+     but its result is kept — hard enforcement would make results \
+     timing-dependent."
+  in
+  Arg.(value & opt (some int) None & info [ "task-timeout" ] ~docv:"MS" ~doc)
+
+let fault_plan_arg =
+  let doc =
+    "Arm a deterministic fault-injection plan to exercise the failure \
+     paths (see Ts_resil.Fault for the format, e.g. \
+     $(b,persist.write@*,worker@3)). Also read from $(b,TSMS_FAULT_PLAN)."
+  in
+  Arg.(value & opt (some string) None & info [ "fault-plan" ] ~docv:"PLAN" ~doc)
+
+let apply_resil ~keep_going ~max_retries ~task_timeout ~fault_plan =
+  if max_retries < 0 then begin
+    prerr_endline "tsms: --max-retries must be >= 0";
+    exit 1
+  end;
+  Ts_resil.Supervise.set_keep_going keep_going;
+  Ts_resil.Supervise.set_policy
+    {
+      Ts_resil.Supervise.default_policy with
+      max_retries;
+      deadline_ms = task_timeout;
+    };
+  match fault_plan with
+  | Some s -> (
+      match Ts_resil.Fault.parse s with
+      | Ok plan -> Ts_resil.Fault.arm plan
+      | Error msg ->
+          prerr_endline ("tsms: --fault-plan: " ^ msg);
+          exit 1)
+  | None -> (
+      match Ts_resil.Fault.arm_from_env () with
+      | Ok () -> ()
+      | Error msg ->
+          prerr_endline ("tsms: " ^ msg);
+          exit 1)
 
 (* --- Observability flags shared across subcommands --- *)
 
@@ -125,6 +194,28 @@ let dump_metrics = function
   | Some `Json ->
       print_endline
         (Ts_obs.Json.to_string (Ts_obs.Metrics.to_json Ts_obs.Metrics.default))
+
+(* Run a sweep body under the supervision contract: without --keep-going a
+   sweep failure aborts with the aggregated per-task summary; with it the
+   body finishes, the summary follows the output, and the exit status is
+   non-zero. Metrics are dumped either way — the degradation counters are
+   part of the failure story. *)
+let supervised ~metrics f =
+  (match f () with
+  | () -> ()
+  | exception e -> (
+      match Ts_resil.Supervise.failures_of_exn e with
+      | None -> raise e
+      | Some fs ->
+          dump_metrics metrics;
+          prerr_string (Ts_resil.Supervise.render_failures fs);
+          exit 1));
+  dump_metrics metrics;
+  match Ts_resil.Supervise.summary () with
+  | None -> ()
+  | Some s ->
+      prerr_string s;
+      exit 1
 
 (* Invalid_argument from the libraries (e.g. a malformed TS_SIM_TRACE) and
    Sys_error (e.g. an unwritable --trace path) are user errors, not internal
@@ -293,9 +384,11 @@ let suite_cmd =
   let limit_arg =
     Arg.(value & opt (some int) None & info [ "limit" ] ~docv:"N" ~doc:"Loops per benchmark.")
   in
-  let run jobs bench limit cache_dir no_cache metrics =
+  let run jobs bench limit cache_dir no_cache keep_going max_retries
+      task_timeout fault_plan metrics =
     apply_jobs jobs;
     apply_cache ~no_cache ~dir:cache_dir ~resume:false;
+    apply_resil ~keep_going ~max_retries ~task_timeout ~fault_plan;
     let params = Ts_isa.Spmt_params.default in
     let benches =
       if bench = "all" then Ts_workload.Spec_suite.benchmarks
@@ -310,21 +403,22 @@ let suite_cmd =
             prerr_endline ("tsms: unknown benchmark " ^ bench);
             exit 1
     in
-    let rows =
-      List.map
-        (fun b ->
-          Ts_harness.Table2.row_of_runs ~params b
-            (Ts_harness.Suite.run_bench ?limit ~params b))
-        benches
-    in
-    print_string (Ts_harness.Table2.render rows);
-    dump_metrics metrics
+    supervised ~metrics (fun () ->
+        let rows =
+          List.map
+            (fun b ->
+              Ts_harness.Table2.row_of_runs ~params b
+                (Ts_harness.Suite.run_bench ?limit ~params b))
+            benches
+        in
+        print_string (Ts_harness.Table2.render rows))
   in
   let doc = "Schedule a synthetic benchmark's loops and print Table 2 rows." in
   Cmd.v (Cmd.info "suite" ~doc)
     Term.(
       const run $ jobs_arg $ bench_arg $ limit_arg $ cache_dir_arg
-      $ no_cache_arg $ metrics_arg)
+      $ no_cache_arg $ keep_going_arg $ max_retries_arg $ task_timeout_arg
+      $ fault_plan_arg $ metrics_arg)
 
 let compare_cmd =
   let run jobs loop ncore trace_file metrics =
@@ -457,23 +551,26 @@ let experiments_cmd =
   let limit_arg =
     Arg.(value & opt (some int) None & info [ "limit" ] ~docv:"N" ~doc:"Loops per benchmark for table2/fig4.")
   in
-  let run jobs names limit cache_dir no_cache resume metrics =
+  let run jobs names limit cache_dir no_cache resume keep_going max_retries
+      task_timeout fault_plan metrics =
     apply_jobs jobs;
     apply_cache ~no_cache ~dir:cache_dir ~resume;
-    (try
-       Ts_harness.Experiments.run ?limit ~names (fun block ->
-           print_string block;
-           print_newline ())
-     with Invalid_argument msg ->
-       prerr_endline ("tsms: " ^ msg);
-       exit 1);
-    dump_metrics metrics
+    apply_resil ~keep_going ~max_retries ~task_timeout ~fault_plan;
+    supervised ~metrics (fun () ->
+        try
+          Ts_harness.Experiments.run ?limit ~names (fun block ->
+              print_string block;
+              print_newline ())
+        with Invalid_argument msg ->
+          prerr_endline ("tsms: " ^ msg);
+          exit 1)
   in
   let doc = "Regenerate the paper's tables and figures." in
   Cmd.v (Cmd.info "experiments" ~doc)
     Term.(
       const run $ jobs_arg $ names_arg $ limit_arg $ cache_dir_arg
-      $ no_cache_arg $ resume_arg $ metrics_arg)
+      $ no_cache_arg $ resume_arg $ keep_going_arg $ max_retries_arg
+      $ task_timeout_arg $ fault_plan_arg $ metrics_arg)
 
 let () =
   let doc = "thread-sensitive modulo scheduling for SpMT multicores (ICPP'08 reproduction)" in

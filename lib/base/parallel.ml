@@ -27,34 +27,55 @@ let get_jobs () =
    quadratically (OCaml caps live domains well below that). *)
 let inside_worker = Domain.DLS.new_key (fun () -> false)
 
+exception Map_errors of (int * exn) list
+
+let () =
+  Printexc.register_printer (function
+    | Map_errors fs ->
+        Some
+          (Printf.sprintf "Parallel.map: %d task(s) failed: %s"
+             (List.length fs)
+             (String.concat "; "
+                (List.map
+                   (fun (i, e) ->
+                     Printf.sprintf "[%d] %s" i (Printexc.to_string e))
+                   fs)))
+    | _ -> None)
+
+(* Every item always runs, whatever happens to its siblings: failures are
+   collected per index and raised together at the join, so one bad task
+   neither hides the other failures nor discards the results in flight
+   (a supervising caller can see exactly which inputs failed). *)
 let map ?jobs f xs =
   let jobs = match jobs with Some j -> max 1 j | None -> get_jobs () in
   let n = List.length xs in
-  if jobs <= 1 || n <= 1 || Domain.DLS.get inside_worker then List.map f xs
+  let input = Array.of_list xs in
+  let out = Array.make n None in
+  let errs = Array.make n None in
+  let run i = try out.(i) <- Some (f input.(i)) with e -> errs.(i) <- Some e in
+  if jobs <= 1 || n <= 1 || Domain.DLS.get inside_worker then
+    for i = 0 to n - 1 do
+      run i
+    done
   else begin
-    let input = Array.of_list xs in
-    let out = Array.make n None in
     let next = Atomic.make 0 in
-    let failure = Atomic.make None in
     let worker () =
       Domain.DLS.set inside_worker true;
       let rec go () =
         let i = Atomic.fetch_and_add next 1 in
-        if i < n && Atomic.get failure = None then begin
-          (try out.(i) <- Some (f input.(i))
-           with e ->
-             let bt = Printexc.get_raw_backtrace () in
-             ignore (Atomic.compare_and_set failure None (Some (e, bt))));
+        if i < n then begin
+          run i;
           go ()
         end
       in
       go ()
     in
     let domains = List.init (min jobs n) (fun _ -> Domain.spawn worker) in
-    List.iter Domain.join domains;
-    (match Atomic.get failure with
-    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
-    | None -> ());
-    Array.to_list
-      (Array.map (function Some v -> v | None -> assert false) out)
-  end
+    List.iter Domain.join domains
+  end;
+  let failures = ref [] in
+  for i = n - 1 downto 0 do
+    match errs.(i) with Some e -> failures := (i, e) :: !failures | None -> ()
+  done;
+  if !failures <> [] then raise (Map_errors !failures);
+  Array.to_list (Array.map (function Some v -> v | None -> assert false) out)

@@ -32,11 +32,16 @@ val get_jobs : unit -> int
     [Invalid_argument] if [TSMS_JOBS] is set but is not a positive
     integer. *)
 
+exception Map_errors of (int * exn) list
+(** Every task that raised, as [(input index, exception)] pairs in input
+    order. No failure is dropped and no result is discarded early: all
+    items run to completion before this is raised. *)
+
 val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map f xs] is [List.map f xs] computed on up to [jobs] worker domains.
     Results are in input order. Runs sequentially (no domains spawned)
     when the effective [jobs] is 1, the list has at most one element, or
-    the caller is itself a pool worker. If any [f x] raises, the first
-    recorded exception is re-raised in the caller after all workers have
-    drained (remaining items may be skipped). [f] must be safe to call
-    from multiple domains at once. *)
+    the caller is itself a pool worker. If any [f x] raises, every item is
+    still attempted and {!Map_errors} is raised in the caller with the
+    complete failure list — identical on the sequential and pooled paths.
+    [f] must be safe to call from multiple domains at once. *)

@@ -120,7 +120,11 @@ let tms_of_plain g (p : tms_plain) : Ts_tms.Tms.result =
    [cached] adds a reconstruction layer over {!Ts_persist.memo}: values
    are stored as plain projections and rebuilt per hit; a reconstruction
    failure (stale entry whose times no longer validate against today's
-   generator output) falls back to recomputing and overwriting. *)
+   generator output, or an injected cached.reconstruct fault) falls back
+   to recomputing and overwriting. *)
+
+let m_reconstruct_failed =
+  Ts_obs.Metrics.counter Ts_obs.Metrics.default "persist.reconstruct_failed"
 
 let cached ~key:k ~to_plain ~of_plain f =
   match !store with
@@ -128,9 +132,13 @@ let cached ~key:k ~to_plain ~of_plain f =
   | Some s -> (
       match Ts_persist.find s ~key:k with
       | Some p -> (
-          match of_plain p with
+          match
+            Ts_resil.Fault.guard "cached.reconstruct";
+            of_plain p
+          with
           | v -> v
           | exception _ ->
+              Ts_obs.Metrics.incr m_reconstruct_failed;
               let v = f () in
               Ts_persist.store s ~key:k (to_plain v);
               v)
@@ -210,14 +218,30 @@ let sim_single ?seed ?(warmup = 0) cfg g ~trip =
 
 (* ---- journals ---- *)
 
+(* A journal that cannot even be opened (read-only store, injected
+   journal.open fault) costs resumability, not correctness: degrade to
+   journal-less with a warning. *)
 let journal ~name ~fingerprint =
   match !store with
   | None -> None
-  | Some s ->
-      Some
-        (Ts_persist.Journal.load s ~name
-           ~fingerprint:(fingerprint ^ "\x00" ^ string_of_int code_version)
-           ~resume:!resume)
+  | Some s -> (
+      match
+        Ts_persist.Journal.load s ~name
+          ~fingerprint:(fingerprint ^ "\x00" ^ string_of_int code_version)
+          ~resume:!resume
+      with
+      | j -> Some j
+      | exception e ->
+          Ts_obs.Metrics.incr
+            (Ts_obs.Metrics.counter Ts_obs.Metrics.default
+               "persist.journal.degraded");
+          Ts_resil.Warn.once
+            ~key:("cached.journal:" ^ name)
+            (Printf.sprintf
+               "cannot open the %s sweep journal (%s); continuing without one \
+                (the sweep will not be resumable)"
+               name (Printexc.to_string e));
+          None)
 
 let j_item j ~id f =
   match j with

@@ -35,6 +35,7 @@ let loop_via_journal j ~cfg ~params ~trip ~id g =
   | None -> compute ()
   | Some j -> (
       let rebuild (sp, tp, ss, st, sg) =
+        Ts_resil.Fault.guard "cached.reconstruct";
         {
           g;
           plan = Ts_spmt.Address_plan.create g;
@@ -71,15 +72,19 @@ let compute ~cfg =
       Ts_workload.Doacross.all
   in
   let j = Cached.journal ~name:"doacross" ~fingerprint:(Cached.cfg_fp cfg) in
+  (* Supervised like the other sweeps: with --keep-going a failed loop is
+     reported and its benchmark aggregates the survivors. *)
   let datas =
-    Ts_base.Parallel.map
+    Ts_resil.Supervise.sweep_map ~what:"doacross"
+      ~label:(fun _ ((sel : Ts_workload.Doacross.selected), (g : Ts_ddg.Ddg.t)) ->
+        sel.bench ^ "/" ^ g.name)
       (fun ((sel : Ts_workload.Doacross.selected), (g : Ts_ddg.Ddg.t)) ->
         loop_via_journal j ~cfg ~params ~trip:sel.trip
           ~id:(sel.bench ^ "/" ^ g.name)
           g)
       tasks
   in
-  Cached.j_finish j;
+  if List.for_all Option.is_some datas then Cached.j_finish j;
   let rec regroup sels datas =
     match sels with
     | [] -> []
@@ -87,6 +92,6 @@ let compute ~cfg =
         let k = List.length sel.loops in
         let mine = List.filteri (fun i _ -> i < k) datas in
         let others = List.filteri (fun i _ -> i >= k) datas in
-        { sel; loops = mine } :: regroup rest others
+        { sel; loops = List.filter_map Fun.id mine } :: regroup rest others
   in
   regroup Ts_workload.Doacross.all datas

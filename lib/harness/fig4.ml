@@ -34,8 +34,13 @@ let compute ?limit ~cfg () =
         (Cached.cfg_fp cfg
         ^ match limit with None -> "" | Some k -> string_of_int k)
   in
+  (* Supervised: a failing loop is retried under the run policy; with
+     --keep-going it is reported and excluded (its bench aggregates the
+     survivors), without it the sweep raises the full failure list. *)
   let totals =
-    Ts_base.Parallel.map
+    Ts_resil.Supervise.sweep_map ~what:"fig4"
+      ~label:(fun _ ((bench : Ts_workload.Spec_suite.bench), (g : Ts_ddg.Ddg.t)) ->
+        bench.name ^ "/" ^ g.name)
       (fun ((bench : Ts_workload.Spec_suite.bench), (g : Ts_ddg.Ddg.t)) ->
         Cached.j_item j ~id:(bench.name ^ "/" ^ g.name) (fun () ->
             let r = Suite.schedule_loop ~params g in
@@ -45,13 +50,15 @@ let compute ?limit ~cfg () =
             (sms.Ts_spmt.Sim.cycles, tms.Ts_spmt.Sim.cycles)))
       tasks
   in
-  Cached.j_finish j;
+  (* A partial sweep keeps its journal: the failed loops are exactly what
+     a --resume run still needs to compute. *)
+  if List.for_all Option.is_some totals then Cached.j_finish j;
   List.map
     (fun (bench : Ts_workload.Spec_suite.bench) ->
       let mine =
         List.filter_map
           (fun ((b : Ts_workload.Spec_suite.bench), t) ->
-            if b.name = bench.name then Some t else None)
+            if b.name = bench.name then t else None)
           (List.combine (List.map fst tasks) totals)
       in
       let sms_cycles = List.fold_left (fun a (s, _) -> a + s) 0 mine in

@@ -16,5 +16,12 @@ let run_bench ?limit ~params bench =
     | None -> loops
     | Some k -> List.filteri (fun i _ -> i < k) loops
   in
-  (* One pool task per loop; results stay in loop order. *)
-  Ts_base.Parallel.map (schedule_loop ~params) loops
+  (* One pool task per loop; results stay in loop order. Supervised: with
+     --keep-going a loop whose schedule search fails is reported and
+     dropped, and the bench aggregates the survivors. *)
+  List.filter_map Fun.id
+    (Ts_resil.Supervise.sweep_map
+       ~what:("suite:" ^ bench.Ts_workload.Spec_suite.name)
+       ~label:(fun _ (g : Ts_ddg.Ddg.t) ->
+         bench.Ts_workload.Spec_suite.name ^ "/" ^ g.name)
+       (schedule_loop ~params) loops)

@@ -18,4 +18,6 @@ val run_bench :
   params:Ts_isa.Spmt_params.t ->
   Ts_workload.Spec_suite.bench ->
   loop_run list
-(** All (or the first [limit]) loops of a benchmark, scheduled both ways. *)
+(** All (or the first [limit]) loops of a benchmark, scheduled both ways,
+    as a supervised sweep: under {!Ts_resil.Supervise.keep_going} a loop
+    whose search fails is recorded and dropped from the result. *)

@@ -23,6 +23,15 @@ let m_stores = Ts_obs.Metrics.counter Ts_obs.Metrics.default "persist.stores"
 let m_replayed =
   Ts_obs.Metrics.counter Ts_obs.Metrics.default "persist.journal.replayed"
 
+let m_degraded =
+  Ts_obs.Metrics.counter Ts_obs.Metrics.default "persist.degraded"
+
+let m_j_degraded =
+  Ts_obs.Metrics.counter Ts_obs.Metrics.default "persist.journal.degraded"
+
+let m_j_discarded =
+  Ts_obs.Metrics.counter Ts_obs.Metrics.default "persist.journal.discarded"
+
 type t = { root : string; lock : Mutex.t; mutable tmp_seq : int }
 
 let rec mkdir_p path =
@@ -37,6 +46,7 @@ let entry_magic = "tsp1"
 let journal_magic = "tsj1"
 
 let open_store ~dir =
+  Ts_resil.Fault.guard "persist.open";
   mkdir_p (Filename.concat dir "objects");
   mkdir_p (Filename.concat dir "journals");
   let vfile = Filename.concat dir "version" in
@@ -49,17 +59,29 @@ let open_store ~dir =
 
 let dir t = t.root
 
+(* Always absolute: a --resume run started from a different cwd must find
+   the same cache and journal the killed run wrote. *)
+let absolutize d =
+  if Filename.is_relative d then Filename.concat (Sys.getcwd ()) d else d
+
 let default_dir () =
   match Sys.getenv_opt "TSMS_CACHE_DIR" with
-  | Some d when d <> "" -> d
+  | Some d when d <> "" -> absolutize d
   | _ -> (
       match Sys.getenv_opt "XDG_CACHE_HOME" with
-      | Some d when d <> "" -> Filename.concat d "tsms"
+      | Some d when d <> "" -> absolutize (Filename.concat d "tsms")
       | _ -> (
           match Sys.getenv_opt "HOME" with
           | Some h when h <> "" ->
-              Filename.concat (Filename.concat h ".cache") "tsms"
-          | _ -> "_tsms_cache"))
+              absolutize (Filename.concat (Filename.concat h ".cache") "tsms")
+          | _ ->
+              let d = absolutize "_tsms_cache" in
+              Ts_resil.Warn.once ~key:"persist.default_dir"
+                (Printf.sprintf
+                   "no $HOME or $XDG_CACHE_HOME; the result cache falls back \
+                    to %s (set $TSMS_CACHE_DIR to pin it)"
+                   d);
+              d))
 
 let digest_hex s = Digest.to_hex (Digest.string s)
 
@@ -70,6 +92,7 @@ let entry_path t key =
     (key ^ ".bin")
 
 let read_file path =
+  Ts_resil.Fault.guard "persist.read";
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
@@ -106,8 +129,20 @@ let find (type a) t ~key : a option =
       if Sys.file_exists path then (try Sys.remove path with Sys_error _ -> ()));
   parsed
 
-let store t ~key v =
+let store_exn t ~key v =
   let payload = Marshal.to_string v [] in
+  (* A torn fault simulates a crash or short write that still left a file
+     behind: the truncated payload fails its digest check on the next
+     [find], which must treat it as a miss and delete it. *)
+  let torn =
+    match Ts_resil.Fault.check "persist.write" with
+    | None -> false
+    | Some Ts_resil.Fault.Torn -> true
+    | Some (Ts_resil.Fault.Slow ms) ->
+        Ts_resil.Fault.sleep (float_of_int ms /. 1000.0);
+        false
+    | Some Ts_resil.Fault.Exn -> raise (Ts_resil.Fault.Injected "persist.write")
+  in
   let path = entry_path t key in
   mkdir_p (Filename.dirname path);
   let tmp =
@@ -123,14 +158,29 @@ let store t ~key v =
      output_char oc ' ';
      output_string oc (Digest.to_hex (Digest.string payload));
      output_char oc '\n';
-     output_string oc payload;
+     if torn then
+       output_string oc (String.sub payload 0 (String.length payload / 2))
+     else output_string oc payload;
      close_out oc;
+     Ts_resil.Fault.guard "persist.rename";
      Sys.rename tmp path
    with e ->
      close_out_noerr oc;
      (try Sys.remove tmp with Sys_error _ -> ());
      raise e);
   Ts_obs.Metrics.incr m_stores
+
+(* A cache must never take the computation down with it: a failed write
+   (disk full, unwritable store, injected fault) degrades the run to
+   uncached — warned once, counted every time. *)
+let store t ~key v =
+  try store_exn t ~key v
+  with e ->
+    Ts_obs.Metrics.incr m_degraded;
+    Ts_resil.Warn.once ~key:"persist.store"
+      (Printf.sprintf
+         "result-cache write failed (%s); continuing uncached"
+         (Printexc.to_string e))
 
 let memo t ~key f =
   match t with
@@ -153,14 +203,23 @@ module Journal = struct
 
   let journal_path t name = Filename.concat (Filename.concat t.root "journals") (name ^ ".j")
 
-  (* Parse as much of the log as is well formed; a crash mid-append leaves
-     a truncated tail, which just ends the replay early. *)
-  let parse ~fingerprint s =
-    let tbl = Hashtbl.create 64 in
-    let header = journal_magic ^ " " ^ fingerprint ^ "\n" in
-    let hlen = String.length header in
-    if String.length s < hlen || String.sub s 0 hlen <> header then None
+  (* Parse as much of the log as is well formed — whatever fingerprint it
+     was written under, so a mismatch can still report what it is
+     discarding. A crash mid-append leaves a truncated tail, which just
+     ends the replay early. *)
+  let parse s =
+    let mlen = String.length journal_magic in
+    let hlen = mlen + 1 + 32 + 1 in
+    (* "tsj1 " ^ 32 hex ^ "\n" *)
+    if
+      String.length s < hlen
+      || String.sub s 0 mlen <> journal_magic
+      || s.[mlen] <> ' '
+      || s.[hlen - 1] <> '\n'
+    then None
     else begin
+      let disk_fp = String.sub s (mlen + 1) 32 in
+      let tbl = Hashtbl.create 64 in
       let pos = ref hlen and ok = ref true in
       while !ok do
         match String.index_from_opt s !pos '\n' with
@@ -176,50 +235,88 @@ module Journal = struct
                 pos := nl + 1 + idl + pl + 1
             | _ -> ok := false)
       done;
-      Some tbl
+      Some (disk_fp, tbl)
     end
 
   let load t ~name ~fingerprint ~resume =
+    Ts_resil.Fault.guard "journal.open";
     let path = journal_path t name in
     let fingerprint = digest_hex fingerprint in
-    let recovered =
-      if resume && Sys.file_exists path then
-        try parse ~fingerprint (read_file path) with _ -> None
-      else None
+    let fresh () =
+      let oc = open_out_bin path in
+      output_string oc (journal_magic ^ " " ^ fingerprint ^ "\n");
+      flush oc;
+      { path; done_ = Hashtbl.create 64; oc = Some oc; jlock = Mutex.create () }
     in
-    match recovered with
-    | Some done_ ->
-        Ts_obs.Metrics.incr ~by:(Hashtbl.length done_) m_replayed;
-        (* Keep appending to the same log: ids recorded twice are fine,
-           the last record wins at the next replay. *)
-        let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
-        { path; done_; oc = Some oc; jlock = Mutex.create () }
-    | None ->
-        let oc = open_out_bin path in
-        output_string oc (journal_magic ^ " " ^ fingerprint ^ "\n");
-        flush oc;
-        { path; done_ = Hashtbl.create 64; oc = Some oc; jlock = Mutex.create () }
+    if not (resume && Sys.file_exists path) then fresh ()
+    else
+      match (try parse (read_file path) with _ -> None) with
+      | Some (disk_fp, done_) when disk_fp = fingerprint ->
+          Ts_obs.Metrics.incr ~by:(Hashtbl.length done_) m_replayed;
+          (* Keep appending to the same log: ids recorded twice are fine,
+             the last record wins at the next replay. *)
+          let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+          { path; done_; oc = Some oc; jlock = Mutex.create () }
+      | Some (disk_fp, stale) ->
+          (* The journal is real but was written by a run with different
+             inputs (configuration, limit or code version): its items
+             would be stale. Say what is being thrown away — a silent
+             discard looks exactly like a lost journal. *)
+          Ts_obs.Metrics.incr m_j_discarded;
+          Ts_resil.Warn.once
+            ~key:("persist.journal.fingerprint:" ^ name)
+            (Printf.sprintf
+               "discarding journal %s: its fingerprint %s… does not match \
+                this run's %s… — %d completed item(s) were recorded under a \
+                different configuration or code version and will be recomputed"
+               path (String.sub disk_fp 0 8)
+               (String.sub fingerprint 0 8)
+               (Hashtbl.length stale));
+          fresh ()
+      | None ->
+          Ts_obs.Metrics.incr m_j_discarded;
+          Ts_resil.Warn.once
+            ~key:("persist.journal.corrupt:" ^ name)
+            (Printf.sprintf
+               "discarding journal %s: unreadable or corrupt header; the \
+                sweep restarts from scratch"
+               path);
+          fresh ()
 
   let find (type a) j ~id : a option =
     match Hashtbl.find_opt j.done_ id with
     | None -> None
     | Some payload -> ( try Some (Marshal.from_string payload 0 : a) with _ -> None)
 
+  (* A journal write failure (disk full, injected fault) degrades the
+     sweep to journal-less: the computation continues, later records are
+     dropped, and a --resume recomputes whatever went unrecorded. *)
   let record j ~id v =
-    match j.oc with
-    | None -> ()
-    | Some oc ->
-        let payload = Marshal.to_string v [] in
-        Mutex.lock j.jlock;
-        Fun.protect
-          ~finally:(fun () -> Mutex.unlock j.jlock)
-          (fun () ->
-            Printf.fprintf oc "r %d %d\n" (String.length id)
-              (String.length payload);
-            output_string oc id;
-            output_string oc payload;
-            output_char oc '\n';
-            flush oc)
+    let payload = Marshal.to_string v [] in
+    Mutex.lock j.jlock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock j.jlock)
+      (fun () ->
+        match j.oc with
+        | None -> ()
+        | Some oc -> (
+            try
+              Ts_resil.Fault.guard "journal.write";
+              Printf.fprintf oc "r %d %d\n" (String.length id)
+                (String.length payload);
+              output_string oc id;
+              output_string oc payload;
+              output_char oc '\n';
+              flush oc
+            with e ->
+              close_out_noerr oc;
+              j.oc <- None;
+              Ts_obs.Metrics.incr m_j_degraded;
+              Ts_resil.Warn.once ~key:"persist.journal.write"
+                (Printf.sprintf
+                   "journal write failed (%s); the sweep continues without a \
+                    journal (a --resume will recompute unrecorded items)"
+                   (Printexc.to_string e))))
 
   let finish j =
     (match j.oc with Some oc -> close_out_noerr oc | None -> ());

@@ -28,6 +28,16 @@
     - {b Crash-safe journals}: sweep journals are append-only and flushed
       per record; a journal with a truncated tail replays every record
       before the truncation point.
+    - {b Write degradation}: a failed entry write (disk full, unwritable
+      store) never aborts the computation — {!store} warns once, counts
+      [persist.degraded], and the run continues uncached. A failed
+      journal append likewise degrades the sweep to journal-less
+      ([persist.journal.degraded]).
+
+    Every I/O path is instrumented with {!Ts_resil.Fault} counter points
+    ([persist.open], [persist.read], [persist.write] — kind [torn]
+    supported — [persist.rename], [journal.open], [journal.write]), so
+    each degradation above is exercisable deterministically in tests.
 
     Hit/miss/store counters land on {!Ts_obs.Metrics.default} under
     [persist.*]. All operations are domain-safe. *)
@@ -44,7 +54,10 @@ val dir : t -> string
 val default_dir : unit -> string
 (** Where the CLI puts the store unless told otherwise:
     [$TSMS_CACHE_DIR], else [$XDG_CACHE_HOME/tsms], else
-    [$HOME/.cache/tsms], else [_tsms_cache] in the working directory. *)
+    [$HOME/.cache/tsms], else [_tsms_cache] in the working directory
+    (warned once — resumes started elsewhere would miss it). The result
+    is always an absolute path, so a [--resume] run finds the same cache
+    and journal whatever directory it starts from. *)
 
 val digest_hex : string -> string
 (** Hex digest of an arbitrary (binary) string — the key constructor.
@@ -59,7 +72,10 @@ val find : t -> key:string -> 'a option
 
 val store : t -> key:string -> 'a -> unit
 (** Write atomically (tempfile + rename; concurrent writers of the same
-    key are safe, last rename wins). *)
+    key are safe, last rename wins). Never raises: a write failure warns
+    once, increments [persist.degraded] and leaves the run uncached for
+    this entry — the cache must never take the computation down with
+    it. *)
 
 val memo : t option -> key:string -> (unit -> 'a) -> 'a
 (** [memo (Some s) ~key f] is [find]-else-[f ()]-and-[store]; [memo None]
@@ -81,7 +97,10 @@ module Journal : sig
   (** Open the journal [name]. With [resume:false], or when the on-disk
       journal was written with a different [fingerprint] (different
       config, limit or code version — its items would be stale), any
-      existing log is discarded and the journal starts empty. With
+      existing log is discarded and the journal starts empty. A
+      [resume:true] discard is never silent: the warning names the
+      journal, both fingerprints and how many completed items are being
+      thrown away, and [persist.journal.discarded] counts it. With
       [resume:true] and a matching fingerprint, previously recorded items
       become available to {!find}. *)
 
@@ -91,7 +110,9 @@ module Journal : sig
 
   val record : j -> id:string -> 'a -> unit
   (** Append item [id]'s result and flush, so it survives a kill at any
-      later point. Domain-safe. *)
+      later point. Domain-safe. A write failure degrades the journal to
+      journal-less (warned once, [persist.journal.degraded]); the sweep
+      itself continues. *)
 
   val finish : j -> unit
   (** Close and delete the journal: the sweep completed, there is nothing

@@ -1,0 +1,193 @@
+type kind = Exn | Torn | Slow of int
+
+type entry = {
+  point : string;
+  key : int option;
+  attempt : int option;
+  kind : kind;
+}
+
+type plan = entry list
+
+exception Injected of string
+
+let () =
+  Printexc.register_printer (function
+    | Injected point -> Some (Printf.sprintf "injected fault at %s" point)
+    | _ -> None)
+
+let m_injected = Ts_obs.Metrics.counter Ts_obs.Metrics.default "fault.injected"
+
+let the_plan : plan Atomic.t = Atomic.make []
+
+(* Occurrence counters, one per counter point, reset on every [arm]. *)
+let counters : (string, int Atomic.t) Hashtbl.t = Hashtbl.create 16
+let counters_lock = Mutex.create ()
+
+let counter_for point =
+  Mutex.lock counters_lock;
+  let c =
+    match Hashtbl.find_opt counters point with
+    | Some c -> c
+    | None ->
+        let c = Atomic.make 0 in
+        Hashtbl.replace counters point c;
+        c
+  in
+  Mutex.unlock counters_lock;
+  c
+
+let arm plan =
+  Mutex.lock counters_lock;
+  Hashtbl.reset counters;
+  Mutex.unlock counters_lock;
+  Atomic.set the_plan plan
+
+let disarm () = arm []
+let armed () = Atomic.get the_plan <> []
+
+(* ---- plan text format ---- *)
+
+let kind_to_string = function
+  | Exn -> ""
+  | Torn -> ":torn"
+  | Slow ms -> Printf.sprintf ":slow%d" ms
+
+let entry_to_string e =
+  Printf.sprintf "%s@%s%s%s" e.point
+    (match e.key with None -> "*" | Some k -> string_of_int k)
+    (match e.attempt with None -> "" | Some a -> "#" ^ string_of_int a)
+    (kind_to_string e.kind)
+
+let to_string plan = String.concat "," (List.map entry_to_string plan)
+
+let parse_kind = function
+  | "" | "exn" -> Ok Exn
+  | "torn" -> Ok Torn
+  | s when String.length s > 4 && String.sub s 0 4 = "slow" -> (
+      match int_of_string_opt (String.sub s 4 (String.length s - 4)) with
+      | Some ms when ms >= 0 -> Ok (Slow ms)
+      | _ -> Error (Printf.sprintf "bad slow duration in %S" s))
+  | "slow" -> Ok (Slow 50)
+  | s -> Error (Printf.sprintf "unknown fault kind %S (want exn, torn or slowMS)" s)
+
+let parse_entry s =
+  match String.index_opt s '@' with
+  | None -> Error (Printf.sprintf "fault entry %S: expected point@key" s)
+  | Some at -> (
+      let point = String.sub s 0 at in
+      let rest = String.sub s (at + 1) (String.length s - at - 1) in
+      if point = "" then Error (Printf.sprintf "fault entry %S: empty point" s)
+      else
+        let keypart, kindpart =
+          match String.index_opt rest ':' with
+          | None -> (rest, "")
+          | Some c ->
+              ( String.sub rest 0 c,
+                String.sub rest (c + 1) (String.length rest - c - 1) )
+        in
+        let keystr, attempt =
+          match String.index_opt keypart '#' with
+          | None -> (keypart, Ok None)
+          | Some h -> (
+              let a = String.sub keypart (h + 1) (String.length keypart - h - 1) in
+              ( String.sub keypart 0 h,
+                match int_of_string_opt a with
+                | Some n when n >= 1 -> Ok (Some n)
+                | _ -> Error (Printf.sprintf "bad attempt %S in %S" a s) ))
+        in
+        let key =
+          match keystr with
+          | "*" -> Ok None
+          | k -> (
+              match int_of_string_opt k with
+              | Some n when n >= 0 -> Ok (Some n)
+              | _ -> Error (Printf.sprintf "bad key %S in %S (want N or *)" k s))
+        in
+        match (key, attempt, parse_kind kindpart) with
+        | Ok key, Ok attempt, Ok kind -> Ok { point; key; attempt; kind }
+        | Error e, _, _ | _, Error e, _ | _, _, Error e -> Error e)
+
+let parse s =
+  let parts =
+    String.split_on_char ',' s
+    |> List.map String.trim
+    |> List.filter (fun p -> p <> "")
+  in
+  List.fold_left
+    (fun acc p ->
+      match (acc, parse_entry p) with
+      | Error e, _ -> Error e
+      | _, Error e -> Error e
+      | Ok plan, Ok e -> Ok (plan @ [ e ]))
+    (Ok []) parts
+
+let arm_from_env () =
+  match Sys.getenv_opt "TSMS_FAULT_PLAN" with
+  | None | Some "" -> Ok ()
+  | Some s -> (
+      match parse s with
+      | Ok plan ->
+          arm plan;
+          Ok ()
+      | Error e -> Error (Printf.sprintf "TSMS_FAULT_PLAN: %s" e))
+
+let seeded ~seed ~point ~n ~out_of =
+  let rng = Ts_base.Rng.of_string (Printf.sprintf "fault:%s:%d" point seed) in
+  let picked = Hashtbl.create 16 in
+  let n = min n out_of in
+  while Hashtbl.length picked < n do
+    Hashtbl.replace picked (1 + Ts_base.Rng.int rng out_of) ()
+  done;
+  Hashtbl.fold (fun occ () acc -> occ :: acc) picked []
+  |> List.sort compare
+  |> List.map (fun occ -> { point; key = Some occ; attempt = None; kind = Exn })
+
+(* ---- matching ---- *)
+
+let find_fault ~point ~at ~attempt =
+  List.find_map
+    (fun e ->
+      if
+        e.point = point
+        && (match e.key with None -> true | Some k -> k = at)
+        && match e.attempt with None -> true | Some a -> a = attempt
+      then Some e.kind
+      else None)
+    (Atomic.get the_plan)
+
+let check point =
+  if Atomic.get the_plan = [] then None
+  else
+    let occ = 1 + Atomic.fetch_and_add (counter_for point) 1 in
+    match find_fault ~point ~at:occ ~attempt:1 with
+    | Some k ->
+        Ts_obs.Metrics.incr m_injected;
+        Some k
+    | None -> None
+
+let check_task point ~index ~attempt =
+  if Atomic.get the_plan = [] then None
+  else
+    match find_fault ~point ~at:index ~attempt with
+    | Some k ->
+        Ts_obs.Metrics.incr m_injected;
+        Some k
+    | None -> None
+
+(* ---- sleep hook (shared with supervised-retry backoff) ---- *)
+
+let default_sleep s = if s > 0.0 then Unix.sleepf s
+let sleep_fn = Atomic.make default_sleep
+
+let set_sleep = function
+  | None -> Atomic.set sleep_fn default_sleep
+  | Some f -> Atomic.set sleep_fn f
+
+let sleep s = (Atomic.get sleep_fn) s
+
+let guard point =
+  match check point with
+  | None -> ()
+  | Some (Exn | Torn) -> raise (Injected point)
+  | Some (Slow ms) -> sleep (float_of_int ms /. 1000.0)

@@ -1,0 +1,24 @@
+let seen : (string, unit) Hashtbl.t = Hashtbl.create 16
+let lock = Mutex.create ()
+
+let default_sink msg = Printf.eprintf "tsms: warning: %s\n%!" msg
+let sink = Atomic.make default_sink
+
+let set_sink = function
+  | None -> Atomic.set sink default_sink
+  | Some f -> Atomic.set sink f
+
+let once ~key msg =
+  let fresh =
+    Mutex.lock lock;
+    let fresh = not (Hashtbl.mem seen key) in
+    if fresh then Hashtbl.replace seen key ();
+    Mutex.unlock lock;
+    fresh
+  in
+  if fresh then (Atomic.get sink) msg
+
+let reset () =
+  Mutex.lock lock;
+  Hashtbl.reset seen;
+  Mutex.unlock lock

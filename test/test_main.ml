@@ -20,6 +20,7 @@ let () =
       ("workload", Test_workload.suite);
       ("harness", Test_harness.suite);
       ("persist", Test_persist.suite);
+      ("resil", Test_resil.suite);
       ("extensions", Test_extensions.suite);
       ("profile+slices", Test_profile.suite);
       ("fuzz+check", Fuzz_check.suite);
