@@ -17,6 +17,7 @@ let usage () =
   prerr_endline
     "usage: main.exe [--limit N] [--jobs N] [--repeat N] [--out FILE] \
      [--keep-going] [--max-retries N] [--task-timeout MS] [--fault-plan S] \
+     [--check DIR] [--check-tolerance F] [--progress] [--metrics-out FILE] \
      [all|table1|fig2|table2|fig4|table3|fig5|fig6|ablation|micro|search|sim]...";
   exit 2
 
@@ -51,7 +52,17 @@ let search ~repeat ~out () =
       List.concat (List.init search_rounds (fun _ -> loops))
     in
     let t0 = Unix.gettimeofday () in
-    let results = Ts_base.Parallel.map (Ts_tms.Tms.schedule_sweep ~params) tasks in
+    let results =
+      Ts_base.Parallel.map
+        (fun g ->
+          (* Fault point inside the timed window: an armed slow fault here
+             (e.g. bench.search.task@*:slow5) shows up as a genuine
+             wall-clock regression, which is how the --check gate's
+             failure path is exercised. *)
+          Ts_resil.Fault.guard "bench.search.task";
+          Ts_tms.Tms.schedule_sweep ~params g)
+        tasks
+    in
     let wall = Unix.gettimeofday () -. t0 in
     let attempts =
       List.fold_left (fun a (r : Ts_tms.Tms.result) -> a + r.attempts) 0 results
@@ -174,6 +185,9 @@ let sim_bench ~limit ~repeat ~out () =
     ignore
       (Ts_base.Parallel.map
          (fun ((g : Ts_ddg.Ddg.t), trip, sms_k, tms_k) ->
+           (* Same trick as bench.search.task: a timed fault point so the
+              regression gate can be demonstrated to fail. *)
+           Ts_resil.Fault.guard "bench.sim.task";
            let plan = Ts_spmt.Address_plan.create g in
            let s = Ts_spmt.Sim.run ~plan ~warmup ~fast cfg sms_k ~trip in
            let t = Ts_spmt.Sim.run ~plan ~warmup ~fast cfg tms_k ~trip in
@@ -401,6 +415,9 @@ let () =
   let names = ref [] in
   let max_retries = ref 0 in
   let task_timeout = ref None in
+  let check_dir = ref None in
+  let check_tolerance = ref 1.5 in
+  let metrics_out = ref None in
   let rec parse = function
     | [] -> ()
     | "--limit" :: n :: rest ->
@@ -441,6 +458,20 @@ let () =
             prerr_endline ("bench: --fault-plan: " ^ msg);
             exit 2);
         parse rest
+    | "--check" :: dir :: rest ->
+        check_dir := Some dir;
+        parse rest
+    | "--check-tolerance" :: f :: rest ->
+        (match float_of_string_opt f with
+        | Some v when v >= 1.0 -> check_tolerance := v
+        | _ -> usage ());
+        parse rest
+    | "--progress" :: rest ->
+        Ts_obs.Progress.set_enabled true;
+        parse rest
+    | "--metrics-out" :: path :: rest ->
+        metrics_out := Some path;
+        parse rest
     | "--help" :: _ | "-h" :: _ -> usage ()
     | name :: rest ->
         names := name :: !names;
@@ -453,18 +484,28 @@ let () =
       max_retries = !max_retries;
       deadline_ms = !task_timeout;
     };
-  let names = match List.rev !names with [] -> [ "all" ] | ns -> ns in
+  let names =
+    match List.rev !names with
+    | [] -> if !check_dir <> None then [ "search"; "sim" ] else [ "all" ]
+    | ns -> ns
+  in
+  (* Fresh result files produced this run, by group — the check step
+     below compares each against the committed baseline of the same
+     name. *)
+  let written = ref [] in
   List.iter
     (fun name ->
       if name = "micro" then micro ()
-      else if name = "search" then
-        search ~repeat:!repeat
-          ~out:(Option.value !out ~default:"BENCH_search.json")
-          ()
-      else if name = "sim" then
-        sim_bench ~limit:!limit ~repeat:!repeat
-          ~out:(Option.value !out ~default:"BENCH_sim.json")
-          ()
+      else if name = "search" then begin
+        let out = Option.value !out ~default:"BENCH_search.json" in
+        search ~repeat:!repeat ~out ();
+        written := ("search", out) :: !written
+      end
+      else if name = "sim" then begin
+        let out = Option.value !out ~default:"BENCH_sim.json" in
+        sim_bench ~limit:!limit ~repeat:!repeat ~out ();
+        written := ("sim", out) :: !written
+      end
       else
         try
           Ts_harness.Experiments.run ?limit:!limit ~names:[ name ] (fun block ->
@@ -482,6 +523,85 @@ let () =
             write_failures_json "BENCH_failures.json" fs;
             exit 1)
     names;
+  (match !metrics_out with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc
+        (Ts_obs.Json.to_string (Ts_obs.Metrics.to_json Ts_obs.Metrics.default));
+      output_char oc '\n';
+      close_out oc;
+      Printf.eprintf "  wrote %s\n%!" path);
+  (match !check_dir with
+  | None -> ()
+  | Some dir ->
+      let read_json what path =
+        let contents =
+          try
+            let ic = open_in_bin path in
+            let n = in_channel_length ic in
+            let s = really_input_string ic n in
+            close_in ic;
+            s
+          with Sys_error msg ->
+            Printf.eprintf "bench --check: cannot read %s for %s: %s\n%!" path
+              what msg;
+            exit 1
+        in
+        match Ts_obs.Json.parse contents with
+        | Ok j -> j
+        | Error msg ->
+            Printf.eprintf "bench --check: %s: malformed JSON: %s\n%!" path msg;
+            exit 1
+      in
+      let outcomes =
+        List.rev_map
+          (fun (group, fresh_path) ->
+            let base_path =
+              Filename.concat dir ("BENCH_" ^ group ^ ".json")
+            in
+            let outcome =
+              Ts_harness.Regress.compare_json ~what:group
+                ~tolerance:!check_tolerance
+                ~baseline:(read_json "baseline" base_path)
+                ~fresh:(read_json "fresh results" fresh_path)
+            in
+            print_string (Ts_harness.Regress.render outcome);
+            print_newline ();
+            outcome)
+          !written
+      in
+      if outcomes = [] then begin
+        Printf.eprintf
+          "bench --check: nothing to check (run the search/sim groups)\n%!";
+        exit 1
+      end;
+      let bad = List.filter (fun o -> not (Ts_harness.Regress.ok o)) outcomes in
+      if bad <> [] then begin
+        List.iter
+          (fun (o : Ts_harness.Regress.outcome) ->
+            (match o.Ts_harness.Regress.missing with
+            | [] -> ()
+            | ms ->
+                Printf.eprintf
+                  "bench --check: %s: %d baseline metric(s) missing from the \
+                   fresh run (%s)\n%!"
+                  o.Ts_harness.Regress.what (List.length ms)
+                  (String.concat ", " ms));
+            match Ts_harness.Regress.worst o with
+            | Some w when not w.Ts_harness.Regress.ok ->
+                Printf.eprintf
+                  "bench --check: REGRESSION in %s: %s is %.2fx baseline \
+                   (%.4g s vs %.4g s, tolerance %.2fx)\n%!"
+                  o.Ts_harness.Regress.what w.Ts_harness.Regress.path
+                  w.Ts_harness.Regress.ratio w.Ts_harness.Regress.fresh
+                  w.Ts_harness.Regress.baseline o.Ts_harness.Regress.tolerance
+            | _ -> ())
+          bad;
+        exit 1
+      end;
+      Printf.printf "bench --check: PASS (tolerance %.2fx, baseline %s)\n%!"
+        !check_tolerance dir);
   match Ts_resil.Supervise.failures () with
   | [] -> ()
   | fs ->

@@ -186,6 +186,58 @@ let metrics_arg =
   in
   Arg.(value & opt (some fmt) None & info [ "metrics" ] ~docv:"FMT" ~doc)
 
+let metrics_out_arg =
+  let doc =
+    "Write a JSON snapshot of the metrics registry to $(docv) when the \
+     subcommand finishes (on the failure path too). Independent of \
+     $(b,--metrics), which prints to stdout."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+let profile_arg =
+  let fmt = Arg.enum [ ("table", `Table); ("json", `Json) ] in
+  let doc =
+    "Enable the span profiler and print a phase report ($(b,table) or \
+     $(b,json)) when the subcommand finishes: per-span calls, total and \
+     self wall-time, allocation and GC counts (see Ts_obs.Prof)."
+  in
+  Arg.(value & opt (some fmt) None & info [ "profile" ] ~docv:"FMT" ~doc)
+
+let profile_out_arg =
+  let doc =
+    "Write the profile report to $(docv) instead of stdout (implies \
+     profiling; format defaults to json unless $(b,--profile table))."
+  in
+  Arg.(value & opt (some string) None & info [ "profile-out" ] ~docv:"FILE" ~doc)
+
+let progress_arg =
+  let doc =
+    "Print a throttled heartbeat line to stderr while a sweep runs: \
+     done/total, elapsed, ETA, cache hit-rate, retry and failure counts."
+  in
+  Arg.(value & flag & info [ "progress" ] ~doc)
+
+type obs = {
+  metrics : [ `Table | `Json ] option;
+  metrics_out : string option;
+  profile : [ `Table | `Json ] option;
+  profile_out : string option;
+  progress : bool;
+}
+
+let obs_term =
+  let mk metrics metrics_out profile profile_out progress =
+    { metrics; metrics_out; profile; profile_out; progress }
+  in
+  Term.(
+    const mk $ metrics_arg $ metrics_out_arg $ profile_arg $ profile_out_arg
+    $ progress_arg)
+
+let apply_obs obs =
+  Ts_obs.Progress.set_enabled obs.progress;
+  if obs.profile <> None || obs.profile_out <> None then
+    Ts_obs.Prof.set_enabled true
+
 let dump_metrics = function
   | None -> ()
   | Some `Table ->
@@ -195,31 +247,68 @@ let dump_metrics = function
       print_endline
         (Ts_obs.Json.to_string (Ts_obs.Metrics.to_json Ts_obs.Metrics.default))
 
-(* Run a sweep body under the supervision contract: without --keep-going a
-   sweep failure aborts with the aggregated per-task summary; with it the
-   body finishes, the summary follows the output, and the exit status is
-   non-zero. Metrics are dumped either way — the degradation counters are
-   part of the failure story. *)
-let supervised ~metrics f =
+let write_file path s =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc s)
+
+(* Telemetry dump shared by every exit path. File-writing problems are
+   reported but never mask the run's own outcome. *)
+let dump_obs obs =
+  dump_metrics obs.metrics;
+  (match obs.metrics_out with
+  | None -> ()
+  | Some path -> (
+      try
+        write_file path
+          (Ts_obs.Json.to_string (Ts_obs.Metrics.to_json Ts_obs.Metrics.default)
+          ^ "\n")
+      with Sys_error msg -> prerr_endline ("tsms: --metrics-out: " ^ msg)));
+  if obs.profile <> None || obs.profile_out <> None then begin
+    let r = Ts_obs.Prof.report () in
+    let fmt = match obs.profile with Some f -> f | None -> `Json in
+    let s =
+      match fmt with
+      | `Table -> Ts_obs.Prof.render_table r
+      | `Json -> Ts_obs.Json.to_string (Ts_obs.Prof.to_json r) ^ "\n"
+    in
+    match obs.profile_out with
+    | Some path -> (
+        try write_file path s
+        with Sys_error msg -> prerr_endline ("tsms: --profile-out: " ^ msg))
+    | None ->
+        print_newline ();
+        print_string s
+  end
+
+(* Run a subcommand body under the supervision contract: without
+   --keep-going a sweep failure aborts with the aggregated per-task
+   summary; with it the body finishes, the summary follows the output,
+   and the exit status is non-zero. The telemetry (metrics, profile,
+   --metrics-out snapshot) is dumped on every path — including arbitrary
+   exceptions, where a crashed run would otherwise lose exactly the
+   counters that explain the crash. *)
+let supervised ~obs f =
   (match f () with
   | () -> ()
   | exception e -> (
+      dump_obs obs;
       match Ts_resil.Supervise.failures_of_exn e with
       | None -> raise e
       | Some fs ->
-          dump_metrics metrics;
           prerr_string (Ts_resil.Supervise.render_failures fs);
           exit 1));
-  dump_metrics metrics;
+  dump_obs obs;
   match Ts_resil.Supervise.summary () with
   | None -> ()
   | Some s ->
       prerr_string s;
       exit 1
 
-(* Invalid_argument from the libraries (e.g. a malformed TS_SIM_TRACE) and
-   Sys_error (e.g. an unwritable --trace path) are user errors, not internal
-   ones. *)
+(* Invalid_argument from the libraries (e.g. an invalid --trace combination)
+   and Sys_error (e.g. an unwritable --trace path) are user errors, not
+   internal ones. *)
 let or_invalid f =
   try f ()
   with Invalid_argument msg | Sys_error msg ->
@@ -271,8 +360,9 @@ let schedule_cmd =
     in
     Arg.(value & opt (some string) None & info [ "search-log" ] ~docv:"FILE" ~doc)
   in
-  let run jobs loop ncore p_max code unroll search_log metrics =
+  let run jobs loop ncore p_max code unroll search_log obs =
     apply_jobs jobs;
+    apply_obs obs;
     let g = or_die (read_loop loop) in
     let g = if unroll > 1 then Ts_ddg.Unroll.by g ~factor:unroll else g in
     let params = Ts_isa.Spmt_params.with_ncore Ts_isa.Spmt_params.default ncore in
@@ -281,6 +371,7 @@ let schedule_cmd =
       (Ts_ddg.Mii.rec_ii g) (Ts_ddg.Mii.mii g) (Ts_ddg.Mii.ldp g)
       (Ts_ddg.Scc.count_non_trivial g);
     or_invalid @@ fun () ->
+    supervised ~obs @@ fun () ->
     with_trace ~format:Ts_obs.Trace.Jsonl search_log (fun trace ->
         let sms = Ts_sms.Sms.schedule ~trace g in
         print_kernel "SMS" sms.Ts_sms.Sms.kernel ~c_reg_com:params.c_reg_com;
@@ -299,14 +390,13 @@ let schedule_cmd =
           print_newline ();
           Format.printf "%a" Ts_modsched.Codegen.pp
             (Ts_modsched.Codegen.of_kernel tms.Ts_tms.Tms.kernel)
-        end);
-    dump_metrics metrics
+        end)
   in
   let doc = "Schedule a loop with SMS and TMS and print both kernels." in
   Cmd.v (Cmd.info "schedule" ~doc)
     Term.(
       const run $ jobs_arg $ loop_arg $ ncore_arg $ p_max_arg $ code_arg
-      $ unroll_arg $ search_log_arg $ metrics_arg)
+      $ unroll_arg $ search_log_arg $ obs_term)
 
 let simulate_cmd =
   let trip_arg =
@@ -318,11 +408,14 @@ let simulate_cmd =
   let timeline_arg =
     Arg.(value & flag & info [ "timeline" ] ~doc:"Draw an ASCII execution timeline of the TMS run.")
   in
-  let run jobs loop ncore trip warmup timeline trace_file metrics =
+  let run jobs loop ncore trip warmup timeline trace_file obs =
     apply_jobs jobs;
+    apply_obs obs;
     let g = or_die (read_loop loop) in
     let cfg = Ts_spmt.Config.with_ncore Ts_spmt.Config.default ncore in
     let params = cfg.Ts_spmt.Config.params in
+    or_invalid @@ fun () ->
+    supervised ~obs @@ fun () ->
     let plan = Ts_spmt.Address_plan.create g in
     let sms = Ts_sms.Sms.schedule g in
     let tms = Ts_tms.Tms.schedule_sweep ~params g in
@@ -336,7 +429,6 @@ let simulate_cmd =
     in
     Printf.printf "simulating %s for %d iterations on %d cores (warmup %d):\n"
       g.Ts_ddg.Ddg.name trip ncore warmup;
-    or_invalid @@ fun () ->
     with_trace trace_file (fun trace ->
         (* One trace process per scheduler variant, one track per core. *)
         if Ts_obs.Trace.enabled trace then begin
@@ -354,19 +446,18 @@ let simulate_cmd =
       (float_of_int single.Ts_spmt.Single.cycles /. float_of_int trip);
     if timeline then begin
       print_newline ();
-      let obs =
+      let tl =
         Ts_spmt.Timeline.collect ~n_threads:(4 * ncore) ~warmup:(min warmup 512)
           cfg tms.Ts_tms.Tms.kernel
       in
-      print_string (Ts_spmt.Timeline.render ~ncore obs)
-    end;
-    dump_metrics metrics
+      print_string (Ts_spmt.Timeline.render ~ncore tl)
+    end
   in
   let doc = "Schedule a loop and simulate SMS/TMS/single-threaded execution." in
   Cmd.v (Cmd.info "simulate" ~doc)
     Term.(
       const run $ jobs_arg $ loop_arg $ ncore_arg $ trip_arg $ warmup_arg
-      $ timeline_arg $ trace_arg $ metrics_arg)
+      $ timeline_arg $ trace_arg $ obs_term)
 
 let dot_cmd =
   let run loop =
@@ -385,8 +476,9 @@ let suite_cmd =
     Arg.(value & opt (some int) None & info [ "limit" ] ~docv:"N" ~doc:"Loops per benchmark.")
   in
   let run jobs bench limit cache_dir no_cache keep_going max_retries
-      task_timeout fault_plan metrics =
+      task_timeout fault_plan obs =
     apply_jobs jobs;
+    apply_obs obs;
     apply_cache ~no_cache ~dir:cache_dir ~resume:false;
     apply_resil ~keep_going ~max_retries ~task_timeout ~fault_plan;
     let params = Ts_isa.Spmt_params.default in
@@ -403,7 +495,7 @@ let suite_cmd =
             prerr_endline ("tsms: unknown benchmark " ^ bench);
             exit 1
     in
-    supervised ~metrics (fun () ->
+    supervised ~obs (fun () ->
         let rows =
           List.map
             (fun b ->
@@ -418,11 +510,12 @@ let suite_cmd =
     Term.(
       const run $ jobs_arg $ bench_arg $ limit_arg $ cache_dir_arg
       $ no_cache_arg $ keep_going_arg $ max_retries_arg $ task_timeout_arg
-      $ fault_plan_arg $ metrics_arg)
+      $ fault_plan_arg $ obs_term)
 
 let compare_cmd =
-  let run jobs loop ncore trace_file metrics =
+  let run jobs loop ncore trace_file obs =
     apply_jobs jobs;
+    apply_obs obs;
     let g = or_die (read_loop loop) in
     let cfg = Ts_spmt.Config.with_ncore Ts_spmt.Config.default ncore in
     let params = cfg.Ts_spmt.Config.params in
@@ -444,6 +537,7 @@ let compare_cmd =
           ("cycles/iter", Right); ("sync stalls", Right); ("misspec", Right) ]
     in
     or_invalid @@ fun () ->
+    supervised ~obs @@ fun () ->
     with_trace trace_file (fun trace ->
         List.iteri
           (fun i (name, k) ->
@@ -464,12 +558,11 @@ let compare_cmd =
       [ "1-core"; "-"; "-"; "-";
         cell_f2 (float_of_int single.Ts_spmt.Single.cycles /. float_of_int trip);
         "-"; "-" ];
-    print t;
-    dump_metrics metrics
+    print t
   in
   let doc = "Compare all four schedulers (and the single core) on one loop." in
   Cmd.v (Cmd.info "compare" ~doc)
-    Term.(const run $ jobs_arg $ loop_arg $ ncore_arg $ trace_arg $ metrics_arg)
+    Term.(const run $ jobs_arg $ loop_arg $ ncore_arg $ trace_arg $ obs_term)
 
 let check_cmd =
   let seeds_arg =
@@ -492,8 +585,9 @@ let check_cmd =
     in
     Arg.(value & opt (some string) None & info [ "out" ] ~docv:"DIR" ~doc)
   in
-  let run jobs seeds trip warmup out metrics =
+  let run jobs seeds trip warmup out obs =
     apply_jobs jobs;
+    apply_obs obs;
     if seeds < 1 then begin
       prerr_endline "tsms: --seeds must be >= 1";
       exit 1
@@ -526,9 +620,9 @@ let check_cmd =
              with Sys_error msg ->
                prerr_endline ("tsms: cannot write counterexample: " ^ msg))
         | _ -> ());
-        dump_metrics metrics;
+        dump_obs obs;
         exit 1);
-    dump_metrics metrics
+    dump_obs obs
   in
   let doc =
     "Differential fuzzing of the schedulers, the checker and the simulator: \
@@ -539,7 +633,7 @@ let check_cmd =
      is shrunk to a minimal .ddg counterexample."
   in
   Cmd.v (Cmd.info "check" ~doc)
-    Term.(const run $ jobs_arg $ seeds_arg $ trip_arg $ warmup_arg $ out_arg $ metrics_arg)
+    Term.(const run $ jobs_arg $ seeds_arg $ trip_arg $ warmup_arg $ out_arg $ obs_term)
 
 let experiments_cmd =
   let names_arg =
@@ -552,11 +646,12 @@ let experiments_cmd =
     Arg.(value & opt (some int) None & info [ "limit" ] ~docv:"N" ~doc:"Loops per benchmark for table2/fig4.")
   in
   let run jobs names limit cache_dir no_cache resume keep_going max_retries
-      task_timeout fault_plan metrics =
+      task_timeout fault_plan obs =
     apply_jobs jobs;
+    apply_obs obs;
     apply_cache ~no_cache ~dir:cache_dir ~resume;
     apply_resil ~keep_going ~max_retries ~task_timeout ~fault_plan;
-    supervised ~metrics (fun () ->
+    supervised ~obs (fun () ->
         try
           Ts_harness.Experiments.run ?limit ~names (fun block ->
               print_string block;
@@ -570,7 +665,7 @@ let experiments_cmd =
     Term.(
       const run $ jobs_arg $ names_arg $ limit_arg $ cache_dir_arg
       $ no_cache_arg $ resume_arg $ keep_going_arg $ max_retries_arg
-      $ task_timeout_arg $ fault_plan_arg $ metrics_arg)
+      $ task_timeout_arg $ fault_plan_arg $ obs_term)
 
 let () =
   let doc = "thread-sensitive modulo scheduling for SpMT multicores (ICPP'08 reproduction)" in

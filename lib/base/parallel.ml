@@ -29,6 +29,19 @@ let inside_worker = Domain.DLS.new_key (fun () -> false)
 
 exception Map_errors of (int * exn) list
 
+(* Pool telemetry hook. [ts_base] sits below the metrics registry in the
+   library graph, so the pool reports raw events through an injectable
+   observer and the observability layer (which every binary links) feeds
+   them into histograms. The hook is process-global and read once per
+   [map] call, so installing it mid-sweep affects the next map, not the
+   running one. *)
+type event =
+  | Task_done of { worker : int; index : int; wall_s : float }
+  | Worker_exit of { worker : int; busy_s : float; tasks : int }
+
+let observer : (event -> unit) option Atomic.t = Atomic.make None
+let set_observer f = Atomic.set observer f
+
 let () =
   Printexc.register_printer (function
     | Map_errors fs ->
@@ -53,24 +66,52 @@ let map ?jobs f xs =
   let out = Array.make n None in
   let errs = Array.make n None in
   let run i = try out.(i) <- Some (f input.(i)) with e -> errs.(i) <- Some e in
-  if jobs <= 1 || n <= 1 || Domain.DLS.get inside_worker then
+  let obs = Atomic.get observer in
+  (* [timed w i] still stores the result/error via [run]; the observer
+     sees the wall time of the attempt whether it succeeded or raised. *)
+  let timed w i =
+    match obs with
+    | None ->
+        run i;
+        0.0
+    | Some notify ->
+        let t0 = Unix.gettimeofday () in
+        run i;
+        let dt = Unix.gettimeofday () -. t0 in
+        notify (Task_done { worker = w; index = i; wall_s = dt });
+        dt
+  in
+  let worker_exit w busy tasks =
+    match obs with
+    | Some notify when tasks > 0 ->
+        notify (Worker_exit { worker = w; busy_s = busy; tasks })
+    | _ -> ()
+  in
+  if jobs <= 1 || n <= 1 || Domain.DLS.get inside_worker then begin
+    let busy = ref 0.0 in
     for i = 0 to n - 1 do
-      run i
-    done
+      busy := !busy +. timed 0 i
+    done;
+    worker_exit 0 !busy n
+  end
   else begin
     let next = Atomic.make 0 in
-    let worker () =
+    let worker w () =
       Domain.DLS.set inside_worker true;
+      let busy = ref 0.0 in
+      let tasks = ref 0 in
       let rec go () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
-          run i;
+          busy := !busy +. timed w i;
+          incr tasks;
           go ()
         end
       in
-      go ()
+      go ();
+      worker_exit w !busy !tasks
     in
-    let domains = List.init (min jobs n) (fun _ -> Domain.spawn worker) in
+    let domains = List.init (min jobs n) (fun w -> Domain.spawn (worker w)) in
     List.iter Domain.join domains
   end;
   let failures = ref [] in

@@ -37,6 +37,23 @@ exception Map_errors of (int * exn) list
     order. No failure is dropped and no result is discarded early: all
     items run to completion before this is raised. *)
 
+type event =
+  | Task_done of { worker : int; index : int; wall_s : float }
+      (** One task finished (successfully or by raising): which worker
+          ran it, its input index, and its wall time in seconds. *)
+  | Worker_exit of { worker : int; busy_s : float; tasks : int }
+      (** A worker drained the queue: total seconds spent inside tasks
+          and how many it ran. Emitted for the sequential path too (as
+          worker 0), but only when it ran at least one task. *)
+
+val set_observer : (event -> unit) option -> unit
+(** Install (or clear) the process-global pool telemetry hook. The
+    observer runs on the worker domain that produced the event, so it
+    must be domain-safe; the observability layer installs one that feeds
+    the [pool.*] metrics. [map] reads the hook once at entry — installing
+    it mid-sweep affects subsequent maps only. When no observer is
+    installed the pool takes no timestamps at all. *)
+
 val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map f xs] is [List.map f xs] computed on up to [jobs] worker domains.
     Results are in input order. Runs sequentially (no domains spawned)

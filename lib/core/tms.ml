@@ -17,6 +17,11 @@ let m_slot_c1 = Metrics.counter Metrics.default "tms.slots.c1_reject"
 let m_slot_c2 = Metrics.counter Metrics.default "tms.slots.c2_reject"
 let m_slot_admitted = Metrics.counter Metrics.default "tms.slots.admitted"
 
+(* Latency distribution of one grid-point attempt (order repair
+   included): the unit of work the sweep repeats thousands of times, so
+   its p50/p90/p99 is what tells a slow search from a wide one. *)
+let m_attempt_ms = Metrics.histogram Metrics.default "tms.attempt_ms"
+
 type result = {
   kernel : K.t;
   mii : int;
@@ -292,6 +297,7 @@ let result_event trace (r : result) =
         ]
 
 let schedule ?(trace = Trace.null) ?(p_max = default_p_max) ?max_ii ~params g =
+  Ts_obs.Prof.span "tms.search" @@ fun () ->
   let mii = Ts_ddg.Mii.mii g in
   let ii_max =
     match max_ii with
@@ -377,7 +383,11 @@ let schedule ?(trace = Trace.null) ?(p_max = default_p_max) ?max_ii ~params g =
               if worth then begin
                 incr attempts;
                 Metrics.incr m_attempts;
-                match try_point ~ii ~cd with
+                let at0 = Unix.gettimeofday () in
+                let res = try_point ~ii ~cd in
+                Metrics.observe m_attempt_ms
+                  ((Unix.gettimeofday () -. at0) *. 1000.0);
+                match res with
                 | Ok kernel ->
                     attempt_event trace ~base:"sms" ~ii ~c_delay:cd ~f
                       ~reason:"scheduled" true;

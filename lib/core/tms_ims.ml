@@ -12,8 +12,14 @@ type result = Tms.result = {
   fell_back : bool;
 }
 
+(* Same attempt-latency histogram as the swing-order search: an attempt
+   is an attempt whichever placement engine ran it. *)
+let m_attempt_ms =
+  Ts_obs.Metrics.histogram Ts_obs.Metrics.default "tms.attempt_ms"
+
 let schedule ?(trace = Ts_obs.Trace.null) ?(p_max = Tms.default_p_max) ?max_ii
     ~params g =
+  Ts_obs.Prof.span "tms_ims.search" @@ fun () ->
   let mii = Ts_ddg.Mii.mii g in
   let ii_max =
     match max_ii with
@@ -82,7 +88,10 @@ let schedule ?(trace = Ts_obs.Trace.null) ?(p_max = Tms.default_p_max) ?max_ii
                   Tms.admissible s v ~cycle ~c_delay:cd ~p_max ~c_reg_com
                 in
                 let asap, prio = cached ii in
+                let at0 = Unix.gettimeofday () in
                 let res = Ts_sms.Ims.try_ii ~admissible ~asap ~prio g ~ii in
+                Ts_obs.Metrics.observe m_attempt_ms
+                  ((Unix.gettimeofday () -. at0) *. 1000.0);
                 (* Every placement passed [admissible], but IMS eviction can
                    retract decisions those checks relied on: unscheduling the
                    register dependence that preserved a speculative memory

@@ -126,7 +126,8 @@ let tms_of_plain g (p : tms_plain) : Ts_tms.Tms.result =
 let m_reconstruct_failed =
   Ts_obs.Metrics.counter Ts_obs.Metrics.default "persist.reconstruct_failed"
 
-let cached ~key:k ~to_plain ~of_plain f =
+let cached ?(span = "cached.driver") ~key:k ~to_plain ~of_plain f =
+  Ts_obs.Prof.span span @@ fun () ->
   match !store with
   | None -> f ()
   | Some s -> (
@@ -148,14 +149,14 @@ let cached ~key:k ~to_plain ~of_plain f =
           v)
 
 let sms g =
-  cached
+  cached ~span:"cached.sms"
     ~key:(key ~kind:"sms" [ ddg_fp g ])
     ~to_plain:sms_to_plain
     ~of_plain:(sms_of_plain g)
     (fun () -> Ts_sms.Sms.schedule g)
 
 let ims g =
-  cached
+  cached ~span:"cached.ims"
     ~key:(key ~kind:"ims" [ ddg_fp g ])
     ~to_plain:ims_to_plain
     ~of_plain:(ims_of_plain g)
@@ -164,7 +165,7 @@ let ims g =
 let params_fp (p : Ts_isa.Spmt_params.t) = Marshal.to_string p []
 
 let tms_sweep ~params g =
-  cached
+  cached ~span:"cached.tms_sweep"
     ~key:(key ~kind:"tms_sweep" [ params_fp params; ddg_fp g ])
     ~to_plain:tms_to_plain
     ~of_plain:(tms_of_plain g)
@@ -174,14 +175,14 @@ let tms ?p_max ~params g =
   let pm =
     match p_max with None -> "default" | Some x -> Printf.sprintf "%h" x
   in
-  cached
+  cached ~span:"cached.tms"
     ~key:(key ~kind:"tms" [ pm; params_fp params; ddg_fp g ])
     ~to_plain:tms_to_plain
     ~of_plain:(tms_of_plain g)
     (fun () -> Ts_tms.Tms.schedule ?p_max ~params g)
 
 let tms_ims ~params g =
-  cached
+  cached ~span:"cached.tms_ims"
     ~key:(key ~kind:"tms_ims" [ params_fp params; ddg_fp g ])
     ~to_plain:tms_to_plain
     ~of_plain:(tms_of_plain g)
@@ -204,6 +205,7 @@ let sim ?(sync_mem = false) ?seed ?(warmup = 0) ?(fast = true) cfg (k : K.t)
         string_of_int trip;
       ]
   in
+  Ts_obs.Prof.span "cached.sim" @@ fun () ->
   Ts_persist.memo !store ~key:k' (fun () ->
       Ts_spmt.Sim.run ~seed ~sync_mem ~warmup ~fast cfg k ~trip)
 
@@ -213,6 +215,7 @@ let sim_single ?seed ?(warmup = 0) cfg g ~trip =
     key ~kind:"single"
       [ cfg_fp cfg; ddg_fp g; seed; string_of_int warmup; string_of_int trip ]
   in
+  Ts_obs.Prof.span "cached.sim_single" @@ fun () ->
   Ts_persist.memo !store ~key:k' (fun () ->
       Ts_spmt.Single.run ~seed ~warmup cfg g ~trip)
 

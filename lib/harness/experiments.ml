@@ -68,6 +68,7 @@ let run ?limit ~names print =
   List.iter
     (fun name ->
       let block =
+        Ts_obs.Prof.span ("exp." ^ name) @@ fun () ->
         match name with
         | "table1" -> table1 ()
         | "fig2" -> fig2 ()

@@ -1,0 +1,95 @@
+(* Stderr heartbeat for long sweeps.
+
+   A progress handle counts completed steps atomically (workers step from
+   their own domains); printing is throttled to one line per
+   [min_interval] seconds and serialised by a mutex. Each line folds in
+   the registry counters that tell an operator whether a slow sweep is
+   slow because of cache misses, retries or failures. Disabled by
+   default — [step] on a disabled handle is one atomic increment and one
+   atomic read. *)
+
+let enabled_flag = Atomic.make false
+let set_enabled b = Atomic.set enabled_flag b
+let enabled () = Atomic.get enabled_flag
+
+(* Injectable sink and throttle so tests can capture lines and drop the
+   rate limit. Default: one line per second to stderr. *)
+let sink : (string -> unit) ref = ref prerr_endline
+let set_sink = function Some f -> sink := f | None -> sink := prerr_endline
+let min_interval = Atomic.make 1.0
+
+let set_min_interval s =
+  if s < 0.0 then invalid_arg "Progress.set_min_interval";
+  Atomic.set min_interval s
+
+type t = {
+  what : string;
+  total : int;
+  steps : int Atomic.t;
+  t0 : float;
+  last_print : float Atomic.t;
+  print_lock : Mutex.t;
+  (* Counter values at [start], so a heartbeat reports this sweep's
+     cache/retry/failure activity, not the whole process history. *)
+  hits0 : int;
+  misses0 : int;
+  retries0 : int;
+  failures0 : int;
+}
+
+let c name = Metrics.counter Metrics.default name
+let cv name = Metrics.counter_value (c name)
+
+let start ~what ~total =
+  {
+    what;
+    total;
+    steps = Atomic.make 0;
+    t0 = Unix.gettimeofday ();
+    last_print = Atomic.make 0.0;
+    print_lock = Mutex.create ();
+    hits0 = cv "persist.hits";
+    misses0 = cv "persist.misses";
+    retries0 = cv "supervise.retries";
+    failures0 = cv "supervise.failures";
+  }
+
+let line t ~done_ ~now =
+  let elapsed = now -. t.t0 in
+  let eta =
+    if done_ > 0 && t.total > done_ then
+      Printf.sprintf "%.1fs" (elapsed /. float_of_int done_ *. float_of_int (t.total - done_))
+    else "-"
+  in
+  let hits = cv "persist.hits" - t.hits0 in
+  let misses = cv "persist.misses" - t.misses0 in
+  let cache =
+    if hits + misses = 0 then "-"
+    else Printf.sprintf "%.0f%%" (100.0 *. float_of_int hits /. float_of_int (hits + misses))
+  in
+  let retries = cv "supervise.retries" - t.retries0 in
+  let failures = cv "supervise.failures" - t.failures0 in
+  Printf.sprintf "[%s] %d/%d done, elapsed %.1fs, eta %s, cache %s, retries %d, failures %d"
+    t.what done_ t.total elapsed eta cache retries failures
+
+let maybe_print t ~final =
+  if Atomic.get enabled_flag then begin
+    let now = Unix.gettimeofday () in
+    let last = Atomic.get t.last_print in
+    if final || now -. last >= Atomic.get min_interval then begin
+      Mutex.lock t.print_lock;
+      Fun.protect ~finally:(fun () -> Mutex.unlock t.print_lock) @@ fun () ->
+      (* Re-check under the lock: another worker may have just printed. *)
+      let last = Atomic.get t.last_print in
+      if final || now -. last >= Atomic.get min_interval then begin
+        Atomic.set t.last_print now;
+        !sink (line t ~done_:(Atomic.get t.steps) ~now)
+      end
+    end
+  end
+
+let step t =
+  ignore (Atomic.fetch_and_add t.steps 1);
+  maybe_print t ~final:false
+
+let finish t = maybe_print t ~final:true

@@ -2,12 +2,18 @@ type format = Chrome | Jsonl
 
 type sink = To_buffer of Buffer.t | To_channel of out_channel
 
+(* Domain-safety: traced sweeps hand one trace to every pool worker, so
+   the logical clock is an atomic (ticks are unique and monotonic across
+   domains) and event writes are serialised by a per-trace mutex — a
+   line is either fully written or not yet written, never interleaved.
+   The null trace stays a single branch with no locking. *)
 type active = {
   format : format;
   sink : sink;
   mutable first : bool; (* no comma before the first Chrome event *)
   mutable closed : bool;
-  mutable clock : int;
+  clock : int Atomic.t;
+  write_lock : Mutex.t;
 }
 
 type t = Null | Active of active
@@ -16,7 +22,10 @@ let null = Null
 let enabled = function Null -> false | Active _ -> true
 
 let make format sink =
-  let a = { format; sink; first = true; closed = false; clock = 0 } in
+  let a =
+    { format; sink; first = true; closed = false; clock = Atomic.make 0;
+      write_lock = Mutex.create () }
+  in
   (match format with
   | Chrome -> (
       match sink with
@@ -31,6 +40,8 @@ let to_file ?(format = Chrome) path = make format (To_channel (open_out path))
 let close = function
   | Null -> ()
   | Active a ->
+      Mutex.lock a.write_lock;
+      Fun.protect ~finally:(fun () -> Mutex.unlock a.write_lock) @@ fun () ->
       if not a.closed then begin
         a.closed <- true;
         let footer = match a.format with Chrome -> "\n]\n" | Jsonl -> "" in
@@ -43,14 +54,13 @@ let close = function
 
 let tick = function
   | Null -> 0
-  | Active a ->
-      let c = a.clock in
-      a.clock <- c + 1;
-      c
+  | Active a -> Atomic.fetch_and_add a.clock 1
 
 let emit a (fields : (string * Json.t) list) =
-  if a.closed then invalid_arg "Trace: emit after close";
   let line = Json.to_string (Json.Obj fields) in
+  Mutex.lock a.write_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock a.write_lock) @@ fun () ->
+  if a.closed then invalid_arg "Trace: emit after close";
   match a.format with
   | Chrome -> (
       let sep = if a.first then "" else ",\n" in

@@ -18,7 +18,13 @@
     logical timestamps from {!tick}.
 
     Tracers must be {!close}d: the Chrome format needs its closing bracket,
-    and file-backed sinks hold an [out_channel]. *)
+    and file-backed sinks hold an [out_channel].
+
+    Active tracers are domain-safe: {!tick} is an atomic counter (unique,
+    monotonic timestamps across pool workers) and event writes are
+    serialised by a per-trace mutex, so a sweep under [--jobs N] can hand
+    one tracer to every worker and still produce a valid event stream
+    (event order across domains follows the lock, not the ticks). *)
 
 type t
 

@@ -91,6 +91,17 @@ let entry_path t key =
     (Filename.concat (Filename.concat t.root "objects") shard)
     (key ^ ".bin")
 
+(* I/O latency distributions: [find] (open+read+digest+unmarshal) and
+   [store_exn] (marshal+digest+write+rename) wall time. *)
+let m_read_ms =
+  Ts_obs.Metrics.histogram Ts_obs.Metrics.default "persist.read_ms"
+
+let m_write_ms =
+  Ts_obs.Metrics.histogram Ts_obs.Metrics.default "persist.write_ms"
+
+let m_j_write_ms =
+  Ts_obs.Metrics.histogram Ts_obs.Metrics.default "persist.journal.write_ms"
+
 let read_file path =
   Ts_resil.Fault.guard "persist.read";
   let ic = open_in_bin path in
@@ -102,6 +113,8 @@ let read_file path =
    truncated marshal — is a miss; a cache must never take the computation
    down with it. *)
 let find (type a) t ~key : a option =
+  Ts_obs.Prof.span "persist.read" @@ fun () ->
+  let t0 = Unix.gettimeofday () in
   let path = entry_path t key in
   let parsed =
     try
@@ -127,9 +140,12 @@ let find (type a) t ~key : a option =
   | None ->
       Ts_obs.Metrics.incr m_misses;
       if Sys.file_exists path then (try Sys.remove path with Sys_error _ -> ()));
+  Ts_obs.Metrics.observe m_read_ms ((Unix.gettimeofday () -. t0) *. 1000.0);
   parsed
 
 let store_exn t ~key v =
+  Ts_obs.Prof.span "persist.write" @@ fun () ->
+  let t0 = Unix.gettimeofday () in
   let payload = Marshal.to_string v [] in
   (* A torn fault simulates a crash or short write that still left a file
      behind: the truncated payload fails its digest check on the next
@@ -168,6 +184,7 @@ let store_exn t ~key v =
      close_out_noerr oc;
      (try Sys.remove tmp with Sys_error _ -> ());
      raise e);
+  Ts_obs.Metrics.observe m_write_ms ((Unix.gettimeofday () -. t0) *. 1000.0);
   Ts_obs.Metrics.incr m_stores
 
 (* A cache must never take the computation down with it: a failed write
@@ -239,6 +256,7 @@ module Journal = struct
     end
 
   let load t ~name ~fingerprint ~resume =
+    Ts_obs.Prof.span "persist.journal.load" @@ fun () ->
     Ts_resil.Fault.guard "journal.open";
     let path = journal_path t name in
     let fingerprint = digest_hex fingerprint in
@@ -292,7 +310,13 @@ module Journal = struct
      sweep to journal-less: the computation continues, later records are
      dropped, and a --resume recomputes whatever went unrecorded. *)
   let record j ~id v =
+    Ts_obs.Prof.span "persist.journal.write" @@ fun () ->
+    let t0 = Unix.gettimeofday () in
     let payload = Marshal.to_string v [] in
+    Fun.protect ~finally:(fun () ->
+        Ts_obs.Metrics.observe m_j_write_ms
+          ((Unix.gettimeofday () -. t0) *. 1000.0))
+    @@ fun () ->
     Mutex.lock j.jlock;
     Fun.protect
       ~finally:(fun () -> Mutex.unlock j.jlock)

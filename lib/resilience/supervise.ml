@@ -103,14 +103,20 @@ let reset_failures () =
 
 let sweep_map ?jobs ~what ~label f xs =
   let policy = policy () in
+  let progress = Ts_obs.Progress.start ~what ~total:(List.length xs) in
   let results =
     Ts_base.Parallel.map ?jobs
       (fun (i, x) ->
-        attempt_task ~policy ~point:"worker"
-          ~label:(what ^ "/" ^ label i x)
-          ~index:i f x)
+        let r =
+          attempt_task ~policy ~point:"worker"
+            ~label:(what ^ "/" ^ label i x)
+            ~index:i f x
+        in
+        Ts_obs.Progress.step progress;
+        r)
       (List.mapi (fun i x -> (i, x)) xs)
   in
+  Ts_obs.Progress.finish progress;
   let fails =
     List.filter_map (function Error f -> Some f | Ok _ -> None) results
   in

@@ -37,6 +37,7 @@ let phase_span trace name f =
   end
 
 let schedule ?(trace = Trace.null) ?max_ii g =
+  Ts_obs.Prof.span "sms.schedule" @@ fun () ->
   let mii = Ts_ddg.Mii.mii g in
   let max_ii =
     match max_ii with Some m -> m | None -> Ts_ddg.Mii.ii_upper_bound g

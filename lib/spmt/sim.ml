@@ -124,74 +124,24 @@ type thread_obs = {
   squashed : bool;
 }
 
-(* --- Legacy TS_SIM_TRACE env-var debugging (deprecated) ---
-
-   Kept for backwards compatibility with pre-Ts_obs debugging workflows,
-   but parsed once up front with real error messages instead of failing
-   with a bare [int_of_string] mid-simulation. *)
-
-let parse_trace_range s =
-  let bad () =
-    Error
-      (Printf.sprintf
-         "TS_SIM_TRACE: expected a thread-index range LO-HI with 0 <= LO <= HI, \
-          got %S" s)
+(* The TS_SIM_TRACE / TS_SIM_TRACE_NODES env vars (removed after a
+   deprecation cycle) used to dump per-thread timings to stderr. Setting
+   them is now a hard error rather than a silent no-op, so an old
+   debugging recipe fails loudly with a pointer at the replacement. *)
+let reject_legacy_trace_env () =
+  (* An empty value counts as unset: there is no unsetenv in the stdlib,
+     so callers (and tests) clear the variable with [putenv var ""]. *)
+  let set var =
+    match Sys.getenv_opt var with Some s -> s <> "" | None -> false
   in
-  match String.split_on_char '-' s with
-  | [ lo; hi ] -> (
-      match (int_of_string_opt (String.trim lo), int_of_string_opt (String.trim hi)) with
-      | Some lo, Some hi when 0 <= lo && lo <= hi -> Ok (lo, hi)
-      | _ -> bad ())
-  | _ -> bad ()
-
-let parse_trace_nodes ~n_nodes s =
-  let parse_one tok =
-    match int_of_string_opt (String.trim tok) with
-    | Some v when 0 <= v && v < n_nodes -> Ok v
-    | Some v ->
-        Error
-          (Printf.sprintf
-             "TS_SIM_TRACE_NODES: node %d out of range (loop has %d nodes)" v
-             n_nodes)
-    | None ->
-        Error
-          (Printf.sprintf
-             "TS_SIM_TRACE_NODES: expected comma-separated node indices, got %S"
-             s)
-  in
-  let rec go acc = function
-    | [] -> Ok (List.rev acc)
-    | tok :: rest -> (
-        match parse_one tok with Ok v -> go (v :: acc) rest | Error _ as e -> e)
-  in
-  go [] (String.split_on_char ',' s)
-
-let legacy_deprecation_warned = ref false
-
-let legacy_trace_env ~n_nodes =
-  match Sys.getenv_opt "TS_SIM_TRACE" with
-  | None -> None
-  | Some s ->
-      if not !legacy_deprecation_warned then begin
-        legacy_deprecation_warned := true;
-        prerr_endline
-          "tsms: note: TS_SIM_TRACE/TS_SIM_TRACE_NODES are deprecated; prefer \
-           the structured tracer (tsms simulate --trace FILE)"
-      end;
-      let range =
-        match parse_trace_range s with
-        | Ok r -> r
-        | Error msg -> invalid_arg ("Sim.run: " ^ msg)
-      in
-      let nodes =
-        match Sys.getenv_opt "TS_SIM_TRACE_NODES" with
-        | None -> []
-        | Some s -> (
-            match parse_trace_nodes ~n_nodes s with
-            | Ok vs -> vs
-            | Error msg -> invalid_arg ("Sim.run: " ^ msg))
-      in
-      Some (range, nodes)
+  if set "TS_SIM_TRACE" then
+    invalid_arg
+      "Sim.run: TS_SIM_TRACE has been removed; use the structured tracer \
+       instead (tsms simulate --trace FILE, or --trace-format jsonl)";
+  if set "TS_SIM_TRACE_NODES" then
+    invalid_arg
+      "Sim.run: TS_SIM_TRACE_NODES has been removed; use the structured \
+       tracer instead (tsms simulate --trace FILE)"
 
 let rec gcd a b = if b = 0 then a else gcd b (a mod b)
 
@@ -204,7 +154,7 @@ let run_internal ?seed ?plan ~sync_mem ~warmup ~check ?observe ~trace ~trace_pid
   let n = Ts_ddg.Ddg.n_nodes g in
   let p = cfg.Config.params in
   let ncore = p.ncore in
-  let legacy = legacy_trace_env ~n_nodes:n in
+  reject_legacy_trace_env ();
   let traced = Trace.enabled trace in
   if traced then begin
     for c = 0 to ncore - 1 do
@@ -417,7 +367,7 @@ let run_internal ?seed ?plan ~sync_mem ~warmup ~check ?observe ~trace ~trace_pid
      miss, store fills/invalidates touch disjoint lines) and threads are
      extrapolated arithmetically. *)
   let fast_ok =
-    fast && (not traced) && Option.is_none observe && legacy = None
+    fast && (not traced) && Option.is_none observe
     && not
          (Array.exists
             (fun (e : Ts_ddg.Ddg.edge) ->
@@ -1050,15 +1000,6 @@ let run_internal ?seed ?plan ~sync_mem ~warmup ~check ?observe ~trace ~trace_pid
           }
     | None -> ());
     hist.(j mod horizon) <- Some (Hreal te);
-    (match legacy with
-    | Some ((lo, hi), nodes) when j >= lo && j <= hi ->
-        Printf.eprintf "thread %d: start=%d end=%d commit=%d..%d" j te.start
-          te.end_exec commit_start commit_end;
-        List.iter
-          (fun v -> Printf.eprintf " n%d@%d" v (te.issue_of.(v) - te.start))
-          nodes;
-        Printf.eprintf "\n"
-    | _ -> ());
     (* Successors respawn from the (possibly re-executed) thread's start. *)
     prev_spawn_base := te.start;
     if j mod 64 = 63 then begin
@@ -1396,6 +1337,29 @@ let check_fast_vs_exact (exact : stats) (fst : stats) =
     Chk.failf
       "Sim.run: fast path diverged from exact replay on stall_breakdown"
 
+(* Wall-time per [run] call and the cycle-normalised cost of the
+   simulated work: ns of host time per simulated cycle, the number the
+   ROADMAP 10x-sim target has to move. *)
+let m_run_ms = Ts_obs.Metrics.histogram Ts_obs.Metrics.default "sim.run_ms"
+
+let m_ns_per_cycle =
+  Ts_obs.Metrics.histogram Ts_obs.Metrics.default "sim.ns_per_cycle"
+
+let timed_internal ?seed ?plan ~sync_mem ~warmup ~check ?observe ~trace
+    ~trace_pid ~fast cfg k ~trip =
+  Ts_obs.Prof.span (if fast then "sim.run.fast" else "sim.run.exact")
+  @@ fun () ->
+  let t0 = Unix.gettimeofday () in
+  let st =
+    run_internal ?seed ?plan ~sync_mem ~warmup ~check ?observe ~trace
+      ~trace_pid ~fast cfg k ~trip
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  Ts_obs.Metrics.observe m_run_ms (dt *. 1000.0);
+  if st.cycles > 0 then
+    Ts_obs.Metrics.observe m_ns_per_cycle (dt *. 1e9 /. float_of_int st.cycles);
+  st
+
 let run ?seed ?plan ?(sync_mem = false) ?(warmup = 0) ?(check = false) ?observe
     ?(trace = Trace.null) ?(trace_pid = 0) ?(fast = false) cfg (k : K.t) ~trip
     =
@@ -1408,18 +1372,18 @@ let run ?seed ?plan ?(sync_mem = false) ?(warmup = 0) ?(check = false) ?observe
       match plan with Some pl -> pl | None -> Address_plan.create ?seed k.K.g
     in
     let exact =
-      run_internal ~plan ~sync_mem ~warmup ~check:true ?observe ~trace
+      timed_internal ~plan ~sync_mem ~warmup ~check:true ?observe ~trace
         ~trace_pid ~fast:false cfg k ~trip
     in
     let fst =
-      run_internal ~plan ~sync_mem ~warmup ~check:false ~trace:Trace.null
+      timed_internal ~plan ~sync_mem ~warmup ~check:false ~trace:Trace.null
         ~trace_pid ~fast:true cfg k ~trip
     in
     check_fast_vs_exact exact fst;
     fst
   end
   else
-    run_internal ?seed ?plan ~sync_mem ~warmup ~check ?observe ~trace
+    timed_internal ?seed ?plan ~sync_mem ~warmup ~check ?observe ~trace
       ~trace_pid ~fast cfg k ~trip
 
 let ipc (k : K.t) (s : stats) =

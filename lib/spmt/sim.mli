@@ -130,7 +130,7 @@ val run :
     (offsets, latencies) pairs skip the instruction-level replay even when
     the cache behaviour never becomes periodic. The fast path quietly
     disables itself under
-    [trace]/[observe]/[TS_SIM_TRACE] (which need every thread) and for
+    [trace]/[observe] (which need every thread) and for
     always-realised memory dependences. Combining [fast] with [check]
     runs {e both} paths on the same address plan and raises
     {!Ts_check.Invariant.Check_failed} on any stats field divergence.
@@ -138,24 +138,14 @@ val run :
     {!Ts_obs.Metrics.default} under [sim.fastpath.*].
 
     Identical totals are also accumulated on {!Ts_obs.Metrics.default}
-    under [sim.*]. *)
+    under [sim.*]: counters plus the [sim.run_ms] and [sim.ns_per_cycle]
+    latency histograms, and a [sim.run.fast]/[sim.run.exact]
+    {!Ts_obs.Prof} span per call.
+
+    The legacy [TS_SIM_TRACE]/[TS_SIM_TRACE_NODES] env-var debugging
+    (deprecated since the structured tracer landed) has been removed;
+    setting either variable makes [run] raise [Invalid_argument] with a
+    pointer at [--trace] rather than silently ignore it. *)
 
 val ipc : Ts_modsched.Kernel.t -> stats -> float
 (** Committed instructions per cycle (excludes squashed work). *)
-
-(** {2 Deprecated env-var debugging}
-
-    Setting [TS_SIM_TRACE=LO-HI] (thread index range) still prints
-    per-thread start/end/commit times to stderr, and
-    [TS_SIM_TRACE_NODES=v1,v2,...] adds those nodes' issue offsets — but
-    both are deprecated in favour of [?trace] and warn once per process.
-    Malformed values are rejected up front with [Invalid_argument] (they
-    used to crash mid-simulation with a bare [int_of_string] failure). *)
-
-val parse_trace_range : string -> (int * int, string) result
-(** The [TS_SIM_TRACE] parser, exposed for tests: accepts ["LO-HI"] with
-    [0 <= LO <= HI]. *)
-
-val parse_trace_nodes : n_nodes:int -> string -> (int list, string) result
-(** The [TS_SIM_TRACE_NODES] parser, exposed for tests: comma-separated
-    node indices, each in [\[0, n_nodes)]. *)

@@ -8,6 +8,7 @@ type stats = {
 }
 
 let run ?seed ?plan ?(warmup = 0) cfg (g : Ts_ddg.Ddg.t) ~trip =
+  Ts_obs.Prof.span "sim.single" @@ fun () ->
   if trip <= 0 then invalid_arg "Single.run: trip must be positive";
   if warmup < 0 then invalid_arg "Single.run: warmup must be non-negative";
   let total = warmup + trip in

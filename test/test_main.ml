@@ -4,6 +4,7 @@ let () =
       ("rng", Test_rng.suite);
       ("base", Test_base.suite);
       ("obs", Test_obs.suite);
+      ("telemetry", Test_telemetry.suite);
       ("isa", Test_isa.suite);
       ("ddg", Test_ddg.suite);
       ("scc+mii", Test_scc_mii.suite);

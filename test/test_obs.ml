@@ -1,6 +1,7 @@
 (* The Ts_obs observability layer: JSON emission/parsing, the metrics
    registry, the Chrome/JSONL tracer, the simulator's structured trace
-   (validity + determinism), and the hardened legacy env parsing. *)
+   (validity + determinism), domain-safety of the tracer, and the hard
+   error on the removed TS_SIM_TRACE env vars. *)
 
 module J = Ts_obs.Json
 module Metrics = Ts_obs.Metrics
@@ -85,15 +86,28 @@ let test_metrics_table () =
   List.iter (Metrics.observe h) [ 1.0; 2.0; 6.0 ];
   check_int "hist count" 3 (Metrics.histogram_count h);
   (match J.parse (J.to_string (Metrics.to_json reg)) with
-  | Ok (J.Obj kvs) ->
-      check_bool "sorted keys" true
-        (List.map fst kvs = [ "a.gauge"; "b.counter"; "c.hist" ]);
-      check_bool "counter value" true (List.assoc "b.counter" kvs = J.Int 3)
-  | Ok _ -> Alcotest.fail "metrics json not an object"
+  | Ok json ->
+      check_bool "versioned" true (J.member "version" json = Some (J.Int 2));
+      (match J.member "metrics" json with
+      | Some (J.Obj kvs) ->
+          check_bool "sorted keys" true
+            (List.map fst kvs = [ "a.gauge"; "b.counter"; "c.hist" ]);
+          check_bool "counter value" true (List.assoc "b.counter" kvs = J.Int 3);
+          let hist = List.assoc "c.hist" kvs in
+          check_bool "hist count json" true
+            (J.member "count" hist = Some (J.Int 3));
+          check_bool "hist p50" true
+            (match J.member "p50" hist with
+            | Some (J.Float p) -> p >= 1.5 && p <= 2.5
+            | _ -> false)
+      | _ -> Alcotest.fail "metrics json has no metrics object")
   | Error msg -> Alcotest.failf "metrics json invalid: %s" msg);
   let table = Metrics.render_table reg in
   check_bool "counter row" true (contains table "b.counter");
-  check_bool "histogram detail" true (contains table "mean=3.00")
+  check_bool "quantile columns" true
+    (contains table "p50" && contains table "p99");
+  (* Mean of {1, 2, 6} is exactly 3; rendered with %.4g. *)
+  check_bool "histogram mean" true (contains table "3")
 
 (* --- Trace --- *)
 
@@ -246,30 +260,72 @@ let test_search_log_attempts () =
   check_bool "has result event" true
     (List.exists (fun ev -> J.member "name" ev = Some (J.Str "tms.result")) events)
 
-(* --- Legacy env parsing --- *)
+(* --- Tracer domain-safety --- *)
 
-let test_legacy_range_parse () =
-  check_bool "ok" true (Ts_spmt.Sim.parse_trace_range "3-17" = Ok (3, 17));
-  check_bool "ws ok" true (Ts_spmt.Sim.parse_trace_range " 0 - 0 " = Ok (0, 0));
+let test_trace_parallel_writers () =
+  (* Four worker domains emitting into one Jsonl tracer: every line must
+     still be a complete JSON object (no interleaved writes) and no event
+     may be lost. Ticks are atomic, so they must come out unique. *)
+  let buf = Buffer.create 8192 in
+  let tr = Trace.to_buffer ~format:Trace.Jsonl buf in
+  let per_task = 25 and n_tasks = 16 in
+  ignore
+    (Ts_base.Parallel.map ~jobs:4
+       (fun task ->
+         for k = 0 to per_task - 1 do
+           let ts = Trace.tick tr in
+           Trace.instant tr ~tid:task ~ts
+             (Printf.sprintf "t%d.%d" task k)
+         done)
+       (List.init n_tasks Fun.id));
+  Trace.close tr;
+  let lines =
+    String.split_on_char '\n' (Buffer.contents buf)
+    |> List.filter (fun l -> l <> "")
+  in
+  check_int "no lost or torn lines" (n_tasks * per_task) (List.length lines);
+  let ts_seen = Hashtbl.create 512 in
   List.iter
-    (fun s ->
-      match Ts_spmt.Sim.parse_trace_range s with
-      | Ok _ -> Alcotest.failf "expected error for %S" s
-      | Error msg ->
-          check_bool "error names the var" true (contains msg "TS_SIM_TRACE"))
-    [ ""; "x"; "5"; "7-3"; "-1-4"; "a-b"; "1-2-3" ]
+    (fun l ->
+      match J.parse l with
+      | Ok (J.Obj _ as ev) -> (
+          match Option.bind (J.member "ts" ev) J.to_int with
+          | Some ts ->
+              check_bool "unique ts" false (Hashtbl.mem ts_seen ts);
+              Hashtbl.replace ts_seen ts ()
+          | None -> Alcotest.fail "event without ts")
+      | Ok _ -> Alcotest.fail "jsonl line is not an object"
+      | Error msg -> Alcotest.failf "torn jsonl line %S: %s" l msg)
+    lines
 
-let test_legacy_nodes_parse () =
-  check_bool "ok" true
-    (Ts_spmt.Sim.parse_trace_nodes ~n_nodes:9 "0,3, 8" = Ok [ 0; 3; 8 ]);
-  List.iter
-    (fun s ->
-      match Ts_spmt.Sim.parse_trace_nodes ~n_nodes:9 s with
-      | Ok _ -> Alcotest.failf "expected error for %S" s
-      | Error msg ->
-          check_bool "error names the var" true
-            (contains msg "TS_SIM_TRACE_NODES"))
-    [ ""; "x"; "1,,2"; "9"; "-1" ]
+(* --- Removed legacy env vars --- *)
+
+(* Setting the removed TS_SIM_TRACE / TS_SIM_TRACE_NODES debug vars is a
+   hard error pointing at --trace; an empty value counts as unset (there
+   is no unsetenv, so "" is how the variable is cleared). *)
+let with_env var value f =
+  Unix.putenv var value;
+  Fun.protect ~finally:(fun () -> Unix.putenv var "") f
+
+let expect_legacy_error var value =
+  with_env var value @@ fun () ->
+  let cfg, plan, kernel = sim_setup () in
+  match Ts_spmt.Sim.run ~plan ~warmup:8 cfg kernel ~trip:32 with
+  | _ -> Alcotest.failf "%s=%S: expected Invalid_argument" var value
+  | exception Invalid_argument msg ->
+      check_bool "error names the var" true (contains msg var);
+      check_bool "error names the replacement" true (contains msg "--trace")
+
+let test_legacy_env_rejected () =
+  expect_legacy_error "TS_SIM_TRACE" "3-17";
+  expect_legacy_error "TS_SIM_TRACE" "garbage";
+  expect_legacy_error "TS_SIM_TRACE_NODES" "0,3,8"
+
+let test_legacy_env_empty_ok () =
+  with_env "TS_SIM_TRACE" "" @@ fun () ->
+  let cfg, plan, kernel = sim_setup () in
+  let st = Ts_spmt.Sim.run ~plan ~warmup:8 cfg kernel ~trip:32 in
+  check_bool "runs" true (st.Ts_spmt.Sim.cycles > 0)
 
 let suite =
   [
@@ -284,6 +340,7 @@ let suite =
     Alcotest.test_case "sim trace valid + balanced" `Quick test_sim_trace_valid;
     Alcotest.test_case "sim trace deterministic" `Quick test_sim_trace_deterministic;
     Alcotest.test_case "search log attempts" `Quick test_search_log_attempts;
-    Alcotest.test_case "legacy range parse" `Quick test_legacy_range_parse;
-    Alcotest.test_case "legacy nodes parse" `Quick test_legacy_nodes_parse;
+    Alcotest.test_case "trace parallel writers" `Quick test_trace_parallel_writers;
+    Alcotest.test_case "legacy env rejected" `Quick test_legacy_env_rejected;
+    Alcotest.test_case "legacy env empty ok" `Quick test_legacy_env_empty_ok;
   ]
