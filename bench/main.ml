@@ -18,7 +18,7 @@ let usage () =
     "usage: main.exe [--limit N] [--jobs N] [--repeat N] [--out FILE] \
      [--keep-going] [--max-retries N] [--task-timeout MS] [--fault-plan S] \
      [--check DIR] [--check-tolerance F] [--progress] [--metrics-out FILE] \
-     [all|table1|fig2|table2|fig4|table3|fig5|fig6|ablation|micro|search|sim]...";
+     [all|table1|fig2|table2|fig4|table3|fig5|fig6|ablation|micro|search|sim|pool]...";
   exit 2
 
 (* ------------------------------------------------------------------ *)
@@ -274,6 +274,108 @@ let sim_bench ~limit ~repeat ~out () =
   Printf.printf "  wrote %s\n%!" out
 
 (* ------------------------------------------------------------------ *)
+(* The `pool` group: resident work-stealing pool vs spawn-per-call on
+   fine-grained tasks — the per-map overhead the pool removes.
+   [spawn_map] replicates the pre-pool Parallel.map shape (Domain.spawn
+   per call, one shared Atomic cursor); the pool side is Parallel.map
+   itself. Both sides run the same workload and produce the same values;
+   wall seconds are best of --repeat. Emits BENCH_pool.json. *)
+
+let spawn_map jobs f xs =
+  let input = Array.of_list xs in
+  let n = Array.length input in
+  let out = Array.make n 0 in
+  if jobs <= 1 || n <= 1 then
+    Array.iteri (fun i x -> out.(i) <- f x) input
+  else begin
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec go () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          out.(i) <- f input.(i);
+          go ()
+        end
+      in
+      go ()
+    in
+    let doms = List.init (min jobs n) (fun _ -> Domain.spawn worker) in
+    List.iter Domain.join doms
+  end;
+  Array.to_list out
+
+(* A fine-grained task: a few hundred integer ops, far below the cost of
+   one Domain.spawn — the regime where per-call spawn overhead dominates
+   and a resident pool pays off. *)
+let pool_task seed =
+  let x = ref seed in
+  for _ = 1 to 200 do
+    x := ((!x * 1103515245) + 12345) land 0x3FFFFFFF
+  done;
+  !x
+
+let pool_bench ~repeat ~out () =
+  (* Force at least two domains so the spawn side actually spawns and the
+     pool side actually crosses domains, whatever the default jobs. *)
+  let jobs = max 2 (Ts_base.Parallel.get_jobs ()) in
+  (* (name, parallel-map calls, tasks per call) *)
+  let workloads = [ ("fine", 400, 16); ("wide", 100, 128) ] in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let best f =
+    ignore (time f);
+    List.fold_left min max_float (List.init (max 1 repeat) (fun _ -> time f))
+  in
+  Printf.printf "pool benchmark (jobs=%d, best of %d):\n%!" jobs repeat;
+  let rows =
+    List.map
+      (fun (name, calls, tasks) ->
+        let items = List.init tasks (fun i -> i) in
+        let checksum m = List.fold_left ( + ) 0 (m pool_task items) in
+        let expected = checksum (fun f xs -> List.map f xs) in
+        let run m () =
+          for _ = 1 to calls do
+            if checksum m <> expected then failwith "pool bench: wrong result"
+          done
+        in
+        let pool_s = best (run (fun f xs -> Ts_base.Parallel.map ~jobs f xs)) in
+        let spawn_s = best (run (spawn_map jobs)) in
+        let speedup = spawn_s /. pool_s in
+        Printf.printf
+          "  pool:%-6s %4d calls x %3d tasks  pool %7.4f s  spawn %7.4f s  \
+           speedup %4.2fx\n\
+           %!"
+          name calls tasks pool_s spawn_s speedup;
+        ( name,
+          Ts_obs.Json.Obj
+            [
+              ("calls", Ts_obs.Json.Int calls);
+              ("tasks_per_call", Ts_obs.Json.Int tasks);
+              ("pool_wall_s", Ts_obs.Json.Float pool_s);
+              ("spawn_wall_s", Ts_obs.Json.Float spawn_s);
+              ("speedup", Ts_obs.Json.Float speedup);
+            ] ))
+      workloads
+  in
+  let json =
+    Ts_obs.Json.Obj
+      [
+        ("bench", Ts_obs.Json.Str "pool");
+        ("jobs", Ts_obs.Json.Int jobs);
+        ("repeat", Ts_obs.Json.Int repeat);
+        ("workloads", Ts_obs.Json.Obj rows);
+      ]
+  in
+  let oc = open_out out in
+  output_string oc (Ts_obs.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  wrote %s\n%!" out
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one per table/figure, timing the unit of
    work that experiment repeats (a schedule, a simulation, ...). *)
 
@@ -486,7 +588,7 @@ let () =
     };
   let names =
     match List.rev !names with
-    | [] -> if !check_dir <> None then [ "search"; "sim" ] else [ "all" ]
+    | [] -> if !check_dir <> None then [ "search"; "sim"; "pool" ] else [ "all" ]
     | ns -> ns
   in
   (* Fresh result files produced this run, by group — the check step
@@ -505,6 +607,11 @@ let () =
         let out = Option.value !out ~default:"BENCH_sim.json" in
         sim_bench ~limit:!limit ~repeat:!repeat ~out ();
         written := ("sim", out) :: !written
+      end
+      else if name = "pool" then begin
+        let out = Option.value !out ~default:"BENCH_pool.json" in
+        pool_bench ~repeat:!repeat ~out ();
+        written := ("pool", out) :: !written
       end
       else
         try

@@ -1,46 +1,28 @@
-let available () = max 1 (Domain.recommended_domain_count () - 1)
+(* [Parallel.map] over the resident work-stealing pool ([Pool]).
 
-(* 0 = unset: resolve from TSMS_JOBS, then the machine. *)
-let configured = Atomic.make 0
+   The map itself only captures results and failures; scheduling, worker
+   lifetime, nesting and telemetry live in [Pool.run_batch]. Nested maps
+   parallelize too — a map reached from inside a pool worker enqueues its
+   items on the worker's own deque and helps drain them, instead of the
+   old degradation to [List.map]. *)
 
-let set_jobs n =
-  if n < 1 then invalid_arg "Parallel.set_jobs: jobs must be >= 1";
-  Atomic.set configured n
+(* Sizing knobs live with the pool; re-exported here so existing callers
+   (CLI, bench, tests) keep their [Parallel.set_jobs] spelling. *)
+let available = Pool.available
+let set_jobs = Pool.set_jobs
+let env_jobs = Pool.env_jobs
+let get_jobs = Pool.get_jobs
 
-let env_jobs () =
-  match Sys.getenv_opt "TSMS_JOBS" with
-  | None | Some "" -> None
-  | Some s -> (
-      match int_of_string_opt (String.trim s) with
-      | Some n when n >= 1 -> Some n
-      | _ ->
-          invalid_arg
-            (Printf.sprintf "TSMS_JOBS must be a positive integer, got %S" s))
-
-let get_jobs () =
-  match Atomic.get configured with
-  | 0 -> ( match env_jobs () with Some n -> n | None -> available ())
-  | n -> n
-
-(* Workers flag themselves so a parallel map reached from inside another
-   parallel map degrades to List.map instead of spawning domains
-   quadratically (OCaml caps live domains well below that). *)
-let inside_worker = Domain.DLS.new_key (fun () -> false)
-
-exception Map_errors of (int * exn) list
-
-(* Pool telemetry hook. [ts_base] sits below the metrics registry in the
-   library graph, so the pool reports raw events through an injectable
-   observer and the observability layer (which every binary links) feeds
-   them into histograms. The hook is process-global and read once per
-   [map] call, so installing it mid-sweep affects the next map, not the
-   running one. *)
-type event =
+type event = Pool.event =
   | Task_done of { worker : int; index : int; wall_s : float }
   | Worker_exit of { worker : int; busy_s : float; tasks : int }
+  | Steal of { thief : int; victim : int }
+  | Idle of { worker : int; wait_s : float }
 
-let observer : (event -> unit) option Atomic.t = Atomic.make None
-let set_observer f = Atomic.set observer f
+let set_observer = Pool.set_observer
+let get_observer = Pool.get_observer
+
+exception Map_errors of (int * exn) list
 
 let () =
   Printexc.register_printer (function
@@ -60,63 +42,41 @@ let () =
    neither hides the other failures nor discards the results in flight
    (a supervising caller can see exactly which inputs failed). *)
 let map ?jobs f xs =
-  let jobs = match jobs with Some j -> max 1 j | None -> get_jobs () in
-  let n = List.length xs in
-  let input = Array.of_list xs in
-  let out = Array.make n None in
-  let errs = Array.make n None in
-  let run i = try out.(i) <- Some (f input.(i)) with e -> errs.(i) <- Some e in
-  let obs = Atomic.get observer in
-  (* [timed w i] still stores the result/error via [run]; the observer
-     sees the wall time of the attempt whether it succeeded or raised. *)
-  let timed w i =
-    match obs with
-    | None ->
-        run i;
-        0.0
-    | Some notify ->
-        let t0 = Unix.gettimeofday () in
-        run i;
-        let dt = Unix.gettimeofday () -. t0 in
-        notify (Task_done { worker = w; index = i; wall_s = dt });
-        dt
-  in
-  let worker_exit w busy tasks =
-    match obs with
-    | Some notify when tasks > 0 ->
-        notify (Worker_exit { worker = w; busy_s = busy; tasks })
-    | _ -> ()
-  in
-  if jobs <= 1 || n <= 1 || Domain.DLS.get inside_worker then begin
-    let busy = ref 0.0 in
-    for i = 0 to n - 1 do
-      busy := !busy +. timed 0 i
-    done;
-    worker_exit 0 !busy n
-  end
-  else begin
-    let next = Atomic.make 0 in
-    let worker w () =
-      Domain.DLS.set inside_worker true;
-      let busy = ref 0.0 in
-      let tasks = ref 0 in
-      let rec go () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          busy := !busy +. timed w i;
-          incr tasks;
-          go ()
-        end
+  match xs with
+  | [] -> []
+  | _ :: _ ->
+      let jobs = match jobs with Some j -> max 1 j | None -> get_jobs () in
+      let input = Array.of_list xs in
+      let n = Array.length input in
+      (* The result array is sized once from the first value produced
+         (whichever task that is) — no per-item [option] box. The single
+         CAS publishes it; losers write into the winner's array. *)
+      let out : 'b array option Atomic.t = Atomic.make None in
+      let store i v =
+        match Atomic.get out with
+        | Some a -> a.(i) <- v
+        | None ->
+            let fresh = Array.make n v in
+            if Atomic.compare_and_set out None (Some fresh) then ()
+            else
+              (match Atomic.get out with
+              | Some a -> a.(i) <- v
+              | None -> assert false)
       in
-      go ();
-      worker_exit w !busy !tasks
-    in
-    let domains = List.init (min jobs n) (fun w -> Domain.spawn (worker w)) in
-    List.iter Domain.join domains
-  end;
-  let failures = ref [] in
-  for i = n - 1 downto 0 do
-    match errs.(i) with Some e -> failures := (i, e) :: !failures | None -> ()
-  done;
-  if !failures <> [] then raise (Map_errors !failures);
-  Array.to_list (Array.map (function Some v -> v | None -> assert false) out)
+      let errs : exn option array = Array.make n None in
+      let body i =
+        match f input.(i) with
+        | v -> store i v
+        | exception e -> errs.(i) <- Some e
+      in
+      Pool.run_batch ~jobs ~n body;
+      let failures = ref [] in
+      for i = n - 1 downto 0 do
+        match errs.(i) with
+        | Some e -> failures := (i, e) :: !failures
+        | None -> ()
+      done;
+      if !failures <> [] then raise (Map_errors !failures);
+      (match Atomic.get out with
+      | Some a -> Array.to_list a
+      | None -> assert false)

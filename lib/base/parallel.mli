@@ -1,23 +1,26 @@
-(** A small Domain pool for embarrassingly parallel sweeps.
+(** Deterministic parallel map over the resident domain pool.
 
     Independent units of work — the per-[P_max] TMS searches of a sweep,
     the per-benchmark rows of Table 2, the per-loop simulations of the
-    DOACROSS studies — run on a pool of worker domains while results come
-    back in input order, so every caller stays bit-for-bit deterministic
-    at any pool size.
+    DOACROSS studies — run on the process-wide work-stealing pool
+    ({!Pool}) while results come back in input order, so every caller
+    stays bit-for-bit deterministic at any pool size.
 
-    The pool size is resolved, in order, from: an explicit [?jobs]
+    The parallelism is resolved, in order, from: an explicit [?jobs]
     argument, {!set_jobs} (the CLI's [--jobs N]), the [TSMS_JOBS]
     environment variable, and finally [Domain.recommended_domain_count ()
-    - 1] (one core left for the caller). Nested [map]s never spawn:
-    work inside a worker domain runs sequentially, which bounds the live
-    domain count by the pool size. *)
+    - 1] (one core left for the caller). Workers are spawned once and
+    reused; no call to [map] spawns a domain after the pool is warm.
+    Nested [map]s parallelize too: a map reached from inside a pool
+    worker enqueues its items on that worker's own deque and helps drain
+    them (help-first), so the live domain count stays bounded by the pool
+    size at any nesting depth. *)
 
 val available : unit -> int
 (** [Domain.recommended_domain_count () - 1], at least 1. *)
 
 val set_jobs : int -> unit
-(** Fix the default pool size for the whole process (overrides
+(** Fix the default parallelism for the whole process (overrides
     [TSMS_JOBS]). Raises [Invalid_argument] when [n < 1]. *)
 
 val env_jobs : unit -> int option
@@ -27,7 +30,7 @@ val env_jobs : unit -> int option
     first {!map}. *)
 
 val get_jobs : unit -> int
-(** The pool size {!map} will use when called without [?jobs]: the
+(** The parallelism {!map} will use when called without [?jobs]: the
     {!set_jobs} value, else [TSMS_JOBS], else {!available}. Raises
     [Invalid_argument] if [TSMS_JOBS] is set but is not a positive
     integer. *)
@@ -37,14 +40,22 @@ exception Map_errors of (int * exn) list
     order. No failure is dropped and no result is discarded early: all
     items run to completion before this is raised. *)
 
-type event =
+type event = Pool.event =
   | Task_done of { worker : int; index : int; wall_s : float }
       (** One task finished (successfully or by raising): which worker
           ran it, its input index, and its wall time in seconds. *)
   | Worker_exit of { worker : int; busy_s : float; tasks : int }
-      (** A worker drained the queue: total seconds spent inside tasks
-          and how many it ran. Emitted for the sequential path too (as
-          worker 0), but only when it ran at least one task. *)
+      (** Per-map, per-slot account at the join: seconds this pool slot
+          spent inside the map's tasks and how many it ran. Emitted for
+          every slot including workers that ran zero tasks; worker 0 is
+          the (non-pool) caller, and the sequential path reports as
+          worker 0 too. *)
+  | Steal of { thief : int; victim : int }
+      (** Worker [thief] took a task from the front of [victim]'s
+          deque. *)
+  | Idle of { worker : int; wait_s : float }
+      (** A pool worker found nothing to run anywhere and slept for
+          [wait_s] seconds until new work arrived. *)
 
 val set_observer : (event -> unit) option -> unit
 (** Install (or clear) the process-global pool telemetry hook. The
@@ -54,11 +65,17 @@ val set_observer : (event -> unit) option -> unit
     it mid-sweep affects subsequent maps only. When no observer is
     installed the pool takes no timestamps at all. *)
 
+val get_observer : unit -> (event -> unit) option
+(** The currently installed hook (tests save/restore around their own). *)
+
 val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
-(** [map f xs] is [List.map f xs] computed on up to [jobs] worker domains.
-    Results are in input order. Runs sequentially (no domains spawned)
-    when the effective [jobs] is 1, the list has at most one element, or
-    the caller is itself a pool worker. If any [f x] raises, every item is
+(** [map f xs] is [List.map f xs] computed on the resident domain pool.
+    Results are in input order. Runs strictly sequentially (inline on the
+    calling domain) when the effective [jobs] is 1 or the list has at
+    most one element. Otherwise the items become pool tasks; the pool is
+    grown (once) to the effective [jobs], so a later map asking for less
+    than the resident size may still be run by more workers — [jobs]
+    caps growth, not concurrency. If any [f x] raises, every item is
     still attempted and {!Map_errors} is raised in the caller with the
     complete failure list — identical on the sequential and pooled paths.
     [f] must be safe to call from multiple domains at once. *)

@@ -1,0 +1,113 @@
+(** Resident work-stealing domain pool.
+
+    Worker domains are spawned once per process (lazily, on first use)
+    and reused for every parallel batch; nothing on the hot path calls
+    [Domain.spawn]. Each worker owns an SPMC deque — owner pushes/pops
+    at the back (LIFO), thieves take from the front (FIFO) — and a task
+    that opens a parallel batch from inside a worker runs help-first:
+    it pushes the children onto its own deque and works/steals until
+    the batch drains, so nesting never spawns domains and never blocks
+    a worker while tasks are runnable.
+
+    This is the engine under {!Parallel.map}; most code should use that.
+    The [submit]/[await] futures are for callers that want overlapping
+    heterogeneous work rather than fork-join batches. *)
+
+(** {1 Pool sizing}
+
+    The size is resolved, in order, from {!set_jobs} (the CLI's
+    [--jobs N]), the [TSMS_JOBS] environment variable, and finally
+    [Domain.recommended_domain_count () - 1]. The pool only ever grows
+    (up to {!cap}): a batch asking for more workers than are resident
+    spawns the difference, and they stay. *)
+
+val available : unit -> int
+(** [Domain.recommended_domain_count () - 1], at least 1. *)
+
+val set_jobs : int -> unit
+(** Fix the default parallelism for the whole process (overrides
+    [TSMS_JOBS]). Raises [Invalid_argument] when [n < 1]. *)
+
+val env_jobs : unit -> int option
+(** The [TSMS_JOBS] environment variable, if set and non-empty. Raises
+    [Invalid_argument] when it is not a positive integer. *)
+
+val get_jobs : unit -> int
+(** The default parallelism: the {!set_jobs} value, else [TSMS_JOBS],
+    else {!available}. *)
+
+val cap : int
+(** Hard bound on resident worker domains; [ensure]-style growth clamps
+    to it. *)
+
+val size_now : unit -> int
+(** Resident worker count right now (0 until the first parallel batch).
+    Grow-only; used by tests to assert nesting does not explode the
+    domain count. *)
+
+(** {1 Telemetry} *)
+
+type event =
+  | Task_done of { worker : int; index : int; wall_s : float }
+      (** One batch item finished: which worker ran it, its index within
+          the batch, wall seconds (including any nested batch it helped
+          drain while waiting). *)
+  | Worker_exit of { worker : int; busy_s : float; tasks : int }
+      (** Per-batch, per-slot account at the join: seconds spent inside
+          this batch's tasks and how many the slot ran. Emitted for every
+          pool slot including workers that ran zero tasks — idle workers
+          count in utilization. Worker 0 is the (non-pool) caller. *)
+  | Steal of { thief : int; victim : int }
+      (** Worker [thief] took a task from the front of [victim]'s
+          deque. *)
+  | Idle of { worker : int; wait_s : float }
+      (** A worker found no task anywhere and slept for [wait_s] seconds
+          until new work arrived. *)
+
+val set_observer : (event -> unit) option -> unit
+(** Install (or clear) the process-global pool telemetry hook. The
+    observer runs on the domain that produced the event, so it must be
+    domain-safe. When no observer is installed the pool takes no
+    timestamps at all. *)
+
+val get_observer : unit -> (event -> unit) option
+(** The currently installed hook (tests save/restore around their own). *)
+
+(** {1 Workers} *)
+
+val worker_id : unit -> int
+(** 1-based id of the calling pool worker, or 0 for any other domain. *)
+
+val in_worker : unit -> bool
+(** [worker_id () > 0]. *)
+
+(** {1 Futures} *)
+
+type 'a future
+
+val submit : (unit -> 'a) -> 'a future
+(** Enqueue [f] on the pool (growing it to the configured size on first
+    use). From inside a worker the task goes to the caller's own deque
+    (help-first nesting); from outside it is injected round-robin. *)
+
+val await : 'a future -> 'a
+(** Block until the future resolves, re-raising if the task raised.
+    A pool worker awaiting helps: it runs other pool tasks while it
+    waits, so awaiting inside a task cannot deadlock the pool. *)
+
+(** {1 Batches} *)
+
+val run_batch : jobs:int -> n:int -> (int -> unit) -> unit
+(** [run_batch ~jobs ~n body] runs [body 0] … [body (n-1)] and returns
+    when all have finished. [body] must not raise. With [jobs <= 1] or
+    [n = 1] the batch runs inline on the calling domain, in index order —
+    the strict sequential path. Otherwise the items become pool tasks:
+    a worker caller helps until the batch drains; an outside caller
+    blocks. Emits [Task_done] per item and, at the join, [Worker_exit]
+    for every slot (zero-task workers included) when an observer is
+    installed. *)
+
+val shutdown_for_tests : unit -> unit
+(** Stop and join the resident workers, forgetting the pool so the next
+    batch builds a fresh one. Only for tests that need to observe pool
+    growth from a clean slate; never call while tasks are in flight. *)

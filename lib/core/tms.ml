@@ -58,6 +58,15 @@ let default_p_max = 0.05
 let default_f_slack = 1.5
 let default_place_retries = 3
 
+(* First [k] elements and the rest, in order ([k] is a small speculation
+   window, so the non-tail recursion is fine). *)
+let rec take_drop k = function
+  | [] -> ([], [])
+  | l when k <= 0 -> ([], l)
+  | x :: tl ->
+      let a, b = take_drop (k - 1) tl in
+      (x :: a, b)
+
 type slot_verdict = Admit | Reject_resource | Reject_c1 | Reject_c2
 
 (* ISSUE_SLOT_SELECTION (Figure 3, lines 18-28) for node [v] at cycle [c]:
@@ -186,18 +195,30 @@ let reject_reason r =
     | false, false, true -> "c2-exhausted"
     | _ -> "mixed-exhausted"
 
-let try_schedule_explained ?asap g ~order ~ii ~c_delay ~p_max ~c_reg_com =
+(* Slot-verdict counters are accumulated in a local tally and flushed to
+   the shared metrics once per attempt: a fetch_and_add per slot check
+   would ping-pong the counters' cache lines across the sweep's domains.
+   The tally is also what lets the search evaluate grid points
+   speculatively in parallel — an attempt the sequential walk would have
+   skipped is simply discarded unflushed, so the metrics record exactly
+   the sequential walk's totals at any pool size. *)
+type slot_tally = {
+  mutable t_resource : int;
+  mutable t_c1 : int;
+  mutable t_c2 : int;
+  mutable t_admit : int;
+}
+
+let new_tally () = { t_resource = 0; t_c1 = 0; t_c2 = 0; t_admit = 0 }
+
+let flush_tally t =
+  Metrics.incr ~by:t.t_resource m_slot_resource;
+  Metrics.incr ~by:t.t_c1 m_slot_c1;
+  Metrics.incr ~by:t.t_c2 m_slot_c2;
+  Metrics.incr ~by:t.t_admit m_slot_admitted
+
+let try_schedule_tallied tally ?asap g ~order ~ii ~c_delay ~p_max ~c_reg_com =
   let s = S.create ?asap g ~ii in
-  (* Slot-verdict counters are accumulated in locals and flushed to the
-     shared metrics once per attempt: a fetch_and_add per slot check would
-     ping-pong the counters' cache lines across the sweep's domains. *)
-  let t_resource = ref 0 and t_c1 = ref 0 and t_c2 = ref 0 and t_admit = ref 0 in
-  let flush () =
-    Metrics.incr ~by:!t_resource m_slot_resource;
-    Metrics.incr ~by:!t_c1 m_slot_c1;
-    Metrics.incr ~by:!t_c2 m_slot_c2;
-    Metrics.incr ~by:!t_admit m_slot_admitted
-  in
   let rec place_all = function
     | [] -> Ok (K.of_schedule s)
     | (v, prefer) :: rest -> (
@@ -211,7 +232,7 @@ let try_schedule_explained ?asap g ~order ~ii ~c_delay ~p_max ~c_reg_com =
             let try_cycle c =
               match admit s v ~cycle:c ~c_delay ~p_max ~c_reg_com with
               | Admit ->
-                  incr t_admit;
+                  tally.t_admit <- tally.t_admit + 1;
                   S.place s v ~cycle:c;
                   true
               | Reject_resource -> incr resource; false
@@ -227,17 +248,21 @@ let try_schedule_explained ?asap g ~order ~ii ~c_delay ~p_max ~c_reg_com =
             let placed =
               match dir with S.Up -> scan lo 1 hi | S.Down -> scan hi (-1) lo
             in
-            t_resource := !t_resource + !resource;
-            t_c1 := !t_c1 + !c1;
-            t_c2 := !t_c2 + !c2;
+            tally.t_resource <- tally.t_resource + !resource;
+            tally.t_c1 <- tally.t_c1 + !c1;
+            tally.t_c2 <- tally.t_c2 + !c2;
             if placed then place_all rest
             else
               Error
                 { node = v; window_empty = false; resource_rejects = !resource;
                   c1_rejects = !c1; c2_rejects = !c2 })
   in
-  let r = place_all order in
-  flush ();
+  place_all order
+
+let try_schedule_explained ?asap g ~order ~ii ~c_delay ~p_max ~c_reg_com =
+  let tally = new_tally () in
+  let r = try_schedule_tallied tally ?asap g ~order ~ii ~c_delay ~p_max ~c_reg_com in
+  flush_tally tally;
   r
 
 let try_schedule ?asap g ~order ~ii ~c_delay ~p_max ~c_reg_com =
@@ -341,10 +366,11 @@ let schedule ?(trace = Trace.null) ?(p_max = default_p_max) ?max_ii ~params g =
      re-run the placement from scratch.  Each grid point restarts from
      the pristine swing order. *)
   let try_point ~ii ~cd =
+    let tally = new_tally () in
     let rec go order k =
       let res =
-        try_schedule_explained ~asap:(asap_for ii) g ~order ~ii ~c_delay:cd
-          ~p_max ~c_reg_com
+        try_schedule_tallied tally ~asap:(asap_for ii) g ~order ~ii
+          ~c_delay:cd ~p_max ~c_reg_com
       in
       match res with
       | Ok _ -> res
@@ -355,8 +381,21 @@ let schedule ?(trace = Trace.null) ?(p_max = default_p_max) ?max_ii ~params g =
           go (entry :: rest) (k + 1)
       | Error _ -> res
     in
-    go order 0
+    (go order 0, tally)
   in
+  let timed_point ~ii ~cd =
+    let at0 = Unix.gettimeofday () in
+    let rt = try_point ~ii ~cd in
+    (rt, Unix.gettimeofday () -. at0)
+  in
+  (* Traced searches stay strictly sequential (the tracer is a single
+     shared sink and the "one event per attempt" contract depends on
+     walk order); otherwise grid points fan out on the resident pool. *)
+  let par = (not (Trace.enabled trace)) && Ts_base.Parallel.get_jobs () > 1 in
+  (* Speculation window: enough in-flight points to feed every worker,
+     small enough that a mid-chunk improvement of the incumbent wastes at
+     most one chunk of evaluations. *)
+  let spec_chunk = 2 * Ts_base.Parallel.get_jobs () in
   (* F-plateau walk: scan objective groups in ascending F.  After the
      first feasible point fixes F0, keep scanning until F exceeds
      F0 + default_f_slack, tie-breaking toward the lowest II seen so far
@@ -373,31 +412,74 @@ let schedule ?(trace = Trace.null) ?(p_max = default_p_max) ?max_ii ~params g =
           | None -> false
         in
         if not past_plateau then begin
-          List.iter
-            (fun (ii, cd) ->
-              let worth =
-                match !best with
-                | None -> true
-                | Some (bii, _, _, _) -> ii < bii
+          (* Speculative frontier, one chunk of points at a time: every
+             point of the chunk still below the incumbent best II at
+             chunk entry — a provable superset of the sequential walk's
+             attempts within the chunk, since the incumbent only
+             improves — is evaluated as a pool task ([try_point] is pure
+             given the shared read-only DDG, order and ASAP tables).  The
+             walk is then REPLAYED in sequential order, consuming a
+             precomputed outcome only when the point is still worth
+             attempting and discarding the rest unflushed, so counters,
+             trace events and the chosen kernel stay bit-identical to
+             [--jobs 1].  Chunking re-filters against the updated
+             incumbent between chunks, bounding wasted speculation to one
+             chunk per improvement. *)
+          let replay pre (ii, cd) =
+            let worth =
+              match !best with
+              | None -> true
+              | Some (bii, _, _, _) -> ii < bii
+            in
+            if worth then begin
+              incr attempts;
+              Metrics.incr m_attempts;
+              let (res, tally), dt =
+                match List.assoc_opt (ii, cd) pre with
+                | Some v -> v
+                | None -> timed_point ~ii ~cd
               in
-              if worth then begin
-                incr attempts;
-                Metrics.incr m_attempts;
-                let at0 = Unix.gettimeofday () in
-                let res = try_point ~ii ~cd in
-                Metrics.observe m_attempt_ms
-                  ((Unix.gettimeofday () -. at0) *. 1000.0);
-                match res with
-                | Ok kernel ->
-                    attempt_event trace ~base:"sms" ~ii ~c_delay:cd ~f
-                      ~reason:"scheduled" true;
-                    if !f0 = None then f0 := Some f;
-                    best := Some (ii, cd, f, kernel)
-                | Error rej ->
-                    attempt_event trace ~base:"sms" ~ii ~c_delay:cd ~f
-                      ~reason:(reject_reason rej) false
-              end)
-            points;
+              flush_tally tally;
+              Metrics.observe m_attempt_ms (dt *. 1000.0);
+              match res with
+              | Ok kernel ->
+                  attempt_event trace ~base:"sms" ~ii ~c_delay:cd ~f
+                    ~reason:"scheduled" true;
+                  if !f0 = None then f0 := Some f;
+                  best := Some (ii, cd, f, kernel)
+              | Error rej ->
+                  attempt_event trace ~base:"sms" ~ii ~c_delay:cd ~f
+                    ~reason:(reject_reason rej) false
+            end
+          in
+          let rec chunked = function
+            | [] -> ()
+            | points ->
+                let now, later = take_drop spec_chunk points in
+                let entry_bii =
+                  match !best with
+                  | None -> max_int
+                  | Some (bii, _, _, _) -> bii
+                in
+                let cands =
+                  List.filter (fun (ii, _) -> ii < entry_bii) now
+                in
+                let pre =
+                  if par && List.length cands >= 2 then begin
+                    (* ASAP tables live in a (single-domain) Hashtbl
+                       cache: fill it for the chunk's IIs before fanning
+                       out. *)
+                    List.iter (fun (ii, _) -> ignore (asap_for ii)) cands;
+                    Ts_base.Parallel.map
+                      (fun (ii, cd) -> ((ii, cd), timed_point ~ii ~cd))
+                      cands
+                  end
+                  else []
+                in
+                List.iter (replay pre) now;
+                chunked later
+          in
+          chunked points;
           walk rest
         end
   in

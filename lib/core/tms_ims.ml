@@ -64,6 +64,45 @@ let schedule ?(trace = Ts_obs.Trace.null) ?(p_max = Tms.default_p_max) ?max_ii
      (§7.9(a)).  IMS reports no blocking node, so there is no
      order-repair retry here — the plateau scan alone recovers the
      deeper-pipelining points. *)
+  (* One grid-point attempt: an IMS pass under the TMS admissibility
+     predicate, then a post-check.  Every placement passed [admissible],
+     but IMS eviction can retract decisions those checks relied on:
+     unscheduling the register dependence that preserved a speculative
+     memory dependence un-preserves it behind C2's back (and moving a
+     producer can likewise raise an already-checked sync past C_delay).
+     Re-derive both claims on the finished kernel and reject the grid
+     point if eviction broke them.  Pure given the shared read-only DDG
+     and per-II caches, so points can be evaluated speculatively on the
+     pool. *)
+  let timed_point ~ii ~cd =
+    let admissible s v ~cycle =
+      Tms.admissible s v ~cycle ~c_delay:cd ~p_max ~c_reg_com
+    in
+    let asap, prio = cached ii in
+    let at0 = Unix.gettimeofday () in
+    let res = Ts_sms.Ims.try_ii ~admissible ~asap ~prio g ~ii in
+    let dt = Unix.gettimeofday () -. at0 in
+    let res =
+      match res with
+      | Some kernel
+        when K.c_delay kernel ~c_reg_com <= cd
+             && Overheads.misspec_prob kernel ~c_reg_com <= p_max +. 1e-12 ->
+          Some kernel
+      | Some _ | None -> None
+    in
+    (res, dt)
+  in
+  let par =
+    (not (Ts_obs.Trace.enabled trace)) && Ts_base.Parallel.get_jobs () > 1
+  in
+  let spec_chunk = 2 * Ts_base.Parallel.get_jobs () in
+  let rec take_drop k = function
+    | [] -> ([], [])
+    | l when k <= 0 -> ([], l)
+    | x :: tl ->
+        let a, b = take_drop (k - 1) tl in
+        (x :: a, b)
+  in
   let f0 = ref None in
   let best = ref None in
   let rec walk = function
@@ -75,48 +114,63 @@ let schedule ?(trace = Ts_obs.Trace.null) ?(p_max = Tms.default_p_max) ?max_ii
           | None -> false
         in
         if not past_plateau then begin
-          List.iter
-            (fun (ii, cd) ->
-              let worth =
-                match !best with
-                | None -> true
-                | Some (bii, _, _, _) -> ii < bii
+          (* Speculative frontier, chunked as in [Tms.schedule]: evaluate
+             each chunk's points still below the incumbent best II at
+             chunk entry as pool tasks (a superset of the sequential
+             walk's attempts within the chunk), then replay the walk in
+             order, consuming outcomes only for points still worth
+             attempting — counters and the chosen kernel stay
+             bit-identical to [--jobs 1]. *)
+          let replay pre (ii, cd) =
+            let worth =
+              match !best with
+              | None -> true
+              | Some (bii, _, _, _) -> ii < bii
+            in
+            if worth then begin
+              incr attempts;
+              let res, dt =
+                match List.assoc_opt (ii, cd) pre with
+                | Some v -> v
+                | None -> timed_point ~ii ~cd
               in
-              if worth then begin
-                incr attempts;
-                let admissible s v ~cycle =
-                  Tms.admissible s v ~cycle ~c_delay:cd ~p_max ~c_reg_com
+              Ts_obs.Metrics.observe m_attempt_ms (dt *. 1000.0);
+              Tms.attempt_event trace ~base:"ims" ~ii ~c_delay:cd ~f
+                (res <> None);
+              match res with
+              | Some kernel ->
+                  if !f0 = None then f0 := Some f;
+                  best := Some (ii, cd, f, kernel)
+              | None -> ()
+            end
+          in
+          let rec chunked = function
+            | [] -> ()
+            | points ->
+                let now, later = take_drop spec_chunk points in
+                let entry_bii =
+                  match !best with
+                  | None -> max_int
+                  | Some (bii, _, _, _) -> bii
                 in
-                let asap, prio = cached ii in
-                let at0 = Unix.gettimeofday () in
-                let res = Ts_sms.Ims.try_ii ~admissible ~asap ~prio g ~ii in
-                Ts_obs.Metrics.observe m_attempt_ms
-                  ((Unix.gettimeofday () -. at0) *. 1000.0);
-                (* Every placement passed [admissible], but IMS eviction can
-                   retract decisions those checks relied on: unscheduling the
-                   register dependence that preserved a speculative memory
-                   dependence un-preserves it behind C2's back (and moving a
-                   producer can likewise raise an already-checked sync past
-                   C_delay). Re-derive both claims on the finished kernel and
-                   reject the grid point if eviction broke them. *)
-                let res =
-                  match res with
-                  | Some kernel
-                    when K.c_delay kernel ~c_reg_com <= cd
-                         && Overheads.misspec_prob kernel ~c_reg_com
-                            <= p_max +. 1e-12 ->
-                      Some kernel
-                  | Some _ | None -> None
+                let cands =
+                  List.filter (fun (ii, _) -> ii < entry_bii) now
                 in
-                Tms.attempt_event trace ~base:"ims" ~ii ~c_delay:cd ~f
-                  (res <> None);
-                match res with
-                | Some kernel ->
-                    if !f0 = None then f0 := Some f;
-                    best := Some (ii, cd, f, kernel)
-                | None -> ()
-              end)
-            points;
+                let pre =
+                  if par && List.length cands >= 2 then begin
+                    (* The per-II cache Hashtbl is single-domain: fill it
+                       for the chunk's IIs before fanning out. *)
+                    List.iter (fun (ii, _) -> ignore (cached ii)) cands;
+                    Ts_base.Parallel.map
+                      (fun (ii, cd) -> ((ii, cd), timed_point ~ii ~cd))
+                      cands
+                  end
+                  else []
+                in
+                List.iter (replay pre) now;
+                chunked later
+          in
+          chunked points;
           walk rest
         end
   in

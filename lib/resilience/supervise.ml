@@ -27,32 +27,39 @@ let m_deadline =
 let backoff_delays_ms policy =
   List.init (max 0 policy.max_retries) (fun k -> policy.backoff_ms * (1 lsl k))
 
-(* One task: up to [1 + max_retries] attempts, a Fault check before each
-   (so injected task faults can target a specific attempt), the soft
-   deadline measured around the attempt — injected [Slow] time
-   included. *)
+(* One attempt: a Fault check before it (so injected task faults can
+   target a specific attempt) and the soft deadline measured around it —
+   injected [Slow] time included. *)
+let one_attempt ~policy ~point ~label ~index ~attempt f x =
+  match
+    let t0 = Unix.gettimeofday () in
+    (match Fault.check_task point ~index ~attempt with
+    | None -> ()
+    | Some (Fault.Exn | Fault.Torn) -> raise (Fault.Injected point)
+    | Some (Fault.Slow ms) -> Fault.sleep (float_of_int ms /. 1000.0));
+    let v = f x in
+    (match policy.deadline_ms with
+    | Some d when (Unix.gettimeofday () -. t0) *. 1000.0 > float_of_int d ->
+        Ts_obs.Metrics.incr m_deadline;
+        Warn.once
+          ~key:("supervise.deadline:" ^ label)
+          (Printf.sprintf
+             "task %s exceeded its %d ms deadline (completed; result kept)"
+             label d)
+    | _ -> ());
+    v
+  with
+  | v -> Ok v
+  | exception e -> Error e
+
+(* One task, inline: up to [1 + max_retries] attempts with exponential
+   backoff, all on the calling worker.  [sweep_map] uses the wave-based
+   pool resubmission below instead. *)
 let attempt_task ~policy ~point ~label ~index f x =
   let rec go attempt =
-    match
-      let t0 = Unix.gettimeofday () in
-      (match Fault.check_task point ~index ~attempt with
-      | None -> ()
-      | Some (Fault.Exn | Fault.Torn) -> raise (Fault.Injected point)
-      | Some (Fault.Slow ms) -> Fault.sleep (float_of_int ms /. 1000.0));
-      let v = f x in
-      (match policy.deadline_ms with
-      | Some d when (Unix.gettimeofday () -. t0) *. 1000.0 > float_of_int d ->
-          Ts_obs.Metrics.incr m_deadline;
-          Warn.once
-            ~key:("supervise.deadline:" ^ label)
-            (Printf.sprintf
-               "task %s exceeded its %d ms deadline (completed; result kept)"
-               label d)
-      | _ -> ());
-      v
-    with
-    | v -> Ok v
-    | exception e ->
+    match one_attempt ~policy ~point ~label ~index ~attempt f x with
+    | Ok v -> Ok v
+    | Error e ->
         if attempt <= policy.max_retries then begin
           Ts_obs.Metrics.incr m_retries;
           Fault.sleep
@@ -101,22 +108,72 @@ let reset_failures () =
   recorded := [];
   Mutex.unlock recorded_lock
 
+(* Sweep retries ride the pool as resubmission waves: a failed attempt
+   does not hold its worker through a backoff-and-retry loop.  Wave 1
+   attempts every item; each failure with retries remaining becomes a
+   fresh pool task in the next wave, which sleeps its own backoff before
+   re-running — so surviving items keep the workers busy while
+   stragglers back off.  Attempt numbering, backoff values, metric
+   totals and the [(index, attempt)] fault-injection keys are identical
+   to the inline loop in [attempt_task]. *)
 let sweep_map ?jobs ~what ~label f xs =
   let policy = policy () in
-  let progress = Ts_obs.Progress.start ~what ~total:(List.length xs) in
-  let results =
-    Ts_base.Parallel.map ?jobs
-      (fun (i, x) ->
-        let r =
-          attempt_task ~policy ~point:"worker"
-            ~label:(what ^ "/" ^ label i x)
-            ~index:i f x
-        in
-        Ts_obs.Progress.step progress;
-        r)
-      (List.mapi (fun i x -> (i, x)) xs)
+  let items = Array.of_list xs in
+  let n = Array.length items in
+  let progress = Ts_obs.Progress.start ~what ~total:n in
+  let results = Array.make n None in
+  let rec waves pending =
+    if pending <> [] then begin
+      let outcomes =
+        Ts_base.Parallel.map ?jobs
+          (fun (i, attempt) ->
+            (* The backoff before attempt [k] belongs to the retry's own
+               task, not to the worker that ran attempt [k - 1]. *)
+            if attempt > 1 then
+              Fault.sleep
+                (float_of_int (policy.backoff_ms * (1 lsl (attempt - 2)))
+                /. 1000.0);
+            one_attempt ~policy ~point:"worker"
+              ~label:(what ^ "/" ^ label i items.(i))
+              ~index:i ~attempt f
+              items.(i))
+          pending
+      in
+      let next =
+        List.filter_map
+          (fun ((i, attempt), r) ->
+            match r with
+            | Ok v ->
+                results.(i) <- Some (Ok v);
+                Ts_obs.Progress.step progress;
+                None
+            | Error _ when attempt <= policy.max_retries ->
+                Ts_obs.Metrics.incr m_retries;
+                Some (i, attempt + 1)
+            | Error e ->
+                Ts_obs.Metrics.incr m_failures;
+                results.(i) <-
+                  Some
+                    (Error
+                       {
+                         index = i;
+                         label = what ^ "/" ^ label i items.(i);
+                         attempts = attempt;
+                         error = Printexc.to_string e;
+                       });
+                Ts_obs.Progress.step progress;
+                None)
+          (List.combine pending outcomes)
+      in
+      waves next
+    end
   in
+  waves (List.init n (fun i -> (i, 1)));
   Ts_obs.Progress.finish progress;
+  let results =
+    Array.to_list
+      (Array.map (function Some r -> r | None -> assert false) results)
+  in
   let fails =
     List.filter_map (function Error f -> Some f | Ok _ -> None) results
   in

@@ -1,4 +1,4 @@
-(* Stats, Intmath and Tablefmt. *)
+(* Stats, Intmath, Tablefmt and the Parallel/Pool engine. *)
 
 let feq = Alcotest.(check (float 1e-9))
 let check_int = Alcotest.(check int)
@@ -123,6 +123,111 @@ let test_cells () =
   Alcotest.(check string) "f2" "1.46" (Ts_base.Tablefmt.cell_f2 1.456);
   Alcotest.(check string) "pct" "12.5%" (Ts_base.Tablefmt.cell_pct 12.49)
 
+(* --- Parallel / Pool --- *)
+
+(* Variable-length pure work keyed on the input, so task completion order
+   (and hence steal order) varies run to run while the value is fixed. *)
+let spin seed =
+  let rounds = 500 + (seed * 7919 mod 4000) in
+  let x = ref seed in
+  for _ = 1 to rounds do
+    x := ((!x * 1103515245) + 12345) land 0x3FFFFFFF
+  done;
+  !x
+
+(* Depth-3 map-inside-map: inner maps ride the pool help-first instead of
+   spawning, so the resident domain count must not grow past the batch
+   size no matter how deep the nesting. *)
+let test_pool_nested () =
+  let bound = max (Ts_base.Pool.size_now ()) 4 in
+  let expected =
+    List.init 6 (fun a ->
+        List.init 5 (fun b ->
+            List.init 4 (fun c -> spin ((a * 100) + (b * 10) + c))))
+  in
+  let got =
+    Ts_base.Parallel.map ~jobs:4
+      (fun a ->
+        Ts_base.Parallel.map ~jobs:4
+          (fun b ->
+            Ts_base.Parallel.map ~jobs:4
+              (fun c -> spin ((a * 100) + (b * 10) + c))
+              (List.init 4 Fun.id))
+          (List.init 5 Fun.id))
+      (List.init 6 Fun.id)
+  in
+  Alcotest.(check bool) "depth-3 nested results" true (got = expected);
+  Alcotest.(check bool) "no domain explosion" true
+    (Ts_base.Pool.size_now () <= bound)
+
+(* Whatever order thieves drain the deques in, results come back in input
+   order with input-indexed values. *)
+let test_pool_steal_determinism () =
+  let items = List.init 40 Fun.id in
+  let expected = List.map spin items in
+  for _ = 1 to 5 do
+    let got = Ts_base.Parallel.map ~jobs:4 spin items in
+    Alcotest.(check bool) "deterministic result order" true (got = expected)
+  done
+
+(* Failure indices refer to input positions, not execution order: under
+   stealing the failing tasks finish in arbitrary order, but Map_errors
+   must list them ascending and identically to the sequential path. *)
+let test_pool_map_errors_fidelity () =
+  let f i =
+    ignore (spin i);
+    if i mod 7 = 3 then failwith (Printf.sprintf "boom-%d" i) else i * i
+  in
+  let items = List.init 50 Fun.id in
+  let run jobs =
+    match Ts_base.Parallel.map ~jobs f items with
+    | _ -> Alcotest.fail "expected Map_errors"
+    | exception Ts_base.Parallel.Map_errors fs ->
+        List.map (fun (i, e) -> (i, Printexc.to_string e)) fs
+  in
+  let seq = run 1 in
+  let par = run 4 in
+  Alcotest.(check bool) "identical failures at jobs 1 and 4" true (seq = par);
+  Alcotest.(check (list int)) "ascending input indices"
+    [ 3; 10; 17; 24; 31; 38; 45 ]
+    (List.map fst par)
+
+(* Worker_exit must cover every pool slot, including workers that ran
+   zero tasks of the batch — a 2-item batch on a 4-worker pool leaves
+   idle slots, and utilization metrics need to see them. *)
+let test_pool_worker_exit_zero () =
+  let saved = Ts_base.Parallel.get_observer () in
+  let lock = Mutex.create () in
+  let exits = ref [] in
+  Ts_base.Parallel.set_observer
+    (Some
+       (function
+         | Ts_base.Parallel.Worker_exit { worker; tasks; _ } ->
+             Mutex.lock lock;
+             exits := (worker, tasks) :: !exits;
+             Mutex.unlock lock
+         | _ -> ()));
+  let r = Ts_base.Parallel.map ~jobs:4 (fun x -> x + 1) [ 1; 2 ] in
+  Ts_base.Parallel.set_observer saved;
+  Alcotest.(check (list int)) "results" [ 2; 3 ] r;
+  let exits = !exits in
+  let total = List.fold_left (fun a (_, t) -> a + t) 0 exits in
+  check_int "task accounting sums to n" 2 total;
+  check_int "one exit per pool slot (caller included)"
+    (Ts_base.Pool.size_now () + 1)
+    (List.length exits);
+  Alcotest.(check bool) "zero-task workers reported" true
+    (List.exists (fun (_, t) -> t = 0) exits)
+
+let test_pool_futures () =
+  let futs = List.init 10 (fun i -> Ts_base.Pool.submit (fun () -> spin i)) in
+  Alcotest.(check (list int)) "futures resolve in submission order"
+    (List.init 10 spin)
+    (List.map Ts_base.Pool.await futs);
+  let bad = Ts_base.Pool.submit (fun () -> failwith "nope") in
+  Alcotest.check_raises "await re-raises" (Failure "nope") (fun () ->
+      ignore (Ts_base.Pool.await bad))
+
 let suite =
   [
     Alcotest.test_case "stats: mean" `Quick test_mean;
@@ -142,4 +247,13 @@ let suite =
     Alcotest.test_case "tablefmt: arity check" `Quick test_table_mismatch;
     Alcotest.test_case "tablefmt: title" `Quick test_table_title;
     Alcotest.test_case "tablefmt: cell formatters" `Quick test_cells;
+    Alcotest.test_case "pool: nested maps, no domain explosion" `Quick
+      test_pool_nested;
+    Alcotest.test_case "pool: steal order vs result order" `Quick
+      test_pool_steal_determinism;
+    Alcotest.test_case "pool: Map_errors index fidelity" `Quick
+      test_pool_map_errors_fidelity;
+    Alcotest.test_case "pool: zero-task Worker_exit" `Quick
+      test_pool_worker_exit_zero;
+    Alcotest.test_case "pool: futures submit/await" `Quick test_pool_futures;
   ]
