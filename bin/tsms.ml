@@ -7,7 +7,9 @@
      dot         emit Graphviz for a .ddg loop
      suite       print scheduling statistics for a synthetic benchmark
      check       differential-fuzz the schedulers, checker and simulator
-     experiments regenerate the paper's tables and figures *)
+     experiments regenerate the paper's tables and figures
+     serve       long-running scheduler-as-a-service daemon (ts_serve)
+     client      send one request to a running serve daemon *)
 
 open Cmdliner
 
@@ -667,7 +669,276 @@ let experiments_cmd =
       $ no_cache_arg $ resume_arg $ keep_going_arg $ max_retries_arg
       $ task_timeout_arg $ fault_plan_arg $ obs_term)
 
+(* --- serve / client ------------------------------------------------- *)
+
+let default_listen = "tcp:127.0.0.1:7433"
+
+let addr_conv what s =
+  match Ts_serve.Server.addr_of_string s with
+  | Ok a -> a
+  | Error msg ->
+      prerr_endline (Printf.sprintf "tsms: %s: %s" what msg);
+      exit 1
+
+let serve_cmd =
+  let listen_arg =
+    let doc =
+      "Address to listen on: $(b,unix:PATH), $(b,tcp:HOST:PORT), \
+       $(b,HOST:PORT) or a bare port number (loopback). Port 0 binds an \
+       ephemeral port and prints it."
+    in
+    Arg.(value & opt string default_listen & info [ "listen" ] ~docv:"ADDR" ~doc)
+  in
+  let max_inflight_arg =
+    let doc =
+      "Compute requests executing concurrently on the worker pool. 0 \
+       (the default) means the pool's job count ($(b,--jobs))."
+    in
+    Arg.(value & opt int 0 & info [ "max-inflight" ] ~docv:"N" ~doc)
+  in
+  let queue_depth_arg =
+    let doc =
+      "Requests allowed to wait beyond $(b,--max-inflight); anything \
+       past that is answered immediately with a $(b,shed_load) error."
+    in
+    Arg.(value & opt int 64 & info [ "queue-depth" ] ~docv:"N" ~doc)
+  in
+  let lru_entries_arg =
+    let doc =
+      "Capacity (entries) of the in-memory LRU in front of the on-disk \
+       result cache; repeat requests are served without touching the \
+       filesystem. 0 disables it."
+    in
+    Arg.(value & opt int 256 & info [ "lru-entries" ] ~docv:"N" ~doc)
+  in
+  let run jobs listen max_inflight queue_depth lru_entries cache_dir no_cache
+      keep_going max_retries task_timeout fault_plan obs =
+    apply_jobs jobs;
+    apply_obs obs;
+    apply_cache ~no_cache ~dir:cache_dir ~resume:false;
+    apply_resil ~keep_going ~max_retries ~task_timeout ~fault_plan;
+    Ts_harness.Cached.set_lru (if lru_entries > 0 then Some lru_entries else None);
+    let addr = addr_conv "--listen" listen in
+    let cfg = Ts_serve.Server.default_config addr in
+    let cfg =
+      {
+        cfg with
+        Ts_serve.Server.queue_depth;
+        max_inflight =
+          (if max_inflight > 0 then max_inflight
+           else cfg.Ts_serve.Server.max_inflight);
+      }
+    in
+    let t =
+      match Ts_serve.Server.create cfg with
+      | t -> t
+      | exception Unix.Unix_error (e, fn, arg) ->
+          prerr_endline
+            (Printf.sprintf "tsms: cannot listen on %s: %s (%s %s)" listen
+               (Unix.error_message e) fn arg);
+          exit 1
+      | exception Invalid_argument msg ->
+          prerr_endline ("tsms: " ^ msg);
+          exit 1
+    in
+    let stop _ = Ts_serve.Server.stop t in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+    Printf.printf "tsms: serving on %s (max-inflight %d, queue-depth %d, lru %d)\n%!"
+      (Ts_serve.Server.addr_to_string (Ts_serve.Server.bound_addr t))
+      cfg.Ts_serve.Server.max_inflight queue_depth lru_entries;
+    Ts_serve.Server.run t;
+    prerr_endline "tsms: serve: shut down cleanly";
+    dump_obs obs
+  in
+  let doc =
+    "Run the scheduler as a long-lived daemon: schedule/simulate requests \
+     over a length-prefixed JSON socket protocol, executed on the resident \
+     worker pool behind admission control, with the LRU + on-disk cache \
+     tier shared across requests (see also $(b,tsms client))."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ jobs_arg $ listen_arg $ max_inflight_arg $ queue_depth_arg
+      $ lru_entries_arg $ cache_dir_arg $ no_cache_arg $ keep_going_arg
+      $ max_retries_arg $ task_timeout_arg $ fault_plan_arg $ obs_term)
+
+let client_cmd =
+  let connect_arg =
+    let doc = "Server address (same forms as $(b,tsms serve --listen))." in
+    Arg.(value & opt string default_listen & info [ "connect" ] ~docv:"ADDR" ~doc)
+  in
+  let op_arg =
+    let ops =
+      [ ("schedule", `Schedule); ("simulate", `Simulate); ("metrics", `Metrics);
+        ("health", `Health); ("ping", `Ping) ]
+    in
+    let doc = "Operation: schedule, simulate, metrics, health or ping." in
+    Arg.(required & pos 0 (some (enum ops)) None & info [] ~docv:"OP" ~doc)
+  in
+  let loop_opt_arg =
+    let doc = "Loop (.ddg) for schedule/simulate requests." in
+    Arg.(value & pos 1 (some file) None & info [] ~docv:"LOOP.ddg" ~doc)
+  in
+  let trip_arg =
+    Arg.(value & opt int 2000 & info [ "trip" ] ~docv:"N" ~doc:"Iterations to simulate.")
+  in
+  let warmup_arg =
+    Arg.(value & opt int 512
+         & info [ "warmup" ] ~docv:"N" ~doc:"Warmup iterations excluded from the numbers.")
+  in
+  let req_retries_arg =
+    let doc = "Per-request retry override sent to the server." in
+    Arg.(value & opt (some int) None & info [ "max-retries" ] ~docv:"N" ~doc)
+  in
+  let deadline_arg =
+    let doc = "Per-request soft deadline (ms) sent to the server." in
+    Arg.(value & opt (some int) None & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+  in
+  let raw_arg =
+    let doc = "Print the raw JSON response instead of rendering it." in
+    Arg.(value & flag & info [ "raw" ] ~doc)
+  in
+  let jfloat j name =
+    (* Prefer the %h copy (exact) over the JSON float (%.12g). *)
+    match Option.bind (Ts_obs.Json.member (name ^ "_hex") j) Ts_obs.Json.to_str with
+    | Some s -> ( try Some (float_of_string s) with Failure _ -> None)
+    | None -> (
+        match Ts_obs.Json.member name j with
+        | Some (Ts_obs.Json.Float f) -> Some f
+        | Some (Ts_obs.Json.Int i) -> Some (float_of_int i)
+        | _ -> None)
+  in
+  let jint j name = Option.bind (Ts_obs.Json.member name j) Ts_obs.Json.to_int in
+  let need what = function
+    | Some v -> v
+    | None ->
+        prerr_endline ("tsms: client: server response is missing " ^ what);
+        exit 1
+  in
+  (* Rebuild the kernel from the response's (ii, time) against the same
+     locally parsed loop and print it through the same pretty-printer as
+     [tsms schedule] — the e2e check compares the two outputs byte for
+     byte. [Kernel.of_times] revalidates every dependence constraint, so
+     a server/client mismatch fails loudly here. *)
+  let render_schedule g ~c_reg_com resp =
+    let kj = need "kernel" (Ts_obs.Json.member "kernel" resp) in
+    let ii = need "kernel.ii" (jint kj "ii") in
+    let time =
+      match Ts_obs.Json.member "time" kj with
+      | Some (Ts_obs.Json.List xs) ->
+          Array.of_list (List.map (fun x -> need "kernel.time" (Ts_obs.Json.to_int x)) xs)
+      | _ ->
+          prerr_endline "tsms: client: server response is missing kernel.time";
+          exit 1
+    in
+    let k = or_invalid (fun () -> Ts_modsched.Kernel.of_times g ~ii time) in
+    print_kernel "TMS" k ~c_reg_com;
+    let sj = need "search" (Ts_obs.Json.member "search" resp) in
+    Printf.printf
+      "TMS search: P_max=%g, F_min=%.2f, threshold C_delay=%d, misspec P_M=%.4f, %d attempts%s\n"
+      (need "search.p_max" (jfloat sj "p_max"))
+      (need "search.f_min" (jfloat sj "f_min"))
+      (need "search.c_delay_threshold" (jint sj "c_delay_threshold"))
+      (need "search.misspec" (jfloat sj "misspec"))
+      (need "search.attempts" (jint sj "attempts"))
+      (match Ts_obs.Json.member "fell_back" sj with
+      | Some (Ts_obs.Json.Bool true) -> " (fell back to SMS)"
+      | _ -> "")
+  in
+  let render_simulate ~trip resp =
+    let stj = need "stats" (Ts_obs.Json.member "stats" resp) in
+    Printf.printf
+      "TMS    %8d cycles (%6.2f/iter)  sync stalls %7d  SEND/RECV %6d  squashes %4d (%.3f%%)\n"
+      (need "stats.cycles" (jint stj "cycles"))
+      (float_of_int (need "stats.cycles" (jint stj "cycles")) /. float_of_int trip)
+      (need "stats.sync_stall_cycles" (jint stj "sync_stall_cycles"))
+      (need "stats.send_recv_pairs" (jint stj "send_recv_pairs"))
+      (need "stats.squashes" (jint stj "squashes"))
+      (need "stats.misspec_rate" (jfloat stj "misspec_rate") *. 100.0)
+  in
+  let run connect op loop ncore p_max unroll trip warmup req_retries deadline raw =
+    let addr = addr_conv "--connect" connect in
+    let need_loop () =
+      match loop with
+      | Some l -> l
+      | None ->
+          prerr_endline "tsms: client: schedule and simulate need a LOOP.ddg";
+          exit 1
+    in
+    let read_text path =
+      try In_channel.with_open_text path In_channel.input_all
+      with Sys_error msg ->
+        prerr_endline ("tsms: " ^ msg);
+        exit 1
+    in
+    let op_v =
+      match op with
+      | `Schedule ->
+          Ts_serve.Protocol.Schedule
+            { Ts_serve.Protocol.ddg = read_text (need_loop ()); cores = ncore; p_max; unroll }
+      | `Simulate ->
+          Ts_serve.Protocol.Simulate
+            { Ts_serve.Protocol.s_ddg = read_text (need_loop ()); s_cores = ncore; trip; warmup }
+      | `Metrics -> Ts_serve.Protocol.Metrics
+      | `Health -> Ts_serve.Protocol.Health
+      | `Ping -> Ts_serve.Protocol.Ping
+    in
+    let req =
+      { Ts_serve.Protocol.id = 1; op = op_v; max_retries = req_retries;
+        deadline_ms = deadline }
+    in
+    match Ts_serve.Client.round_trip addr req with
+    | Error msg ->
+        prerr_endline ("tsms: client: " ^ msg);
+        exit 1
+    | Ok resp -> (
+        if raw then print_endline (Ts_obs.Json.to_string resp);
+        if not (Ts_serve.Protocol.response_ok resp) then begin
+          (match Ts_serve.Protocol.response_error resp with
+          | Some (code, msg) ->
+              prerr_endline (Printf.sprintf "tsms: server error [%s]: %s" code msg)
+          | None -> prerr_endline "tsms: client: malformed server response");
+          (* Shed load is backpressure, not failure: a distinct status so
+             scripts (and the CI flood check) can tell the two apart. *)
+          exit
+            (match Ts_serve.Protocol.response_error resp with
+            | Some ("shed_load", _) -> 75
+            | _ -> 1)
+        end
+        else if not raw then
+          match op with
+          | `Ping -> print_endline "pong"
+          | `Health -> print_endline (Ts_obs.Json.to_string resp)
+          | `Metrics ->
+              print_string
+                (Option.value ~default:""
+                   (Option.bind (Ts_obs.Json.member "prom" resp) Ts_obs.Json.to_str))
+          | `Schedule ->
+              let g = or_die (read_loop (need_loop ())) in
+              let g = if unroll > 1 then Ts_ddg.Unroll.by g ~factor:unroll else g in
+              let params =
+                Ts_isa.Spmt_params.with_ncore Ts_isa.Spmt_params.default ncore
+              in
+              render_schedule g ~c_reg_com:params.Ts_isa.Spmt_params.c_reg_com resp
+          | `Simulate -> render_simulate ~trip resp)
+  in
+  let doc =
+    "Send one request to a running $(b,tsms serve) daemon and render the \
+     response. For $(b,schedule), the kernel is rebuilt locally from the \
+     response and printed exactly as $(b,tsms schedule) would print it."
+  in
+  Cmd.v (Cmd.info "client" ~doc)
+    Term.(
+      const run $ connect_arg $ op_arg $ loop_opt_arg $ ncore_arg $ p_max_arg
+      $ unroll_arg $ trip_arg $ warmup_arg $ req_retries_arg $ deadline_arg
+      $ raw_arg)
+
 let () =
   let doc = "thread-sensitive modulo scheduling for SpMT multicores (ICPP'08 reproduction)" in
   let info = Cmd.info "tsms" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ schedule_cmd; simulate_cmd; compare_cmd; dot_cmd; suite_cmd; check_cmd; experiments_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ schedule_cmd; simulate_cmd; compare_cmd; dot_cmd; suite_cmd;
+            check_cmd; experiments_cmd; serve_cmd; client_cmd ]))

@@ -8,6 +8,35 @@ let get_store () = !store
 let set_resume b = resume := b
 let get_resume () = !resume
 
+(* ---- in-memory LRU front ----
+
+   A size-bounded LRU of marshalled plain projections sits in front of
+   the on-disk store: a repeat request under the serve daemon (or a
+   repeated loop inside one sweep) is answered without touching the
+   filesystem at all — no [persist.read_ms] observation, just an
+   [lru.hits] increment. Values are kept marshalled (the same bytes the
+   store would hold) so the cache is type-agnostic and every hit still
+   goes through the validating [of_plain] reconstruction. *)
+
+let lru : string Ts_persist.Lru.t option Atomic.t = Atomic.make None
+
+let set_lru = function
+  | Some n when n > 0 ->
+      Atomic.set lru
+        (Some (Ts_persist.Lru.create ~metrics_prefix:"lru" ~capacity:n ()))
+  | Some _ | None -> Atomic.set lru None
+
+let get_lru () =
+  match Atomic.get lru with
+  | None -> None
+  | Some l -> Some (Ts_persist.Lru.capacity l)
+
+let lru_find k =
+  match Atomic.get lru with None -> None | Some l -> Ts_persist.Lru.find l k
+
+let lru_put k s =
+  match Atomic.get lru with None -> () | Some l -> Ts_persist.Lru.put l k s
+
 (* ---- fingerprints ---- *)
 
 (* A DDG's machine record holds a closure, so serialise its scalar fields
@@ -128,25 +157,47 @@ let m_reconstruct_failed =
 
 let cached ?(span = "cached.driver") ~key:k ~to_plain ~of_plain f =
   Ts_obs.Prof.span span @@ fun () ->
-  match !store with
-  | None -> f ()
-  | Some s -> (
-      match Ts_persist.find s ~key:k with
-      | Some p -> (
-          match
-            Ts_resil.Fault.guard "cached.reconstruct";
-            of_plain p
-          with
-          | v -> v
-          | exception _ ->
-              Ts_obs.Metrics.incr m_reconstruct_failed;
-              let v = f () in
-              Ts_persist.store s ~key:k (to_plain v);
-              v)
+  let from_lru =
+    match lru_find k with
+    | None -> None
+    | Some s -> (
+        match of_plain (Marshal.from_string s 0) with
+        | v -> Some v
+        | exception _ ->
+            (* A poisoned in-memory entry falls through to the store /
+               recompute path, same as a stale disk entry. *)
+            Ts_obs.Metrics.incr m_reconstruct_failed;
+            None)
+  in
+  match from_lru with
+  | Some v -> v
+  | None -> (
+      match !store with
       | None ->
           let v = f () in
-          Ts_persist.store s ~key:k (to_plain v);
-          v)
+          lru_put k (Marshal.to_string (to_plain v) []);
+          v
+      | Some s -> (
+          match Ts_persist.find s ~key:k with
+          | Some p -> (
+              match
+                Ts_resil.Fault.guard "cached.reconstruct";
+                of_plain p
+              with
+              | v ->
+                  lru_put k (Marshal.to_string p []);
+                  v
+              | exception _ ->
+                  Ts_obs.Metrics.incr m_reconstruct_failed;
+                  let v = f () in
+                  Ts_persist.store s ~key:k (to_plain v);
+                  lru_put k (Marshal.to_string (to_plain v) []);
+                  v)
+          | None ->
+              let v = f () in
+              Ts_persist.store s ~key:k (to_plain v);
+              lru_put k (Marshal.to_string (to_plain v) []);
+              v))
 
 let sms g =
   cached ~span:"cached.sms"
@@ -188,7 +239,23 @@ let tms_ims ~params g =
     ~of_plain:(tms_of_plain g)
     (fun () -> Ts_tms.Tms_ims.schedule ~params g)
 
-(* Simulator stats are plain records: no projection needed. *)
+(* Simulator stats are plain records: no projection needed, so the LRU
+   front wraps the persist memo directly. *)
+let lru_memo ~key:k f =
+  let compute () =
+    let v = f () in
+    lru_put k (Marshal.to_string v []);
+    v
+  in
+  match lru_find k with
+  | None -> compute ()
+  | Some s -> (
+      match Marshal.from_string s 0 with
+      | v -> v
+      | exception _ ->
+          Ts_obs.Metrics.incr m_reconstruct_failed;
+          compute ())
+
 let sim ?(sync_mem = false) ?seed ?(warmup = 0) ?(fast = true) cfg (k : K.t)
     ~trip =
   let g = k.K.g in
@@ -206,8 +273,9 @@ let sim ?(sync_mem = false) ?seed ?(warmup = 0) ?(fast = true) cfg (k : K.t)
       ]
   in
   Ts_obs.Prof.span "cached.sim" @@ fun () ->
-  Ts_persist.memo !store ~key:k' (fun () ->
-      Ts_spmt.Sim.run ~seed ~sync_mem ~warmup ~fast cfg k ~trip)
+  lru_memo ~key:k' (fun () ->
+      Ts_persist.memo !store ~key:k' (fun () ->
+          Ts_spmt.Sim.run ~seed ~sync_mem ~warmup ~fast cfg k ~trip))
 
 let sim_single ?seed ?(warmup = 0) cfg g ~trip =
   let seed = match seed with Some s -> s | None -> g.Ts_ddg.Ddg.name in
@@ -216,8 +284,9 @@ let sim_single ?seed ?(warmup = 0) cfg g ~trip =
       [ cfg_fp cfg; ddg_fp g; seed; string_of_int warmup; string_of_int trip ]
   in
   Ts_obs.Prof.span "cached.sim_single" @@ fun () ->
-  Ts_persist.memo !store ~key:k' (fun () ->
-      Ts_spmt.Single.run ~seed ~warmup cfg g ~trip)
+  lru_memo ~key:k' (fun () ->
+      Ts_persist.memo !store ~key:k' (fun () ->
+          Ts_spmt.Single.run ~seed ~warmup cfg g ~trip))
 
 (* ---- journals ---- *)
 

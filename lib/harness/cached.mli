@@ -36,6 +36,17 @@ val set_resume : bool -> unit
 
 val get_resume : unit -> bool
 
+val set_lru : int option -> unit
+(** Install an in-memory LRU front of the given capacity (entries) ahead
+    of the store — a repeat lookup is answered without touching the
+    filesystem. [None] or a non-positive capacity disables it (the
+    default). Works with or without a persist store; safe to call from
+    any domain (hits/misses/evictions are exposed as [lru.*] metrics).
+    Calling it again replaces the cache with an empty one. *)
+
+val get_lru : unit -> int option
+(** The installed LRU's capacity, if one is installed. *)
+
 (** {2 Fingerprints and keys} *)
 
 val ddg_fp : Ts_ddg.Ddg.t -> string

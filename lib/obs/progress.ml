@@ -13,9 +13,14 @@ let set_enabled b = Atomic.set enabled_flag b
 let enabled () = Atomic.get enabled_flag
 
 (* Injectable sink and throttle so tests can capture lines and drop the
-   rate limit. Default: one line per second to stderr. *)
-let sink : (string -> unit) ref = ref prerr_endline
-let set_sink = function Some f -> sink := f | None -> sink := prerr_endline
+   rate limit. Default: one line per second to stderr. Atomic, not a
+   plain ref: workers read it from their own domains while a test (or
+   the server) swaps it. *)
+let sink : (string -> unit) Atomic.t = Atomic.make prerr_endline
+
+let set_sink = function
+  | Some f -> Atomic.set sink f
+  | None -> Atomic.set sink prerr_endline
 let min_interval = Atomic.make 1.0
 
 let set_min_interval s =
@@ -56,8 +61,16 @@ let start ~what ~total =
 
 let line t ~done_ ~now =
   let elapsed = now -. t.t0 in
+  (* [total <= 0] means the sweep is open-ended (a server's request
+     stream): there is no "x/y" fraction and no ETA to extrapolate.
+     A known total that has been overshot (double-counted steps) must
+     clamp rather than print a negative ETA. *)
+  let progress =
+    if t.total <= 0 then Printf.sprintf "%d done" done_
+    else Printf.sprintf "%d/%d done" (min done_ t.total) t.total
+  in
   let eta =
-    if done_ > 0 && t.total > done_ then
+    if t.total > 0 && done_ > 0 && t.total > done_ then
       Printf.sprintf "%.1fs" (elapsed /. float_of_int done_ *. float_of_int (t.total - done_))
     else "-"
   in
@@ -69,8 +82,8 @@ let line t ~done_ ~now =
   in
   let retries = cv "supervise.retries" - t.retries0 in
   let failures = cv "supervise.failures" - t.failures0 in
-  Printf.sprintf "[%s] %d/%d done, elapsed %.1fs, eta %s, cache %s, retries %d, failures %d"
-    t.what done_ t.total elapsed eta cache retries failures
+  Printf.sprintf "[%s] %s, elapsed %.1fs, eta %s, cache %s, retries %d, failures %d"
+    t.what progress elapsed eta cache retries failures
 
 let maybe_print t ~final =
   if Atomic.get enabled_flag then begin
@@ -83,7 +96,7 @@ let maybe_print t ~final =
       let last = Atomic.get t.last_print in
       if final || now -. last >= Atomic.get min_interval then begin
         Atomic.set t.last_print now;
-        !sink (line t ~done_:(Atomic.get t.steps) ~now)
+        (Atomic.get sink) (line t ~done_:(Atomic.get t.steps) ~now)
       end
     end
   end

@@ -28,7 +28,11 @@ val set_min_interval : float -> unit
 val start : what:string -> total:int -> t
 (** New handle for a sweep of [total] tasks, labelled [what] in every
     line. Snapshots the cache/retry/failure counters so the heartbeat
-    reports per-sweep deltas. *)
+    reports per-sweep deltas. [total <= 0] means the run is open-ended
+    (a server's request stream): lines report a bare completion count
+    with no "x/y" fraction and no ETA — never a division by zero or a
+    negative/nonsense estimate. A known total never reports more than
+    [total] done, even if stepped past it. *)
 
 val step : t -> unit
 (** Mark one task done; prints a heartbeat when enabled and the throttle

@@ -1,0 +1,125 @@
+(* Hashtable + intrusive doubly-linked recency list under one mutex.
+   [sentinel.next] is the MRU end, [sentinel.prev] the LRU end; the
+   sentinel is its own neighbour when the cache is empty. *)
+
+type 'a node = {
+  key : string;
+  mutable value : 'a;
+  mutable prev : 'a node;
+  mutable next : 'a node;
+}
+
+type 'a metrics = {
+  hits : Ts_obs.Metrics.counter;
+  misses : Ts_obs.Metrics.counter;
+  evictions : Ts_obs.Metrics.counter;
+  entries : Ts_obs.Metrics.gauge;
+}
+
+type 'a t = {
+  cap : int;
+  tbl : (string, 'a node) Hashtbl.t;
+  sentinel : 'a node;
+  lock : Mutex.t;
+  m : 'a metrics option;
+}
+
+let create ?metrics_prefix ~capacity () =
+  if capacity < 1 then invalid_arg "Lru.create: capacity must be >= 1";
+  let rec sentinel =
+    { key = ""; value = Obj.magic (); prev = sentinel; next = sentinel }
+  in
+  let m =
+    match metrics_prefix with
+    | None -> None
+    | Some p ->
+        let r = Ts_obs.Metrics.default in
+        Some
+          {
+            hits = Ts_obs.Metrics.counter r (p ^ ".hits");
+            misses = Ts_obs.Metrics.counter r (p ^ ".misses");
+            evictions = Ts_obs.Metrics.counter r (p ^ ".evictions");
+            entries = Ts_obs.Metrics.gauge r (p ^ ".entries");
+          }
+  in
+  { cap = capacity; tbl = Hashtbl.create (2 * capacity); sentinel; lock = Mutex.create (); m }
+
+let capacity t = t.cap
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let length t = locked t (fun () -> Hashtbl.length t.tbl)
+
+let unlink n =
+  n.prev.next <- n.next;
+  n.next.prev <- n.prev
+
+(* Insert [n] at the MRU end, just after the sentinel. *)
+let link_mru t n =
+  n.prev <- t.sentinel;
+  n.next <- t.sentinel.next;
+  t.sentinel.next.prev <- n;
+  t.sentinel.next <- n
+
+let set_entries t =
+  match t.m with
+  | None -> ()
+  | Some m ->
+      Ts_obs.Metrics.set_gauge m.entries (float_of_int (Hashtbl.length t.tbl))
+
+let find t key =
+  let r =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.tbl key with
+        | None -> None
+        | Some n ->
+            unlink n;
+            link_mru t n;
+            Some n.value)
+  in
+  (match (t.m, r) with
+  | Some m, Some _ -> Ts_obs.Metrics.incr m.hits
+  | Some m, None -> Ts_obs.Metrics.incr m.misses
+  | None, _ -> ());
+  r
+
+let put t key value =
+  let evicted =
+    locked t (fun () ->
+        (match Hashtbl.find_opt t.tbl key with
+        | Some n ->
+            n.value <- value;
+            unlink n;
+            link_mru t n
+        | None ->
+            let rec n = { key; value; prev = n; next = n } in
+            Hashtbl.replace t.tbl key n;
+            link_mru t n);
+        if Hashtbl.length t.tbl > t.cap then begin
+          let lru = t.sentinel.prev in
+          unlink lru;
+          Hashtbl.remove t.tbl lru.key;
+          true
+        end
+        else false)
+  in
+  (match t.m with
+  | Some m when evicted -> Ts_obs.Metrics.incr m.evictions
+  | _ -> ());
+  set_entries t
+
+let keys_mru_first t =
+  locked t (fun () ->
+      let rec go acc n =
+        if n == t.sentinel then List.rev acc else go (n.key :: acc) n.next
+      in
+      go [] t.sentinel.next)
+
+let clear t =
+  locked t (fun () ->
+      Hashtbl.reset t.tbl;
+      t.sentinel.next <- t.sentinel;
+      t.sentinel.prev <- t.sentinel);
+  set_entries t

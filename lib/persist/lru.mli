@@ -1,0 +1,40 @@
+(** Size-bounded in-memory LRU map, keyed by string.
+
+    The in-memory front of the result-cache tier: the content-addressed
+    {!Ts_persist} store stays the durable, shared layer, and an [Lru.t]
+    in front of it keeps the hottest entries out of the filesystem
+    entirely — a hit costs a hashtable probe and two pointer swaps, never
+    an [open]/[read]/digest pass (and never a [persist.read_ms]
+    observation).
+
+    All operations are domain-safe (one mutex per cache; the critical
+    sections are a few pointer updates). Eviction is strict LRU: [put]
+    beyond capacity evicts the least recently used entry, and both [put]
+    and a [find] hit refresh recency. *)
+
+type 'a t
+
+val create : ?metrics_prefix:string -> capacity:int -> unit -> 'a t
+(** New cache holding at most [capacity] entries. When [metrics_prefix]
+    is given (e.g. ["serve.lru"]), registers
+    [<prefix>.hits]/[<prefix>.misses]/[<prefix>.evictions] counters and
+    an [<prefix>.entries] gauge on {!Ts_obs.Metrics.default} and keeps
+    them current.
+    @raise Invalid_argument when [capacity < 1]. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+
+val find : 'a t -> string -> 'a option
+(** Look up a key, refreshing its recency on a hit. Counts one hit or
+    miss. *)
+
+val put : 'a t -> string -> 'a -> unit
+(** Insert or replace a binding as the most recently used entry,
+    evicting the least recently used one when the cache is full. *)
+
+val keys_mru_first : 'a t -> string list
+(** Current keys, most recently used first — the exact eviction order
+    reversed. For tests and introspection. *)
+
+val clear : 'a t -> unit

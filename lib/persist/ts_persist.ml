@@ -16,6 +16,8 @@
    The magics double as the format version: bumping them makes every old
    entry unreadable, which the readers below treat as a miss. *)
 
+module Lru = Lru
+
 let m_hits = Ts_obs.Metrics.counter Ts_obs.Metrics.default "persist.hits"
 let m_misses = Ts_obs.Metrics.counter Ts_obs.Metrics.default "persist.misses"
 let m_stores = Ts_obs.Metrics.counter Ts_obs.Metrics.default "persist.stores"
@@ -32,7 +34,12 @@ let m_j_degraded =
 let m_j_discarded =
   Ts_obs.Metrics.counter Ts_obs.Metrics.default "persist.journal.discarded"
 
-type t = { root : string; lock : Mutex.t; mutable tmp_seq : int }
+(* [tmp_seq] must be atomic, not a plain field: under the resident
+   domain pool every worker shares one pid, so the pid alone cannot
+   distinguish two concurrent [store]s of different keys — a raced
+   plain counter could hand both the same temp path and let their
+   atomic renames corrupt each other. *)
+type t = { root : string; tmp_seq : int Atomic.t }
 
 let rec mkdir_p path =
   if path <> "" && path <> "." && path <> "/" && not (Sys.file_exists path)
@@ -55,7 +62,7 @@ let open_store ~dir =
     output_string oc "tsms result store, entry format tsp1, journal tsj1\n";
     close_out oc
   end;
-  { root = dir; lock = Mutex.create (); tmp_seq = 0 }
+  { root = dir; tmp_seq = Atomic.make 0 }
 
 let dir t = t.root
 
@@ -162,10 +169,7 @@ let store_exn t ~key v =
   let path = entry_path t key in
   mkdir_p (Filename.dirname path);
   let tmp =
-    Mutex.lock t.lock;
-    let seq = t.tmp_seq in
-    t.tmp_seq <- seq + 1;
-    Mutex.unlock t.lock;
+    let seq = Atomic.fetch_and_add t.tmp_seq 1 in
     Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ()) seq
   in
   let oc = open_out_bin tmp in

@@ -42,6 +42,10 @@
     Hit/miss/store counters land on {!Ts_obs.Metrics.default} under
     [persist.*]. All operations are domain-safe. *)
 
+module Lru = Lru
+(** The in-memory LRU front for this store (re-exported:
+    [Ts_persist.Lru]). See {!Lru}. *)
+
 type t
 (** An open store rooted at a directory. *)
 

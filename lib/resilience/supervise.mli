@@ -44,6 +44,22 @@ exception Failures of failure list
 val backoff_delays_ms : policy -> int list
 (** The deterministic backoff sequence: the delay before each retry. *)
 
+val attempt_task :
+  policy:policy ->
+  point:string ->
+  label:string ->
+  index:int ->
+  ('a -> 'b) ->
+  'a ->
+  ('b, failure) result
+(** One supervised task, inline on the calling domain: up to
+    [1 + max_retries] attempts with the deterministic backoff, the
+    report-only deadline, and the [(index, attempt)] {!Fault} task keys —
+    the single-item building block the server uses to give every request
+    its own retry/deadline policy without a sweep. Domain-safe: the
+    retry/failure/deadline counters are atomic and the warn-once table is
+    locked, so concurrent pool workers can each run their own. *)
+
 val map :
   ?jobs:int ->
   ?policy:policy ->

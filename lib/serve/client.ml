@@ -1,0 +1,58 @@
+module Json = Ts_obs.Json
+
+type t = { fd : Unix.file_descr }
+
+let connect (addr : Server.addr) =
+  let domain, sockaddr =
+    match addr with
+    | Server.Unix_sock path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+    | Server.Tcp (host, port) ->
+        let ip =
+          try Unix.inet_addr_of_string host
+          with Failure _ -> (
+            match Unix.gethostbyname host with
+            | h when Array.length h.Unix.h_addr_list > 0 ->
+                h.Unix.h_addr_list.(0)
+            | _ | (exception Not_found) ->
+                raise
+                  (Unix.Unix_error (Unix.EADDRNOTAVAIL, "gethostbyname", host)))
+        in
+        (Unix.PF_INET, Unix.ADDR_INET (ip, port))
+  in
+  let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd sockaddr
+   with e ->
+     Unix.close fd;
+     raise e);
+  { fd }
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let request ?max_frame t json =
+  match
+    Protocol.write_frame t.fd (Json.to_string json);
+    Protocol.read_frame ?max_frame t.fd
+  with
+  | Some payload -> (
+      match Json.parse payload with
+      | Ok j -> Ok j
+      | Error msg -> Error ("response is not valid JSON: " ^ msg))
+  | None -> Error "connection closed by server"
+  | exception End_of_file -> Error "connection closed mid-response"
+  | exception Protocol.Frame_too_large n ->
+      Error (Printf.sprintf "oversized response frame (%d bytes)" n)
+  | exception Unix.Unix_error (e, fn, _) ->
+      Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
+
+let with_connection addr f =
+  let t = connect addr in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
+
+let round_trip ?max_frame addr req =
+  match with_connection addr (fun t -> request ?max_frame t (Protocol.request_to_json req))
+  with
+  | r -> r
+  | exception Unix.Unix_error (e, fn, arg) ->
+      Error
+        (Printf.sprintf "cannot connect to %s: %s (%s %s)"
+           (Server.addr_to_string addr) (Unix.error_message e) fn arg)

@@ -1,0 +1,27 @@
+(** Minimal blocking client for the {!Protocol} socket protocol — the
+    [tsms client] subcommand, the CI smoke driver and the tests all go
+    through this. One request/response at a time per connection (the
+    protocol itself allows pipelining; this client does not need it). *)
+
+type t
+
+val connect : Server.addr -> t
+(** Raises [Unix.Unix_error] when the server is not there. *)
+
+val request : ?max_frame:int -> t -> Ts_obs.Json.t -> (Ts_obs.Json.t, string) result
+(** Send one frame, block for one response frame. [Error] covers a
+    closed connection, an oversized response and a response that is not
+    JSON — transport errors; a server-side failure comes back as
+    [Ok json] with ["ok": false] (see {!Protocol.response_error}). *)
+
+val close : t -> unit
+
+val with_connection : Server.addr -> (t -> 'a) -> 'a
+(** Connect, run, always close. *)
+
+val round_trip :
+  ?max_frame:int ->
+  Server.addr ->
+  Protocol.request ->
+  (Ts_obs.Json.t, string) result
+(** One-shot: connect, send, receive, close. *)

@@ -1,0 +1,271 @@
+module Json = Ts_obs.Json
+
+let default_max_frame = 4 * 1024 * 1024
+let max_frame_limit = 64 * 1024 * 1024
+
+(* ---- framing --------------------------------------------------------- *)
+
+let encode_frame payload =
+  let n = String.length payload in
+  if n > max_frame_limit then
+    invalid_arg
+      (Printf.sprintf "Protocol.encode_frame: payload of %d bytes exceeds %d"
+         n max_frame_limit);
+  let b = Bytes.create (4 + n) in
+  Bytes.set b 0 (Char.chr ((n lsr 24) land 0xff));
+  Bytes.set b 1 (Char.chr ((n lsr 16) land 0xff));
+  Bytes.set b 2 (Char.chr ((n lsr 8) land 0xff));
+  Bytes.set b 3 (Char.chr (n land 0xff));
+  Bytes.blit_string payload 0 b 4 n;
+  Bytes.unsafe_to_string b
+
+exception Frame_too_large of int
+
+(* The reassembly buffer: fed chunks append at the end, [pos] walks
+   forward as frames are consumed, and the dead prefix is compacted away
+   once it outweighs the live tail. Holds at most max_frame + one feed
+   chunk — the oversized-length check fires before any payload bytes
+   for a rejected frame are waited for. *)
+type decoder = {
+  max_frame : int;
+  mutable buf : Buffer.t;
+  mutable pos : int;
+  mutable poisoned : int option;  (* announced size that broke the stream *)
+}
+
+let decoder ?(max_frame = default_max_frame) () =
+  if max_frame < 1 || max_frame > max_frame_limit then
+    invalid_arg "Protocol.decoder: max_frame out of range";
+  { max_frame; buf = Buffer.create 4096; pos = 0; poisoned = None }
+
+let feed d s = Buffer.add_string d.buf s
+
+let buffered d = Buffer.length d.buf - d.pos
+
+let compact d =
+  if d.pos > 0 && (d.pos >= Buffer.length d.buf || d.pos > 65536) then begin
+    let live = Buffer.sub d.buf d.pos (Buffer.length d.buf - d.pos) in
+    let b = Buffer.create (max 4096 (String.length live)) in
+    Buffer.add_string b live;
+    d.buf <- b;
+    d.pos <- 0
+  end
+
+let next d =
+  match d.poisoned with
+  | Some n -> raise (Frame_too_large n)
+  | None ->
+      if buffered d < 4 then None
+      else begin
+        let byte i = Char.code (Buffer.nth d.buf (d.pos + i)) in
+        let n = (byte 0 lsl 24) lor (byte 1 lsl 16) lor (byte 2 lsl 8) lor byte 3 in
+        if n > d.max_frame then begin
+          d.poisoned <- Some n;
+          raise (Frame_too_large n)
+        end;
+        if buffered d < 4 + n then None
+        else begin
+          let payload = Buffer.sub d.buf (d.pos + 4) n in
+          d.pos <- d.pos + 4 + n;
+          compact d;
+          Some payload
+        end
+      end
+
+let rec write_all fd b off len =
+  if len > 0 then begin
+    let k = Unix.write fd b off len in
+    write_all fd b (off + k) (len - k)
+  end
+
+let write_frame fd payload =
+  let s = encode_frame payload in
+  write_all fd (Bytes.unsafe_of_string s) 0 (String.length s)
+
+(* Reads must be exact: over-reading into a throwaway buffer would
+   silently drop any following frame that coalesced into the same
+   chunk (pipelined responses on a stream socket routinely do). *)
+let really_read fd buf off len =
+  let rec go off len =
+    if len > 0 then
+      match Unix.read fd buf off len with
+      | 0 -> raise End_of_file
+      | k -> go (off + k) (len - k)
+  in
+  go off len
+
+let read_frame ?(max_frame = default_max_frame) fd =
+  if max_frame < 1 || max_frame > max_frame_limit then
+    invalid_arg "Protocol.read_frame: max_frame out of range";
+  let hdr = Bytes.create 4 in
+  match Unix.read fd hdr 0 4 with
+  | 0 -> None
+  | k ->
+      if k < 4 then really_read fd hdr k (4 - k);
+      let byte i = Char.code (Bytes.get hdr i) in
+      let n =
+        (byte 0 lsl 24) lor (byte 1 lsl 16) lor (byte 2 lsl 8) lor byte 3
+      in
+      if n > max_frame then raise (Frame_too_large n);
+      let payload = Bytes.create n in
+      really_read fd payload 0 n;
+      Some (Bytes.unsafe_to_string payload)
+
+(* ---- requests -------------------------------------------------------- *)
+
+type sched_args = {
+  ddg : string;
+  cores : int;
+  p_max : float option;
+  unroll : int;
+}
+
+type sim_args = { s_ddg : string; s_cores : int; trip : int; warmup : int }
+
+type op =
+  | Schedule of sched_args
+  | Simulate of sim_args
+  | Metrics
+  | Health
+  | Ping
+
+type request = {
+  id : int;
+  op : op;
+  max_retries : int option;
+  deadline_ms : int option;
+}
+
+let is_control = function
+  | Metrics | Health | Ping -> true
+  | Schedule _ | Simulate _ -> false
+
+let opt name v f = match v with None -> [] | Some x -> [ (name, f x) ]
+
+let request_to_json r =
+  let op_members =
+    match r.op with
+    | Schedule a ->
+        [ ("op", Json.Str "schedule"); ("ddg", Json.Str a.ddg);
+          ("cores", Json.Int a.cores); ("unroll", Json.Int a.unroll) ]
+        @ opt "p_max" a.p_max (fun p -> Json.Float p)
+    | Simulate a ->
+        [ ("op", Json.Str "simulate"); ("ddg", Json.Str a.s_ddg);
+          ("cores", Json.Int a.s_cores); ("trip", Json.Int a.trip);
+          ("warmup", Json.Int a.warmup) ]
+    | Metrics -> [ ("op", Json.Str "metrics") ]
+    | Health -> [ ("op", Json.Str "health") ]
+    | Ping -> [ ("op", Json.Str "ping") ]
+  in
+  Json.Obj
+    ((("id", Json.Int r.id) :: op_members)
+    @ opt "max_retries" r.max_retries (fun n -> Json.Int n)
+    @ opt "deadline_ms" r.deadline_ms (fun n -> Json.Int n))
+
+let mem_int name j = Option.bind (Json.member name j) Json.to_int
+let mem_str name j = Option.bind (Json.member name j) Json.to_str
+
+let mem_num name j =
+  match Json.member name j with
+  | Some (Json.Int n) -> Some (float_of_int n)
+  | Some (Json.Float f) -> Some f
+  | _ -> None
+
+let ( let* ) = Result.bind
+
+let required what = function
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing or ill-typed member %S" what)
+
+let pos_int what v =
+  let* n = required what v in
+  if n < 1 then Error (Printf.sprintf "%S must be >= 1" what) else Ok n
+
+let request_of_json j =
+  match j with
+  | Json.Obj _ ->
+      let* id = required "id" (mem_int "id" j) in
+      let* opname = required "op" (mem_str "op" j) in
+      let max_retries = mem_int "max_retries" j in
+      let deadline_ms = mem_int "deadline_ms" j in
+      let* () =
+        match max_retries with
+        | Some n when n < 0 -> Error "\"max_retries\" must be >= 0"
+        | _ -> Ok ()
+      in
+      let cores () =
+        match mem_int "cores" j with
+        | None -> Ok 4
+        | Some n when n >= 1 -> Ok n
+        | Some _ -> Error "\"cores\" must be >= 1"
+      in
+      let* op =
+        match opname with
+        | "schedule" ->
+            let* ddg = required "ddg" (mem_str "ddg" j) in
+            let* cores = cores () in
+            let* unroll =
+              match mem_int "unroll" j with
+              | None -> Ok 1
+              | Some n when n >= 1 -> Ok n
+              | Some _ -> Error "\"unroll\" must be >= 1"
+            in
+            let* p_max =
+              match mem_num "p_max" j with
+              | Some p when p <= 0.0 || p > 1.0 ->
+                  Error "\"p_max\" must be in (0, 1]"
+              | p -> Ok p
+            in
+            Ok (Schedule { ddg; cores; p_max; unroll })
+        | "simulate" ->
+            let* s_ddg = required "ddg" (mem_str "ddg" j) in
+            let* s_cores = cores () in
+            let* trip =
+              match mem_int "trip" j with None -> Ok 2000 | n -> pos_int "trip" n
+            in
+            let* warmup =
+              match mem_int "warmup" j with
+              | None -> Ok 512
+              | Some n when n >= 0 -> Ok n
+              | Some _ -> Error "\"warmup\" must be >= 0"
+            in
+            Ok (Simulate { s_ddg; s_cores; trip; warmup })
+        | "metrics" -> Ok Metrics
+        | "health" -> Ok Health
+        | "ping" -> Ok Ping
+        | other -> Error (Printf.sprintf "unknown op %S" other)
+      in
+      Ok { id; op; max_retries; deadline_ms }
+  | _ -> Error "request must be a JSON object"
+
+(* ---- responses ------------------------------------------------------- *)
+
+let ok ~id members = Json.Obj (("id", Json.Int id) :: ("ok", Json.Bool true) :: members)
+
+let error ~id ~code message =
+  let id = match id with Some i -> Json.Int i | None -> Json.Null in
+  Json.Obj
+    [
+      ("id", id);
+      ("ok", Json.Bool false);
+      ( "error",
+        Json.Obj [ ("code", Json.Str code); ("message", Json.Str message) ] );
+    ]
+
+let response_id j = mem_int "id" j
+
+let response_ok j =
+  match Json.member "ok" j with Some (Json.Bool b) -> b | _ -> false
+
+let response_error j =
+  match Json.member "error" j with
+  | Some e -> (
+      match (mem_str "code" e, mem_str "message" e) with
+      | Some c, Some m -> Some (c, m)
+      | _ -> None)
+  | None -> None
+
+let peek_id payload =
+  match Json.parse payload with
+  | Ok j -> mem_int "id" j
+  | Error _ -> None

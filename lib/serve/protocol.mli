@@ -1,0 +1,140 @@
+(** The [tsms serve] wire protocol: length-prefixed JSON frames.
+
+    A connection carries a stream of frames in both directions. Each
+    frame is a 4-byte big-endian unsigned payload length followed by
+    exactly that many bytes of UTF-8 JSON. Requests and responses are
+    single JSON objects; a connection may pipeline requests and every
+    response carries the request's [id], so responses can complete out
+    of order.
+
+    Request object:
+
+    {v { "id": 7, "op": "schedule",
+         "ddg": "loop dotprod\n...",      // the .ddg text, verbatim
+         "cores": 4,                      // optional, default 4
+         "p_max": 0.05,                   // optional, default: sweep
+         "unroll": 1,                     // optional, default 1
+         "trip": 2000, "warmup": 512,     // simulate only
+         "max_retries": 1,                // optional per-request policy
+         "deadline_ms": 5000 }            // optional, report-only v}
+
+    Ops: [schedule], [simulate], [metrics] (Prometheus exposition of the
+    whole registry), [health] (server counters), [ping].
+
+    Success response: [{ "id": 7, "ok": true, ... }] with op-specific
+    members. Error response:
+
+    {v { "id": 7, "ok": false,
+         "error": { "code": "shed_load", "message": "..." } } v}
+
+    [id] is [null] when the request was too malformed to carry one.
+    Codes: [parse_error] (not JSON), [bad_request] (JSON, but not a
+    valid request — unknown op, unparseable DDG), [shed_load] (admission
+    control refused: queue full), [shutting_down], [internal] (the
+    computation failed after exhausting its retry budget).
+
+    Malformed JSON in a well-formed frame is answered with a structured
+    [parse_error] response and the connection stays open — framing is
+    still in sync. An oversized length prefix is different: the stream
+    can only be resynchronised by closing, so the server answers
+    [parse_error] and closes. *)
+
+val default_max_frame : int
+(** 4 MiB — bounds both what the decoder will buffer and what a peer can
+    make the server allocate. *)
+
+val max_frame_limit : int
+(** Hard ceiling (64 MiB) on any configured [max_frame]. *)
+
+(** {1 Framing} *)
+
+val encode_frame : string -> string
+(** The 4-byte big-endian length prefix followed by the payload.
+    @raise Invalid_argument when the payload exceeds {!max_frame_limit}. *)
+
+exception Frame_too_large of int
+(** A length prefix announced this many bytes, over the decoder's
+    [max_frame]. The stream is unrecoverable: close the connection. *)
+
+type decoder
+(** Incremental frame reassembler. Feed it whatever chunk sizes the
+    socket delivers — single bytes, torn headers, several frames at
+    once — and pull complete payloads. Allocation is bounded: an
+    oversized announced length raises from {!next} before any
+    payload-sized buffer exists. *)
+
+val decoder : ?max_frame:int -> unit -> decoder
+(** [max_frame] defaults to {!default_max_frame}. *)
+
+val feed : decoder -> string -> unit
+(** Append raw bytes from the stream. *)
+
+val next : decoder -> string option
+(** The next complete frame payload, if one is buffered.
+    @raise Frame_too_large as documented above (sticky: the decoder
+    stays poisoned). *)
+
+val buffered : decoder -> int
+(** Bytes currently held by the decoder (tests assert boundedness). *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** [encode_frame] + a full write loop. Raises [Unix.Unix_error] on a
+    dead peer (callers treat the connection as gone). *)
+
+val read_frame : ?max_frame:int -> Unix.file_descr -> string option
+(** Blocking read of one frame ([None] on clean EOF before a header
+    byte). Reads exactly one frame's bytes and nothing more, so
+    back-to-back calls on the same descriptor never lose a pipelined
+    frame that coalesced into the kernel's socket buffer.
+    @raise Frame_too_large on an oversized announcement
+    @raise End_of_file on EOF mid-frame. *)
+
+(** {1 Requests} *)
+
+type sched_args = {
+  ddg : string;  (** the loop in .ddg text format *)
+  cores : int;
+  p_max : float option;  (** [None] = the paper's P_max sweep *)
+  unroll : int;
+}
+
+type sim_args = { s_ddg : string; s_cores : int; trip : int; warmup : int }
+
+type op =
+  | Schedule of sched_args
+  | Simulate of sim_args
+  | Metrics
+  | Health
+  | Ping
+
+type request = {
+  id : int;
+  op : op;
+  max_retries : int option;  (** per-request override of the server policy *)
+  deadline_ms : int option;  (** report-only, as everywhere in ts_resil *)
+}
+
+val request_to_json : request -> Ts_obs.Json.t
+val request_of_json : Ts_obs.Json.t -> (request, string) result
+
+val is_control : op -> bool
+(** [Metrics], [Health] and [Ping] are control ops: answered inline by
+    the server's event loop, never queued, never shed — a flooded server
+    still answers its health checks. *)
+
+(** {1 Responses} *)
+
+val ok : id:int -> (string * Ts_obs.Json.t) list -> Ts_obs.Json.t
+(** [{ "id": id, "ok": true, <members> }] *)
+
+val error : id:int option -> code:string -> string -> Ts_obs.Json.t
+(** [{ "id": id|null, "ok": false, "error": { "code", "message" } }] *)
+
+val response_id : Ts_obs.Json.t -> int option
+val response_ok : Ts_obs.Json.t -> bool
+val response_error : Ts_obs.Json.t -> (string * string) option
+(** [(code, message)] of an error response. *)
+
+val peek_id : string -> int option
+(** Best-effort request id from raw (possibly malformed) payload text,
+    so even a shed or unparseable request can be answered with its id. *)

@@ -22,6 +22,7 @@ let () =
       ("harness", Test_harness.suite);
       ("persist", Test_persist.suite);
       ("resil", Test_resil.suite);
+      ("serve", Test_serve.suite);
       ("extensions", Test_extensions.suite);
       ("profile+slices", Test_profile.suite);
       ("fuzz+check", Fuzz_check.suite);

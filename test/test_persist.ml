@@ -216,9 +216,158 @@ let test_fast_path_equals_exact_on_fuzz_seeds () =
     check_bool (Printf.sprintf "seed %d: fast = exact" seed) true (exact = fast)
   done
 
+(* --- multi-domain store safety ---
+
+   Under the resident pool every worker shares one pid, so the tempfile
+   name disambiguator must be atomic: pre-fix, two domains storing
+   concurrently could write the same tmp file and rename a torn mix.
+   Hammer both the distinct-key and the same-key paths and require zero
+   degradations and intact entries. *)
+
+let test_concurrent_store_distinct_keys () =
+  with_store (fun s ->
+      let degraded0 =
+        Ts_obs.Metrics.counter_value
+          (Ts_obs.Metrics.counter Ts_obs.Metrics.default "persist.degraded")
+      in
+      let n_dom = 4 and per = 50 in
+      let doms =
+        List.init n_dom (fun d ->
+            Domain.spawn (fun () ->
+                for i = 0 to per - 1 do
+                  P.store s ~key:(P.digest_hex (Printf.sprintf "cc-%d-%d" d i)) (d, i)
+                done))
+      in
+      List.iter Domain.join doms;
+      for d = 0 to n_dom - 1 do
+        for i = 0 to per - 1 do
+          check_bool
+            (Printf.sprintf "entry %d/%d intact" d i)
+            true
+            (P.find s ~key:(P.digest_hex (Printf.sprintf "cc-%d-%d" d i)) = Some (d, i))
+        done
+      done;
+      check_int "no degradations" degraded0
+        (Ts_obs.Metrics.counter_value
+           (Ts_obs.Metrics.counter Ts_obs.Metrics.default "persist.degraded")))
+
+let test_concurrent_store_same_key () =
+  with_store (fun s ->
+      let degraded0 =
+        Ts_obs.Metrics.counter_value
+          (Ts_obs.Metrics.counter Ts_obs.Metrics.default "persist.degraded")
+      in
+      let key = P.digest_hex "contended" in
+      let n_dom = 4 and per = 100 in
+      let doms =
+        List.init n_dom (fun d ->
+            Domain.spawn (fun () ->
+                for i = 0 to per - 1 do
+                  P.store s ~key (d, i)
+                done))
+      in
+      List.iter Domain.join doms;
+      (match (P.find s ~key : (int * int) option) with
+      | Some (d, i) ->
+          check_bool "winner is one of the stored values" true
+            (d >= 0 && d < n_dom && i >= 0 && i < per)
+      | None -> Alcotest.fail "contended entry lost");
+      check_int "no degradations under same-key contention" degraded0
+        (Ts_obs.Metrics.counter_value
+           (Ts_obs.Metrics.counter Ts_obs.Metrics.default "persist.degraded")))
+
+(* --- the in-memory LRU front --- *)
+
+let test_lru_basics () =
+  let l : int P.Lru.t = P.Lru.create ~capacity:3 () in
+  check_int "capacity" 3 (P.Lru.capacity l);
+  check_bool "miss on empty" true (P.Lru.find l "a" = None);
+  P.Lru.put l "a" 1;
+  P.Lru.put l "b" 2;
+  P.Lru.put l "c" 3;
+  check_bool "hit after put" true (P.Lru.find l "a" = Some 1);
+  (* "a" was just refreshed, so "b" is now least recently used. *)
+  P.Lru.put l "d" 4;
+  check_bool "LRU entry evicted" true (P.Lru.find l "b" = None);
+  check_bool "refreshed entry survives" true (P.Lru.find l "a" = Some 1);
+  check_int "capacity bound holds" 3 (P.Lru.length l);
+  P.Lru.put l "a" 10;
+  check_bool "put replaces in place" true (P.Lru.find l "a" = Some 10);
+  check_int "replace does not grow" 3 (P.Lru.length l);
+  P.Lru.clear l;
+  check_int "clear empties" 0 (P.Lru.length l);
+  check_bool "capacity >= 1 enforced" true
+    (match P.Lru.create ~capacity:0 () with
+    | (_ : int P.Lru.t) -> false
+    | exception Invalid_argument _ -> true)
+
+(* Model-based property: random put/find traffic against a naive
+   reference implementation, comparing contents and exact eviction
+   order at every step. *)
+let test_lru_matches_model () =
+  let cap = 4 in
+  let l : int P.Lru.t = P.Lru.create ~capacity:cap () in
+  (* model: (key, value) list, MRU first *)
+  let model = ref [] in
+  let model_find k =
+    match List.assoc_opt k !model with
+    | None -> None
+    | Some v ->
+        model := (k, v) :: List.remove_assoc k !model;
+        Some v
+  in
+  let model_put k v =
+    model := (k, v) :: List.remove_assoc k !model;
+    if List.length !model > cap then
+      model := List.filteri (fun i _ -> i < cap) !model
+  in
+  let st = ref 0x2545F491 in
+  let rand m = st := (!st * 1103515245 + 12345) land 0x3FFFFFFF; !st mod m in
+  for step = 1 to 2000 do
+    let k = Printf.sprintf "k%d" (rand 7) in
+    if rand 2 = 0 then begin
+      let v = rand 1000 in
+      P.Lru.put l k v;
+      model_put k v
+    end
+    else begin
+      let got = P.Lru.find l k and expect = model_find k in
+      if got <> expect then
+        Alcotest.failf "step %d: find %s diverged from model" step k
+    end;
+    if P.Lru.keys_mru_first l <> List.map fst !model then
+      Alcotest.failf "step %d: recency order diverged from model" step;
+    if P.Lru.length l > cap then Alcotest.failf "step %d: capacity exceeded" step
+  done
+
+let test_lru_domain_safety () =
+  let l : int P.Lru.t = P.Lru.create ~capacity:64 () in
+  let doms =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            for i = 0 to 999 do
+              let k = Printf.sprintf "k%d" ((d * 37 + i) mod 128) in
+              if i land 1 = 0 then P.Lru.put l k i else ignore (P.Lru.find l k)
+            done))
+  in
+  List.iter Domain.join doms;
+  check_bool "capacity bound under contention" true (P.Lru.length l <= 64);
+  (* The intrusive list is still consistent: walkable and put/find work. *)
+  check_int "key walk matches length" (P.Lru.length l)
+    (List.length (P.Lru.keys_mru_first l));
+  P.Lru.put l "after" 1;
+  check_bool "still usable" true (P.Lru.find l "after" = Some 1)
+
 let suite =
   [
     Alcotest.test_case "store roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "concurrent stores, distinct keys" `Quick
+      test_concurrent_store_distinct_keys;
+    Alcotest.test_case "concurrent stores, same key" `Quick
+      test_concurrent_store_same_key;
+    Alcotest.test_case "lru basics + eviction order" `Quick test_lru_basics;
+    Alcotest.test_case "lru matches reference model" `Quick test_lru_matches_model;
+    Alcotest.test_case "lru domain safety" `Quick test_lru_domain_safety;
     Alcotest.test_case "corruption is a miss" `Quick test_corruption_is_a_miss;
     Alcotest.test_case "version bump invalidates" `Quick test_version_in_key_invalidates;
     Alcotest.test_case "memo computes once" `Quick test_memo_computes_once;

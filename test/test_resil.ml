@@ -524,9 +524,95 @@ let test_harness_keep_going () =
         (has_sub ~sub:"suite:swim/" f.S.label)
   | fs -> Alcotest.failf "expected 1 recorded failure, got %d" (List.length fs)
 
+(* --- domain-safety hammers ---
+
+   Warn.once and the supervision counters/failure log are shared by
+   every pool worker; hammer them from 4 real domains and require exact
+   counts — a racy Hashtbl or ref would lose or duplicate entries. *)
+
+let test_warn_once_hammer () =
+  let lock = Mutex.create () in
+  let seen = ref [] in
+  W.set_sink
+    (Some
+       (fun msg ->
+         Mutex.lock lock;
+         seen := msg :: !seen;
+         Mutex.unlock lock));
+  let n_keys = 100 in
+  let doms =
+    List.init 4 (fun _d ->
+        Domain.spawn (fun () ->
+            for _round = 0 to 9 do
+              for k = 0 to n_keys - 1 do
+                W.once ~key:(Printf.sprintf "hammer-%d" k)
+                  (Printf.sprintf "warning %d" k)
+              done
+            done))
+  in
+  List.iter Domain.join doms;
+  let lines = List.sort_uniq compare !seen in
+  check_int "each key warned exactly once" n_keys (List.length !seen);
+  check_int "all keys distinct" n_keys (List.length lines);
+  (* And the table still works after the stampede. *)
+  W.once ~key:"hammer-0" "suppressed";
+  check_int "old keys still suppressed" n_keys (List.length !seen);
+  W.once ~key:"hammer-after" "fresh";
+  check_int "fresh key emits" (n_keys + 1) (List.length !seen)
+
+let test_attempt_task_hammer () =
+  let (_ : unit -> float list) = capture_sleeps () in
+  let retries0 = cval "supervise.retries" in
+  let failures0 = cval "supervise.failures" in
+  let policy = { S.default_policy with S.max_retries = 1 } in
+  let per = 50 in
+  let doms =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            List.init per (fun i ->
+                let label = Printf.sprintf "hammer/%d/%d" d i in
+                S.attempt_task ~policy ~point:"hammer.point" ~label ~index:i
+                  (fun () -> failwith label)
+                  ())))
+  in
+  let results = List.concat_map Domain.join doms in
+  check_int "every task failed" (4 * per) (List.length results);
+  List.iter
+    (fun r ->
+      match r with
+      | Error f ->
+          check_int "attempts = 1 + max_retries" 2 f.S.attempts;
+          check_bool "failure carries its own label" true
+            (has_sub ~sub:"hammer/" f.S.label && has_sub ~sub:f.S.label f.S.error)
+      | Ok () -> Alcotest.fail "a failing task reported success")
+    results;
+  check_int "one retry counted per task, none lost" (4 * per)
+    (cval "supervise.retries" - retries0);
+  check_int "one failure counted per task, none lost" (4 * per)
+    (cval "supervise.failures" - failures0);
+  (* The keep-going failure log aggregates from all domains too. *)
+  S.reset_failures ();
+  S.set_keep_going true;
+  let doms =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            ignore
+              (S.sweep_map ~what:"hammer" ~jobs:1
+                 ~label:(fun i _ -> string_of_int i)
+                 (fun i -> if i = 1 then failwith "boom" else i)
+                 [ 0; 1; 2 ])))
+  in
+  List.iter Domain.join doms;
+  check_int "all concurrent sweep failures recorded" 4
+    (List.length (S.failures ()))
+
 let suite =
   [
     Alcotest.test_case "fault: plan roundtrip" `Quick (scrub test_plan_roundtrip);
+    Alcotest.test_case "warn: once under 4-domain hammer" `Quick
+      (scrub test_warn_once_hammer);
+    Alcotest.test_case "supervise: counters under 4-domain hammer" `Quick
+      (scrub test_attempt_task_hammer);
     Alcotest.test_case "fault: plan errors" `Quick (scrub test_plan_errors);
     Alcotest.test_case "fault: seeded plans deterministic" `Quick
       (scrub test_seeded_deterministic);

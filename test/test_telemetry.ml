@@ -308,6 +308,66 @@ let test_progress_heartbeat () =
   check_bool "reports retries" true (contains final "retries");
   check_bool "no eta once done" true (contains final "eta -")
 
+(* total <= 0 means open-ended (the serve daemon's request stream): no
+   fraction, no ETA, and — the original bug — no division by zero or
+   negative/NaN ETA. An overshot known total must clamp, not go
+   negative. *)
+let test_progress_open_ended_total () =
+  let lines = ref [] in
+  Progress.set_sink (Some (fun l -> lines := l :: !lines));
+  Progress.set_min_interval 0.0;
+  Progress.set_enabled true;
+  Fun.protect ~finally:(fun () ->
+      Progress.set_enabled false;
+      Progress.set_min_interval 1.0;
+      Progress.set_sink None)
+  @@ fun () ->
+  let p = Progress.start ~what:"serve" ~total:0 in
+  Progress.step p;
+  Progress.step p;
+  Progress.step p;
+  Progress.finish p;
+  let all = List.rev !lines in
+  check_bool "emits heartbeats" true (all <> []);
+  let final = List.nth all (List.length all - 1) in
+  check_bool "counts without a fraction" true (contains final "3 done");
+  List.iter
+    (fun l ->
+      check_bool ("no fraction: " ^ l) false (contains l "/");
+      check_bool ("no eta: " ^ l) true (contains l "eta -");
+      check_bool ("no nan: " ^ l) false (contains l "nan");
+      check_bool ("no inf: " ^ l) false (contains l "inf"))
+    all;
+  (* Negative totals behave like 0 (unknown), not like a fraction. *)
+  let q = Progress.start ~what:"serve" ~total:(-1) in
+  lines := [];
+  Progress.step q;
+  Progress.finish q;
+  List.iter
+    (fun l -> check_bool ("negative total open-ended: " ^ l) true (contains l "eta -"))
+    !lines
+
+let test_progress_overshoot_clamps () =
+  let lines = ref [] in
+  Progress.set_sink (Some (fun l -> lines := l :: !lines));
+  Progress.set_min_interval 0.0;
+  Progress.set_enabled true;
+  Fun.protect ~finally:(fun () ->
+      Progress.set_enabled false;
+      Progress.set_min_interval 1.0;
+      Progress.set_sink None)
+  @@ fun () ->
+  let p = Progress.start ~what:"sweep" ~total:2 in
+  Progress.step p;
+  Progress.step p;
+  Progress.step p;
+  Progress.step p;
+  Progress.finish p;
+  let final = List.hd !lines in
+  check_bool "overshoot clamps to total" true (contains final "2/2 done");
+  check_bool "no negative eta" false (contains final "eta -0");
+  check_bool "eta suppressed at completion" true (contains final "eta -")
+
 let test_progress_disabled_silent () =
   let lines = ref [] in
   Progress.set_sink (Some (fun l -> lines := l :: !lines));
@@ -412,6 +472,10 @@ let suite =
     Alcotest.test_case "progress heartbeat" `Quick test_progress_heartbeat;
     Alcotest.test_case "progress disabled silent" `Quick
       test_progress_disabled_silent;
+    Alcotest.test_case "progress open-ended total" `Quick
+      test_progress_open_ended_total;
+    Alcotest.test_case "progress overshoot clamps" `Quick
+      test_progress_overshoot_clamps;
     Alcotest.test_case "regress pass/fail" `Quick test_regress_pass_and_fail;
     Alcotest.test_case "regress missing leaf" `Quick test_regress_missing_leaf;
   ]
