@@ -87,6 +87,17 @@ let resume_arg =
   in
   Arg.(value & flag & info [ "resume" ] ~doc)
 
+let no_warm_start_arg =
+  let doc =
+    "Disable warm-started TMS searches (reuse of persisted per-grid-point \
+     attempt outcomes). Purely a performance knob: warm-started searches \
+     return bit-identical schedules."
+  in
+  Arg.(value & flag & info [ "no-warm-start" ] ~doc)
+
+let apply_warm_start ~no_warm_start =
+  Ts_harness.Cached.set_warm_start (not no_warm_start)
+
 let apply_cache ~no_cache ~dir ~resume =
   if no_cache then begin
     if resume then begin
@@ -405,7 +416,11 @@ let simulate_cmd =
     Arg.(value & opt int 2000 & info [ "trip" ] ~docv:"N" ~doc:"Iterations to simulate.")
   in
   let warmup_arg =
-    Arg.(value & opt int 512 & info [ "warmup" ] ~docv:"N" ~doc:"Warmup iterations excluded from the numbers.")
+    (* The one shared warm-up constant (Ts_harness.Defaults.warmup): the
+       CLI, the serve protocol and the harness drivers must all default
+       to the same warmed measurement. *)
+    Arg.(value & opt int Ts_harness.Defaults.warmup
+         & info [ "warmup" ] ~docv:"N" ~doc:"Warmup iterations excluded from the numbers.")
   in
   let timeline_arg =
     Arg.(value & flag & info [ "timeline" ] ~doc:"Draw an ASCII execution timeline of the TMS run.")
@@ -477,11 +492,12 @@ let suite_cmd =
   let limit_arg =
     Arg.(value & opt (some int) None & info [ "limit" ] ~docv:"N" ~doc:"Loops per benchmark.")
   in
-  let run jobs bench limit cache_dir no_cache keep_going max_retries
-      task_timeout fault_plan obs =
+  let run jobs bench limit cache_dir no_cache no_warm_start keep_going
+      max_retries task_timeout fault_plan obs =
     apply_jobs jobs;
     apply_obs obs;
     apply_cache ~no_cache ~dir:cache_dir ~resume:false;
+    apply_warm_start ~no_warm_start;
     apply_resil ~keep_going ~max_retries ~task_timeout ~fault_plan;
     let params = Ts_isa.Spmt_params.default in
     let benches =
@@ -511,8 +527,8 @@ let suite_cmd =
   Cmd.v (Cmd.info "suite" ~doc)
     Term.(
       const run $ jobs_arg $ bench_arg $ limit_arg $ cache_dir_arg
-      $ no_cache_arg $ keep_going_arg $ max_retries_arg $ task_timeout_arg
-      $ fault_plan_arg $ obs_term)
+      $ no_cache_arg $ no_warm_start_arg $ keep_going_arg $ max_retries_arg
+      $ task_timeout_arg $ fault_plan_arg $ obs_term)
 
 let compare_cmd =
   let run jobs loop ncore trace_file obs =
@@ -647,11 +663,12 @@ let experiments_cmd =
   let limit_arg =
     Arg.(value & opt (some int) None & info [ "limit" ] ~docv:"N" ~doc:"Loops per benchmark for table2/fig4.")
   in
-  let run jobs names limit cache_dir no_cache resume keep_going max_retries
-      task_timeout fault_plan obs =
+  let run jobs names limit cache_dir no_cache no_warm_start resume keep_going
+      max_retries task_timeout fault_plan obs =
     apply_jobs jobs;
     apply_obs obs;
     apply_cache ~no_cache ~dir:cache_dir ~resume;
+    apply_warm_start ~no_warm_start;
     apply_resil ~keep_going ~max_retries ~task_timeout ~fault_plan;
     supervised ~obs (fun () ->
         try
@@ -666,8 +683,8 @@ let experiments_cmd =
   Cmd.v (Cmd.info "experiments" ~doc)
     Term.(
       const run $ jobs_arg $ names_arg $ limit_arg $ cache_dir_arg
-      $ no_cache_arg $ resume_arg $ keep_going_arg $ max_retries_arg
-      $ task_timeout_arg $ fault_plan_arg $ obs_term)
+      $ no_cache_arg $ no_warm_start_arg $ resume_arg $ keep_going_arg
+      $ max_retries_arg $ task_timeout_arg $ fault_plan_arg $ obs_term)
 
 (* --- serve / client ------------------------------------------------- *)
 
@@ -712,10 +729,11 @@ let serve_cmd =
     Arg.(value & opt int 256 & info [ "lru-entries" ] ~docv:"N" ~doc)
   in
   let run jobs listen max_inflight queue_depth lru_entries cache_dir no_cache
-      keep_going max_retries task_timeout fault_plan obs =
+      no_warm_start keep_going max_retries task_timeout fault_plan obs =
     apply_jobs jobs;
     apply_obs obs;
     apply_cache ~no_cache ~dir:cache_dir ~resume:false;
+    apply_warm_start ~no_warm_start;
     apply_resil ~keep_going ~max_retries ~task_timeout ~fault_plan;
     Ts_harness.Cached.set_lru (if lru_entries > 0 then Some lru_entries else None);
     let addr = addr_conv "--listen" listen in
@@ -760,8 +778,9 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run $ jobs_arg $ listen_arg $ max_inflight_arg $ queue_depth_arg
-      $ lru_entries_arg $ cache_dir_arg $ no_cache_arg $ keep_going_arg
-      $ max_retries_arg $ task_timeout_arg $ fault_plan_arg $ obs_term)
+      $ lru_entries_arg $ cache_dir_arg $ no_cache_arg $ no_warm_start_arg
+      $ keep_going_arg $ max_retries_arg $ task_timeout_arg $ fault_plan_arg
+      $ obs_term)
 
 let client_cmd =
   let connect_arg =

@@ -17,6 +17,10 @@ let m_slot_c1 = Metrics.counter Metrics.default "tms.slots.c1_reject"
 let m_slot_c2 = Metrics.counter Metrics.default "tms.slots.c2_reject"
 let m_slot_admitted = Metrics.counter Metrics.default "tms.slots.admitted"
 
+(* Grid points answered from a warm-start memo instead of a placement
+   run (see [point_memo]). *)
+let m_warm_hits = Metrics.counter Metrics.default "tms.warm.point_hits"
+
 (* Latency distribution of one grid-point attempt (order repair
    included): the unit of work the sweep repeats thousands of times, so
    its p50/p90/p99 is what tells a slow search from a wide one. *)
@@ -81,7 +85,7 @@ type slot_verdict = Admit | Reject_resource | Reject_c1 | Reject_c2
    scans run over preallocated arrays — no lists are built. Rows/stages
    are computed from raw issue cycles; the kernel normalises by a multiple
    of II, so these values equal the final kernel's. *)
-let admit s v ~cycle ~c_delay ~p_max ~c_reg_com =
+let admit ?c2obs s v ~cycle ~c_delay ~p_max ~c_reg_com =
   let g = S.ddg s in
   let ii = S.ii s in
   if not (S.fits s v ~cycle) then Reject_resource
@@ -170,13 +174,15 @@ let admit s v ~cycle ~c_delay ~p_max ~c_reg_com =
               acc := !acc *. (1.0 -. e.Ts_ddg.Ddg.prob))
           mem_arr;
         let freq = 1.0 -. !acc in
-        if freq <= p_max +. 1e-12 then Admit else Reject_c2
+        let ok = freq <= p_max +. 1e-12 in
+        (match c2obs with Some f -> f freq ok | None -> ());
+        if ok then Admit else Reject_c2
       end
     end
   end
 
-let admissible s v ~cycle ~c_delay ~p_max ~c_reg_com =
-  admit s v ~cycle ~c_delay ~p_max ~c_reg_com = Admit
+let admissible ?c2obs s v ~cycle ~c_delay ~p_max ~c_reg_com =
+  admit ?c2obs s v ~cycle ~c_delay ~p_max ~c_reg_com = Admit
 
 type reject = {
   node : int;
@@ -217,7 +223,8 @@ let flush_tally t =
   Metrics.incr ~by:t.t_c2 m_slot_c2;
   Metrics.incr ~by:t.t_admit m_slot_admitted
 
-let try_schedule_tallied tally ?asap g ~order ~ii ~c_delay ~p_max ~c_reg_com =
+let try_schedule_tallied tally ?c2obs ?asap g ~order ~ii ~c_delay ~p_max
+    ~c_reg_com =
   let s = S.create ?asap g ~ii in
   let rec place_all = function
     | [] -> Ok (K.of_schedule s)
@@ -230,7 +237,7 @@ let try_schedule_tallied tally ?asap g ~order ~ii ~c_delay ~p_max ~c_reg_com =
         | Some (lo, hi, dir) ->
             let resource = ref 0 and c1 = ref 0 and c2 = ref 0 in
             let try_cycle c =
-              match admit s v ~cycle:c ~c_delay ~p_max ~c_reg_com with
+              match admit ?c2obs s v ~cycle:c ~c_delay ~p_max ~c_reg_com with
               | Admit ->
                   tally.t_admit <- tally.t_admit + 1;
                   S.place s v ~cycle:c;
@@ -269,6 +276,46 @@ let try_schedule ?asap g ~order ~ii ~c_delay ~p_max ~c_reg_com =
   match try_schedule_explained ?asap g ~order ~ii ~c_delay ~p_max ~c_reg_com with
   | Ok k -> Some k
   | Error _ -> None
+
+(* ---- warm-start point memo ----
+
+   A grid-point attempt is a pure function of (DDG, II, C_delay,
+   c_reg_com, P_max): the swing order, the ASAP table and every placement
+   decision are deterministic. [P_max] enters only through C2's
+   [freq <= p_max + 1e-12] comparisons (including {!Tms_ims}'s post-pass
+   misspeculation check, which has the same shape), so an attempt's
+   outcome recorded at one P_max is valid verbatim at another P_max'
+   whenever every comparison it made keeps its verdict: the first
+   comparison then takes the same branch, which makes the second
+   comparison identical, and so on. The envelope below captures exactly
+   that condition — [po_c2_admit_max] is the largest frequency a
+   comparison admitted and [po_c2_reject_min] the smallest it rejected,
+   so the outcome transfers to P_max' iff
+
+     po_c2_admit_max <= p_max' + 1e-12  &&  po_c2_reject_min > p_max' + 1e-12.
+
+   A provider ({!Ts_harness.Cached}) persists outcomes keyed by
+   (DDG, c_reg_com, II, C_delay) and answers [pm_find] only when the
+   envelope covers the requested P_max, which makes a warm-started search
+   bit-identical to a cold one by construction: the F-plateau walk, the
+   attempt counters and the slot tallies replay the recorded values, and
+   the kernels rebuild from the recorded issue times. *)
+
+type point_outcome = {
+  po_times : int array option; (* issue times of the scheduled kernel *)
+  po_reject : reject option; (* the diagnosis when placement failed *)
+  po_tally : int * int * int * int; (* resource / C1 / C2 / admitted *)
+  po_c2_admit_max : float;
+  po_c2_reject_min : float;
+}
+
+type point_memo = {
+  pm_find : ii:int -> c_delay:int -> p_max:float -> point_outcome option;
+  pm_store : ii:int -> c_delay:int -> p_max:float -> point_outcome -> unit;
+}
+
+let envelope_covers ~admit_max ~reject_min p_max =
+  admit_max <= p_max +. 1e-12 && reject_min > p_max +. 1e-12
 
 let finish ~params ~p_max ~mii ~attempts ~fell_back ~c_delay_threshold ~f_min kernel =
   let c_reg_com = params.Ts_isa.Spmt_params.c_reg_com in
@@ -321,7 +368,8 @@ let result_event trace (r : result) =
           ("fell_back", Ts_obs.Json.Bool r.fell_back);
         ]
 
-let schedule ?(trace = Trace.null) ?(p_max = default_p_max) ?max_ii ~params g =
+let schedule ?(trace = Trace.null) ?(p_max = default_p_max) ?max_ii ?point_memo
+    ~params g =
   Ts_obs.Prof.span "tms.search" @@ fun () ->
   let mii = Ts_ddg.Mii.mii g in
   let ii_max =
@@ -365,11 +413,18 @@ let schedule ?(trace = Trace.null) ?(p_max = default_p_max) ?max_ii ~params g =
      blocking node to the front (so it gets first pick of the window) and
      re-run the placement from scratch.  Each grid point restarts from
      the pristine swing order. *)
-  let try_point ~ii ~cd =
+  let cold_point ~ii ~cd =
     let tally = new_tally () in
+    (* C2 comparison envelope for the warm-start memo (see
+       [point_outcome]); recorded across every order-repair retry. *)
+    let admit_max = ref neg_infinity and reject_min = ref infinity in
+    let c2obs freq ok =
+      if ok then (if freq > !admit_max then admit_max := freq)
+      else if freq < !reject_min then reject_min := freq
+    in
     let rec go order k =
       let res =
-        try_schedule_tallied tally ~asap:(asap_for ii) g ~order ~ii
+        try_schedule_tallied tally ~c2obs ~asap:(asap_for ii) g ~order ~ii
           ~c_delay:cd ~p_max ~c_reg_com
       in
       match res with
@@ -381,7 +436,46 @@ let schedule ?(trace = Trace.null) ?(p_max = default_p_max) ?max_ii ~params g =
           go (entry :: rest) (k + 1)
       | Error _ -> res
     in
-    (go order 0, tally)
+    let res = go order 0 in
+    (match point_memo with
+    | Some pm ->
+        pm.pm_store ~ii ~c_delay:cd ~p_max
+          {
+            po_times =
+              (match res with
+              | Ok kernel -> Some (Array.copy kernel.K.time)
+              | Error _ -> None);
+            po_reject = (match res with Error r -> Some r | Ok _ -> None);
+            po_tally = (tally.t_resource, tally.t_c1, tally.t_c2, tally.t_admit);
+            po_c2_admit_max = !admit_max;
+            po_c2_reject_min = !reject_min;
+          }
+    | None -> ());
+    (res, tally)
+  in
+  let try_point ~ii ~cd =
+    match point_memo with
+    | None -> cold_point ~ii ~cd
+    | Some pm -> (
+        match pm.pm_find ~ii ~c_delay:cd ~p_max with
+        | None -> cold_point ~ii ~cd
+        | Some po -> (
+            let tally_of (r, c1, c2, ad) =
+              { t_resource = r; t_c1 = c1; t_c2 = c2; t_admit = ad }
+            in
+            match (po.po_times, po.po_reject) with
+            | Some times, _ -> (
+                (* A corrupted entry (times that no longer validate) falls
+                   back to the cold attempt; the provider overwrites it. *)
+                match K.of_times g ~ii times with
+                | kernel ->
+                    Metrics.incr m_warm_hits;
+                    (Ok kernel, tally_of po.po_tally)
+                | exception _ -> cold_point ~ii ~cd)
+            | None, Some rej ->
+                Metrics.incr m_warm_hits;
+                (Error rej, tally_of po.po_tally)
+            | None, None -> cold_point ~ii ~cd))
   in
   let timed_point ~ii ~cd =
     let at0 = Unix.gettimeofday () in
@@ -510,10 +604,13 @@ let schedule ?(trace = Trace.null) ?(p_max = default_p_max) ?max_ii ~params g =
     Trace.end_span trace ~ts:(Trace.tick trace) "tms.search";
   r
 
-let schedule_sweep ?(trace = Trace.null) ?(p_maxes = [ 0.01; 0.05; 0.25 ]) ~params
-    g =
+let schedule_sweep ?(trace = Trace.null) ?(p_maxes = [ 0.01; 0.05; 0.25 ])
+    ?point_memo ~params g =
   let n = 1000 in
-  let run p_max = schedule ~trace ~p_max ~params g in
+  (* A shared point memo pays off twice here: the per-P_max searches walk
+     the same (II, C_delay) grid, and most attempts' C2 envelopes cover
+     several of the swept P_max values. *)
+  let run p_max = schedule ~trace ~p_max ?point_memo ~params g in
   (* One worker domain per P_max. An enabled tracer is a single shared
      sink, so traced sweeps stay sequential (and their event order
      deterministic); results are identical either way. *)

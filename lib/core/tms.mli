@@ -60,15 +60,66 @@ val default_place_retries : int
     re-run with the blocking node hoisted to the front of the swing
     order before the grid point is abandoned. *)
 
+type reject = {
+  node : int;  (** the node whose placement failed *)
+  window_empty : bool;  (** its scheduling window was empty *)
+  resource_rejects : int;  (** slots rejected by the resource check *)
+  c1_rejects : int;  (** slots rejected by C1 *)
+  c2_rejects : int;  (** slots rejected by C2 *)
+}
+(** Why one [(II, C_delay)] attempt died: either the failing node had no
+    window at all, or every candidate slot was rejected (with the
+    per-condition counts). *)
+
+type point_outcome = {
+  po_times : int array option;
+      (** issue times of the scheduled kernel; [None] = placement failed *)
+  po_reject : reject option;  (** the diagnosis when placement failed *)
+  po_tally : int * int * int * int;
+      (** slot verdicts (resource, C1, C2, admitted) to replay into the
+          [tms.slots.*] counters *)
+  po_c2_admit_max : float;
+      (** largest misspeculation frequency a C2 comparison admitted
+          ([neg_infinity] when none did) *)
+  po_c2_reject_min : float;
+      (** smallest frequency C2 rejected ([infinity] when none) *)
+}
+(** The complete recorded outcome of one grid-point attempt. An attempt
+    is deterministic given (DDG, II, C_delay, c_reg_com) except for its
+    C2 comparisons against [P_max]; the admit/reject envelope captures
+    the set of [P_max] values at which the recorded run would have made
+    identical decisions, so one entry serves a whole [P_max] sweep. *)
+
+type point_memo = {
+  pm_find : ii:int -> c_delay:int -> p_max:float -> point_outcome option;
+  pm_store : ii:int -> c_delay:int -> p_max:float -> point_outcome -> unit;
+}
+(** Warm-start provider ({!Ts_harness.Cached} backs one with the persist
+    store). [pm_find] must answer only outcomes whose envelope covers the
+    requested [p_max] (see {!envelope_covers}) and that were recorded by
+    the same scheduling engine on the same DDG and [c_reg_com]; under
+    that contract a warm-started search returns bit-identical results to
+    a cold one — the walk merely replays recorded outcomes. Both
+    callbacks may be invoked concurrently from pool worker domains. *)
+
+val envelope_covers : admit_max:float -> reject_min:float -> float -> bool
+(** [envelope_covers ~admit_max ~reject_min p_max]: would every recorded
+    C2 comparison keep its verdict at [p_max]? *)
+
 val schedule :
   ?trace:Ts_obs.Trace.t ->
   ?p_max:float ->
   ?max_ii:int ->
+  ?point_memo:point_memo ->
   params:Ts_isa.Spmt_params.t ->
   Ts_ddg.Ddg.t ->
   result
 (** Run TMS. [max_ii] bounds the II grid (default
     {!Ts_ddg.Mii.ii_upper_bound}).
+
+    [point_memo] warm-starts the grid walk from previously recorded
+    attempt outcomes; hits are counted on [tms.warm.point_hits] and the
+    returned result is bit-identical to a cold search.
 
     [trace] (default {!Ts_obs.Trace.null}) receives a ["tms.search"] span
     enclosing one ["tms.attempt"] instant event per [(II, C_delay)] point
@@ -80,17 +131,6 @@ val schedule :
 
     Slot-level admission outcomes (resource/C1/C2 rejections, admissions)
     are counted on {!Ts_obs.Metrics.default} under [tms.slots.*]. *)
-
-type reject = {
-  node : int;  (** the node whose placement failed *)
-  window_empty : bool;  (** its scheduling window was empty *)
-  resource_rejects : int;  (** slots rejected by the resource check *)
-  c1_rejects : int;  (** slots rejected by C1 *)
-  c2_rejects : int;  (** slots rejected by C2 *)
-}
-(** Why one [(II, C_delay)] attempt died: either the failing node had no
-    window at all, or every candidate slot was rejected (with the
-    per-condition counts). *)
 
 val reject_reason : reject -> string
 (** Compact label for traces: ["window-empty"],
@@ -126,6 +166,7 @@ val try_schedule :
 type slot_verdict = Admit | Reject_resource | Reject_c1 | Reject_c2
 
 val admit :
+  ?c2obs:(float -> bool -> unit) ->
   Ts_modsched.Sched.t ->
   int ->
   cycle:int ->
@@ -138,9 +179,13 @@ val admit :
     register dependences, C2 on the resulting misspeculation frequency.
     Allocation-free: it reads the partial schedule's incrementally
     maintained dependence masks ({!Ts_modsched.Sched.reg_active_mask})
-    and only examines the edges incident to the candidate node. *)
+    and only examines the edges incident to the candidate node.
+
+    [c2obs] observes every C2 comparison as [(frequency, admitted)] — the
+    hook the warm-start envelope ({!point_outcome}) is built from. *)
 
 val admissible :
+  ?c2obs:(float -> bool -> unit) ->
   Ts_modsched.Sched.t ->
   int ->
   cycle:int ->
@@ -172,10 +217,13 @@ val result_event : Ts_obs.Trace.t -> result -> unit
 val schedule_sweep :
   ?trace:Ts_obs.Trace.t ->
   ?p_maxes:float list ->
+  ?point_memo:point_memo ->
   params:Ts_isa.Spmt_params.t ->
   Ts_ddg.Ddg.t ->
   result
 (** Section 4.3: "several values for [P_max] can be tried so that the best
     schedule for a loop can be picked". Runs {!schedule} for each value
     (default [\[0.01; 0.05; 0.25\]]) and keeps the schedule with the lowest
-    cost-model estimate {!Cost_model.estimate}. *)
+    cost-model estimate {!Cost_model.estimate}. A shared [point_memo]
+    also deduplicates attempts {e across} the swept values: most C2
+    envelopes cover several [P_max]es at once. *)

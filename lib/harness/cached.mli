@@ -55,6 +55,41 @@ val ddg_fp : Ts_ddg.Ddg.t -> string
 
 val cfg_fp : Ts_spmt.Config.t -> string
 
+(** {2 Warm-started searches}
+
+    Even when a search {e result} misses the cache (a new [p_max], a
+    changed core count), its grid walk revisits (II, C_delay) points
+    whose attempt outcomes are already on disk: attempts depend only on
+    the DDG, [c_reg_com] and — through the recorded C2 envelope — the
+    requested [P_max] ({!Ts_tms.Tms.point_memo}). The TMS wrappers below
+    therefore seed each search from one persisted point table per
+    (engine, DDG, [c_reg_com]) and flush the grown table back after the
+    search. Warm-started searches return bit-identical results to cold
+    ones — they replay recorded outcomes, never approximate neighbours —
+    and hits are counted on [tms.warm.point_hits]. *)
+
+val set_warm_start : bool -> unit
+(** Enable/disable warm-started searches (default enabled; the CLI's
+    [--no-warm-start]). Purely a performance knob — results are
+    identical either way. *)
+
+val get_warm_start : unit -> bool
+
+val point_memo :
+  engine:string ->
+  params:Ts_isa.Spmt_params.t ->
+  Ts_ddg.Ddg.t ->
+  (Ts_tms.Tms.point_memo * (unit -> unit)) option
+(** The provider itself: [Some (memo, flush)] when warm-start is
+    enabled, with [flush] persisting the table (call it once after the
+    search; no-op without a store). [engine] keys the table — use
+    ["tms"] for swing-based searches and ["tms_ims"] for IMS-based ones;
+    the two engines disagree at the same grid point and must never share
+    entries. Both callbacks are safe to invoke from pool worker
+    domains. Exposed for the search benchmark and the warm-start
+    regression tests; normal callers just use {!tms} / {!tms_sweep} /
+    {!tms_ims}. *)
+
 (** {2 Cached schedulers} *)
 
 val sms : Ts_ddg.Ddg.t -> Ts_sms.Sms.result
@@ -75,7 +110,12 @@ val tms_ims : params:Ts_isa.Spmt_params.t -> Ts_ddg.Ddg.t -> Ts_tms.Tms.result
     steady-state fast path on — proven (and regression-tested) to return
     stats identical to exact execution; pass [fast:false] to force the
     exact path (the simulator benchmark measures one against the
-    other). *)
+    other).
+
+    [warmup] defaults to {!Defaults.warmup} (512), the same warm-up every
+    harness driver and the CLI use — omitting the argument must never
+    silently publish cold-cache numbers. Pass [~warmup:0] explicitly to
+    measure the cold ramp. *)
 
 val sim :
   ?sync_mem:bool ->

@@ -225,7 +225,10 @@ let request_of_json j =
             in
             let* warmup =
               match mem_int "warmup" j with
-              | None -> Ok 512
+              (* Shared constant, not a literal: a request that omits
+                 warmup gets the same warmed measurement as the harness
+                 drivers and the CLI. *)
+              | None -> Ok Ts_harness.Defaults.warmup
               | Some n when n >= 0 -> Ok n
               | Some _ -> Error "\"warmup\" must be >= 0"
             in

@@ -53,6 +53,7 @@ let m_errors = Metrics.counter Metrics.default "serve.errors"
 let g_inflight = Metrics.gauge Metrics.default "serve.inflight"
 let g_queue = Metrics.gauge Metrics.default "serve.queue"
 let m_request_ms = Metrics.histogram Metrics.default "serve.request_ms"
+let m_graveyard = Metrics.counter Metrics.default "serve.graveyard"
 
 (* ---- configuration --------------------------------------------------- *)
 
@@ -82,6 +83,10 @@ type conn = {
   mutable alive : bool;  (* read side still open; loop-owned *)
   dead : bool Atomic.t;  (* a write failed: close as soon as drained *)
   pending : int Atomic.t;  (* worker responses not yet written *)
+  gy : bool Atomic.t;
+      (* in the shutdown graveyard: the worker that takes [pending] to 0
+         closes the fd itself (see [finish_conn]) *)
+  closed : bool Atomic.t;  (* fd-close CAS — exactly one closer, ever *)
 }
 
 type t = {
@@ -93,15 +98,23 @@ type t = {
   inflight : int Atomic.t;
   waiting : (conn * Protocol.request) Queue.t;  (* loop-owned *)
   mutable conns : conn list;  (* loop-owned *)
+  graveyard_left : int Atomic.t;  (* graveyard conns not yet closed *)
+  pipes_deferred : bool Atomic.t;
+      (* shutdown left stragglers: the last graveyard closer also
+         closes the self-pipe *)
+  pipes_closed : bool Atomic.t;
   sock_path : string option;
   bound : addr;
   started : float;
 }
 
-(* Only the event loop ever closes a connection fd, and only when no
-   worker holds a pending response for it ([pending] = 0) — so a worker
-   writing under [wlock] can never race a close or hit a recycled
-   descriptor. A failed write just marks the connection dead. *)
+(* A connection fd is closed only when no worker holds a pending
+   response for it ([pending] = 0) — so a worker writing under [wlock]
+   can never race a close or hit a recycled descriptor. While the loop
+   runs, the loop is the only closer; after shutdown, stragglers move to
+   a graveyard and the worker that writes the last pending response
+   closes the fd itself (the [closed] CAS makes the close exactly-once
+   either way). A failed write just marks the connection dead. *)
 let send t c json =
   let s = Json.to_string json in
   Mutex.lock c.wlock;
@@ -116,8 +129,41 @@ let send t c json =
   ignore t
 
 let notify t =
-  try ignore (Unix.write t.pipe_w (Bytes.make 1 '!') 0 1)
-  with Unix.Unix_error _ -> ()
+  if not (Atomic.get t.pipes_closed) then
+    try ignore (Unix.write t.pipe_w (Bytes.make 1 '!') 0 1)
+    with Unix.Unix_error _ -> ()
+
+let close_fd_once c =
+  if Atomic.exchange c.closed true then false
+  else begin
+    (try Unix.close c.fd with Unix.Unix_error _ -> ());
+    true
+  end
+
+let close_pipes t =
+  if not (Atomic.exchange t.pipes_closed true) then begin
+    (try Unix.close t.pipe_r with Unix.Unix_error _ -> ());
+    try Unix.close t.pipe_w with Unix.Unix_error _ -> ()
+  end
+
+(* A graveyard close: a straggler's fd is released the moment its last
+   pending response has been written, and the final straggler overall
+   also releases the self-pipe (every graveyard worker's [notify]
+   happens before its [pending] decrement, so no worker can touch the
+   pipe afterwards). Callable from worker domains and from the shutdown
+   sweep — the [closed] CAS arbitrates. *)
+let finish_conn t c =
+  if not (Atomic.exchange c.closed true) then begin
+    (* Count before closing: the close is externally observable (the
+       client reads EOF), so anything a client may poll for afterwards
+       must already be published. *)
+    Metrics.incr m_graveyard;
+    (try Unix.close c.fd with Unix.Unix_error _ -> ());
+    if
+      Atomic.fetch_and_add t.graveyard_left (-1) = 1
+      && Atomic.get t.pipes_deferred
+    then close_pipes t
+  end
 
 (* ---- request execution (pool workers) -------------------------------- *)
 
@@ -357,6 +403,9 @@ let create cfg =
     inflight = Atomic.make 0;
     waiting = Queue.create ();
     conns = [];
+    graveyard_left = Atomic.make 0;
+    pipes_deferred = Atomic.make false;
+    pipes_closed = Atomic.make false;
     sock_path;
     bound;
     started = Unix.gettimeofday ();
@@ -381,8 +430,12 @@ let dispatch t c (req : Protocol.request) =
          Metrics.observe m_request_ms ((Unix.gettimeofday () -. t0) *. 1000.0);
          send t c resp;
          Atomic.decr t.inflight;
-         Atomic.decr c.pending;
-         notify t))
+         (* The self-pipe kick precedes the [pending] decrement: once a
+            graveyard conn's counter hits 0 the pipe may be closed, so
+            nothing may touch it afterwards. *)
+         notify t;
+         if Atomic.fetch_and_add c.pending (-1) = 1 && Atomic.get c.gy then
+           finish_conn t c))
 
 let handle_request t c j =
   match Protocol.request_of_json j with
@@ -474,7 +527,7 @@ let drain_pipe t =
 
 let close_conn c =
   Atomic.set c.dead true;
-  try Unix.close c.fd with Unix.Unix_error _ -> ()
+  ignore (close_fd_once c)
 
 (* Close connections whose read side is gone (or whose write side died)
    once no worker still owes them a response. *)
@@ -497,6 +550,8 @@ let accept_new t =
             alive = true;
             dead = Atomic.make false;
             pending = Atomic.make 0;
+            gy = Atomic.make false;
+            closed = Atomic.make false;
           }
         in
         t.conns <- c :: t.conns;
@@ -566,19 +621,30 @@ let run t =
     end
   in
   drain ();
-  (* If the drain deadline passed with work still inflight, those
-     workers may yet write responses: mark their connections dead (the
-     write becomes a no-op under [wlock]) and leak the fds and the
-     self-pipe rather than risk a recycled descriptor. *)
-  List.iter
-    (fun c ->
-      if Atomic.get c.pending = 0 then close_conn c else Atomic.set c.dead true)
-    t.conns;
+  (* Stragglers past the drain deadline: their workers may yet write
+     responses, so the loop cannot close their fds here (a write under
+     [wlock] must never hit a recycled descriptor). Each goes to the
+     graveyard instead — the worker that writes the last pending
+     response closes the fd itself, and the last straggler overall also
+     closes the self-pipe. Nothing leaks, and a response finished after
+     the deadline still reaches its client before the close. *)
+  let clean, stragglers =
+    List.partition (fun c -> Atomic.get c.pending = 0) t.conns
+  in
+  List.iter close_conn clean;
   t.conns <- [];
-  if Atomic.get t.inflight = 0 then begin
-    (try Unix.close t.pipe_r with Unix.Unix_error _ -> ());
-    try Unix.close t.pipe_w with Unix.Unix_error _ -> ()
-  end;
+  (match stragglers with
+  | [] -> close_pipes t
+  | _ ->
+      Atomic.set t.graveyard_left (List.length stragglers);
+      Atomic.set t.pipes_deferred true;
+      List.iter (fun c -> Atomic.set c.gy true) stragglers;
+      (* A worker may have taken [pending] to 0 before its [gy] flag was
+         visible; sweep once so such conns are not orphaned (the CAS in
+         [finish_conn] keeps a racing worker harmless). *)
+      List.iter
+        (fun c -> if Atomic.get c.pending = 0 then finish_conn t c)
+        stragglers);
   match t.sock_path with
   | Some p -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
   | None -> ()

@@ -30,8 +30,8 @@
     Server metrics (on {!Ts_obs.Metrics.default}, so the [metrics] op's
     Prometheus exposition includes them): [serve.connections],
     [serve.requests], [serve.accepted], [serve.shed], [serve.responses],
-    [serve.errors] counters, [serve.inflight] / [serve.queue] gauges and
-    the [serve.request_ms] latency histogram. *)
+    [serve.errors], [serve.graveyard] counters, [serve.inflight] /
+    [serve.queue] gauges and the [serve.request_ms] latency histogram. *)
 
 type addr = Unix_sock of string | Tcp of string * int
 
@@ -68,8 +68,13 @@ val bound_addr : t -> addr
 val run : t -> unit
 (** The event loop. Blocks until {!stop}, then drains inflight requests
     (up to [drain_timeout_s]), closes every connection and the listener,
-    and removes the unix socket file. Idempotent cleanup: safe to call
-    once per [t]. *)
+    and removes the unix socket file. A request still running when the
+    drain deadline passes does not leak its descriptors: the connection
+    moves to a graveyard and the worker that writes its last pending
+    response closes the fd itself (counted on [serve.graveyard]); the
+    last such worker also closes the internal self-pipe. Such late
+    responses still reach their clients. Idempotent cleanup: safe to
+    call once per [t]. *)
 
 val stop : t -> unit
 (** Request shutdown. Async-signal-safe (an atomic flag and a self-pipe

@@ -107,3 +107,11 @@ let stats t = (t.hits, t.misses)
 let reset_stats t =
   t.hits <- 0;
   t.misses <- 0
+
+let reset t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  for i = 0 to Array.length t.lru - 1 do
+    Array.unsafe_set t.lru i (i mod t.assoc)
+  done;
+  t.hits <- 0;
+  t.misses <- 0

@@ -30,3 +30,10 @@ val stats : t -> int * int
 val reset_stats : t -> unit
 (** Zero the hit/miss counters (content untouched) — used to exclude a
     warmup phase from the reported numbers. *)
+
+val reset : t -> unit
+(** Return the cache to its freshly-created state: every line invalid,
+    the LRU permutation re-initialised, counters zeroed. Lets the
+    simulator's scratch arena reuse one allocation across runs instead of
+    re-creating the tag/age arrays per sweep point; observationally
+    identical to [create] with the same geometry. *)

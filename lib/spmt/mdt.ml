@@ -1,13 +1,22 @@
 type entry = { thread : int; finish : int }
 
 type t = {
-  horizon : int;
+  mutable horizon : int;
   table : (int, entry list) Hashtbl.t; (* addr -> stores, newest first *)
   mutable live : int;
   mutable peak : int;
 }
 
 let create ~horizon = { horizon; table = Hashtbl.create 256; live = 0; peak = 0 }
+
+(* [Hashtbl.clear] keeps the grown bucket table, so a cleared MDT starts
+   the next run with the capacity the previous one needed — the arena
+   reuse path. Observationally identical to a fresh [create]. *)
+let clear t ~horizon =
+  t.horizon <- horizon;
+  Hashtbl.clear t.table;
+  t.live <- 0;
+  t.peak <- 0
 
 let record_store t ~thread ~addr ~finish =
   let cur = try Hashtbl.find t.table addr with Not_found -> [] in

@@ -16,6 +16,11 @@ val create : horizon:int -> t
     (the core count): entries older than that are architecturally
     committed and can no longer conflict. *)
 
+val clear : t -> horizon:int -> unit
+(** Empty the table and counters, keeping the underlying bucket storage:
+    equivalent to a fresh [create ~horizon] but allocation-free, for the
+    simulator's per-domain scratch arena. *)
+
 val record_store : t -> thread:int -> addr:int -> finish:int -> unit
 (** Note that [thread]'s store to [addr] completes at absolute cycle
     [finish]. *)

@@ -49,19 +49,12 @@ type stats = {
   stall_breakdown : ((int * int) * int) list;
 }
 
-(* Per-thread record kept for the lookback window. *)
-type thread_exec = {
-  start : int;
-  finish_of : int array; (* absolute completion time per node *)
-  issue_of : int array;
-  end_exec : int;
-}
-
 (* One recorded thread of a fast-path detection window: everything the
    extrapolator needs to replay the thread's observable effects at a
    fixed time shift. Times are absolute (of the recorded thread); the
    extrapolated thread at the same window offset adds a multiple of the
-   window period. *)
+   window period. The arrays are arena-pooled with capacity >= the run's
+   node count; every reader bounds itself by the run's [n]. *)
 type fp_rec = {
   mutable r_valid : bool;
   mutable r_start : int;
@@ -76,12 +69,6 @@ type fp_rec = {
   r_issue : int array;
   r_lats : int array; (* per-load cache latency, the window's miss pattern *)
 }
-
-(* History ring entry: a really executed thread, or an extrapolated one
-   standing on a signature record at a time shift. Only producer finish
-   times are ever read back (by RECV arrival folds), so the virtual form
-   needs no arrays of its own. *)
-type hist = Hreal of thread_exec | Hvirt of fp_rec * int
 
 (* Thread-timing memoisation (fast path, every regime). A thread's timing
    is a max-plus function: each issue/finish time is a max of
@@ -123,6 +110,242 @@ type thread_obs = {
   commit_end : int;
   squashed : bool;
 }
+
+(* ---- per-domain scratch arena ----
+
+   Everything the per-cycle core touches per thread lives in flat [int
+   array] scratch owned by a per-domain arena: the history ring is a
+   struct-of-arrays (kind/shift tags plus flat [horizon * n] issue/finish
+   planes), dependences are CSR index arrays, RECV-stall accounting is a
+   flat [n * n] counter plane with a touched-list for O(touched) scrub,
+   and the speculative-write-buffer event sweep is an int-keyed binary
+   min-heap. The arena (including the caches, the MDT and the
+   thread-timing memo table) is acquired at the top of every [run] and
+   reused across sweep points on the same domain — the resident pool
+   workers are domains, so a TMS sweep's thousands of simulations share
+   one allocation. Capacities only grow; every loop bounds itself by the
+   current run's sizes.
+
+   Lifetime rules: an arena is owned by exactly one running [run] at a
+   time ([in_use]; a re-entrant call from an [observe] hook gets a fresh
+   transient arena). All scratch is scrubbed on acquire, not release, so
+   a run that dies mid-flight (a [check] failure, a user hook raising)
+   cannot poison the next run on that domain. Nothing in the returned
+   [stats] aliases arena storage. *)
+type arena = {
+  mutable in_use : bool;
+  mutable cap_n : int; (* capacity of every node-indexed scratch array *)
+  (* per-thread scratch *)
+  mutable lat_buf : int array;
+  (* CSR views of the kernel's dependence structure (refilled per run) *)
+  mutable by_row : int array;
+  mutable loads : int array;
+  mutable stores : int array;
+  mutable reg_off : int array;
+  mutable reg_src : int array;
+  mutable reg_dk : int array;
+  mutable intra_off : int array;
+  mutable intra_src : int array;
+  mutable redir_off : int array;
+  mutable redir_iter : int array;
+  mutable redir_addr : int array;
+  (* RECV-stall accumulation, flat [producer * n + consumer] *)
+  mutable stall_cnt : int array;
+  mutable stall_touched : int array;
+  mutable stall_ntouched : int;
+  (* history ring, struct-of-arrays *)
+  mutable h_kind : int array; (* 0 empty / 1 real / 2 extrapolated *)
+  mutable h_shift : int array;
+  mutable h_rec : fp_rec array;
+  mutable h_issue : int array; (* flat [slot * n + node] *)
+  mutable h_finish : int array;
+  (* write-buffer event min-heap; key = instant*2 + (1 iff allocation) *)
+  mutable wb_heap : int array;
+  mutable wb_len : int;
+  (* reusable stateful models *)
+  mutable cache_geom : int * int * int * int * int * int;
+  mutable l1 : Cache.t array;
+  mutable l2 : Cache.t;
+  mdt : Mdt.t;
+  memo : memo_val Memo_tbl.t;
+  (* fast-path detection window pool (arrays have capacity [cap_n]) *)
+  mutable win_len : int;
+  mutable win_pool : fp_rec array list;
+}
+
+let dummy_rec =
+  {
+    r_valid = false;
+    r_start = 0;
+    r_end_exec = 0;
+    r_commit_end = 0;
+    r_spawn = 0;
+    r_squashed = false;
+    r_coin = false;
+    r_stalls = [];
+    r_finish = [||];
+    r_issue = [||];
+    r_lats = [||];
+  }
+
+let arena_create () =
+  {
+    in_use = false;
+    cap_n = 0;
+    lat_buf = [||];
+    by_row = [||];
+    loads = [||];
+    stores = [||];
+    reg_off = [| 0 |];
+    reg_src = [||];
+    reg_dk = [||];
+    intra_off = [| 0 |];
+    intra_src = [||];
+    redir_off = [| 0 |];
+    redir_iter = [||];
+    redir_addr = [||];
+    stall_cnt = [||];
+    stall_touched = [||];
+    stall_ntouched = 0;
+    h_kind = [||];
+    h_shift = [||];
+    h_rec = [||];
+    h_issue = [||];
+    h_finish = [||];
+    wb_heap = [||];
+    wb_len = 0;
+    cache_geom = (0, 0, 0, 0, 0, 0);
+    l1 = [||];
+    l2 = Cache.create ~size:32 ~assoc:1 ~line:32;
+    mdt = Mdt.create ~horizon:1;
+    memo = Memo_tbl.create 256;
+    win_len = 0;
+    win_pool = [];
+  }
+
+(* Scrub on acquire (see the lifetime rules above): O(touched) for the
+   stall plane, O(horizon) for the ring tags, O(1) for the heap. *)
+let arena_scrub a =
+  for i = 0 to a.stall_ntouched - 1 do
+    a.stall_cnt.(a.stall_touched.(i)) <- 0
+  done;
+  a.stall_ntouched <- 0;
+  a.wb_len <- 0;
+  Array.fill a.h_kind 0 (Array.length a.h_kind) 0;
+  Memo_tbl.clear a.memo
+
+let arena_slot : arena option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let arena_acquire () =
+  let slot = Domain.DLS.get arena_slot in
+  match !slot with
+  | Some a when not a.in_use ->
+      a.in_use <- true;
+      arena_scrub a;
+      a
+  | held ->
+      let a = arena_create () in
+      if held = None then slot := Some a;
+      a.in_use <- true;
+      a
+
+let arena_release a = a.in_use <- false
+
+let grown len cur = if len <= cur then cur else max len ((2 * cur) + 8)
+
+let arena_ensure_n a n =
+  if n > a.cap_n then begin
+    let c = grown n a.cap_n in
+    a.cap_n <- c;
+    a.lat_buf <- Array.make c 0;
+    a.by_row <- Array.make c 0;
+    a.loads <- Array.make c 0;
+    a.stores <- Array.make c 0;
+    a.reg_off <- Array.make (c + 1) 0;
+    a.intra_off <- Array.make (c + 1) 0;
+    a.redir_off <- Array.make (c + 1) 0;
+    a.stall_cnt <- Array.make (c * c) 0;
+    (* pooled windows carry node-capacity arrays: drop the stale pool *)
+    a.win_pool <- []
+  end
+
+let arena_ensure_edges a ~n_reg ~n_intra =
+  if n_reg > Array.length a.reg_src then begin
+    a.reg_src <- Array.make (grown n_reg (Array.length a.reg_src)) 0;
+    a.reg_dk <- Array.make (Array.length a.reg_src) 0
+  end;
+  if n_intra > Array.length a.intra_src then
+    a.intra_src <- Array.make (grown n_intra (Array.length a.intra_src)) 0
+
+let arena_ensure_redir a len =
+  if len > Array.length a.redir_iter then begin
+    a.redir_iter <- Array.make (grown len (Array.length a.redir_iter)) 0;
+    a.redir_addr <- Array.make (Array.length a.redir_iter) 0
+  end
+
+let arena_ensure_hist a ~slots ~n =
+  if slots > Array.length a.h_kind then begin
+    a.h_kind <- Array.make slots 0;
+    a.h_shift <- Array.make slots 0;
+    a.h_rec <- Array.make slots dummy_rec
+  end;
+  if slots * n > Array.length a.h_issue then begin
+    a.h_issue <- Array.make (grown (slots * n) (Array.length a.h_issue)) 0;
+    a.h_finish <- Array.make (Array.length a.h_issue) 0
+  end
+
+let wb_push a key =
+  let len = a.wb_len in
+  if len >= Array.length a.wb_heap then begin
+    let bigger = Array.make (grown (len + 1) (Array.length a.wb_heap)) 0 in
+    Array.blit a.wb_heap 0 bigger 0 len;
+    a.wb_heap <- bigger
+  end;
+  let h = a.wb_heap in
+  a.wb_len <- len + 1;
+  let i = ref len in
+  while
+    !i > 0
+    &&
+    let parent = (!i - 1) / 2 in
+    if Array.unsafe_get h parent > key then begin
+      Array.unsafe_set h !i (Array.unsafe_get h parent);
+      i := parent;
+      true
+    end
+    else false
+  do
+    ()
+  done;
+  Array.unsafe_set h !i key
+
+let wb_pop a =
+  let h = a.wb_heap in
+  let top = Array.unsafe_get h 0 in
+  let len = a.wb_len - 1 in
+  a.wb_len <- len;
+  let last = Array.unsafe_get h len in
+  let i = ref 0 in
+  let stop = ref false in
+  while not !stop do
+    let l = (2 * !i) + 1 in
+    if l >= len then stop := true
+    else begin
+      let c =
+        if l + 1 < len && Array.unsafe_get h (l + 1) < Array.unsafe_get h l
+        then l + 1
+        else l
+      in
+      if Array.unsafe_get h c < last then begin
+        Array.unsafe_set h !i (Array.unsafe_get h c);
+        i := c
+      end
+      else stop := true
+    end
+  done;
+  Array.unsafe_set h !i last;
+  top
 
 (* The TS_SIM_TRACE / TS_SIM_TRACE_NODES env vars (removed after a
    deprecation cycle) used to dump per-thread timings to stderr. Setting
@@ -173,42 +396,77 @@ let run_internal ?seed ?plan ~sync_mem ~warmup ~check ?observe ~trace ~trace_pid
   let plan =
     match plan with Some pl -> pl | None -> Address_plan.create ?seed g
   in
-  let l1 =
-    Array.init ncore (fun _ ->
-        Cache.create ~size:cfg.l1_size ~assoc:cfg.l1_assoc ~line:cfg.line)
+  let a = arena_acquire () in
+  Fun.protect ~finally:(fun () -> arena_release a) @@ fun () ->
+  arena_ensure_n a n;
+  (* Caches: reuse the arena's allocation when the geometry matches
+     ([Cache.reset] restores the freshly-created state), else rebuild. *)
+  let geom =
+    (ncore, cfg.l1_size, cfg.l1_assoc, cfg.l2_size, cfg.l2_assoc, cfg.line)
   in
-  let l2 = Cache.create ~size:cfg.l2_size ~assoc:cfg.l2_assoc ~line:cfg.line in
-  (* Shadow reference models for [check] mode. Every cache and MDT
-     operation below goes through a wrapper that mirrors it onto the naive
-     model and compares the answers; the wrappers are the only way the hot
-     loop touches these structures, so an unchecked run is byte-identical
-     to a checked one. *)
+  if a.cache_geom <> geom then begin
+    a.l1 <-
+      Array.init ncore (fun _ ->
+          Cache.create ~size:cfg.l1_size ~assoc:cfg.l1_assoc ~line:cfg.line);
+    a.l2 <- Cache.create ~size:cfg.l2_size ~assoc:cfg.l2_assoc ~line:cfg.line;
+    a.cache_geom <- geom
+  end
+  else begin
+    Array.iter Cache.reset a.l1;
+    Cache.reset a.l2
+  end;
+  let l1 = a.l1 and l2 = a.l2 in
+  (* Shadow reference models for [check] mode, built only when checking.
+     Every cache and MDT operation below goes through a wrapper that
+     mirrors it onto the naive model and compares the answers; the
+     wrappers are the only way the hot loop touches these structures, so
+     an unchecked run is byte-identical to a checked one. The singleton
+     arrays stand in for "present iff [check]" without an option match on
+     the hot path. *)
   let rl1 =
-    Array.init ncore (fun _ ->
-        Ref.Cache.create ~size:cfg.l1_size ~assoc:cfg.l1_assoc ~line:cfg.line)
+    if check then
+      Array.init ncore (fun _ ->
+          Ref.Cache.create ~size:cfg.l1_size ~assoc:cfg.l1_assoc ~line:cfg.line)
+    else [||]
   in
-  let rl2 = Ref.Cache.create ~size:cfg.l2_size ~assoc:cfg.l2_assoc ~line:cfg.line in
-  let l1_what = Array.init ncore (Printf.sprintf "L1 (core %d)") in
-  let cache_access ~what real refm a =
-    let hit = Cache.access real a in
+  let rl2 =
+    if check then
+      [| Ref.Cache.create ~size:cfg.l2_size ~assoc:cfg.l2_assoc ~line:cfg.line |]
+    else [||]
+  in
+  let l1_access core addr =
+    let hit = Cache.access (Array.unsafe_get l1 core) addr in
     if check then begin
-      let expect = Ref.Cache.access refm a in
+      let expect = Ref.Cache.access rl1.(core) addr in
       if hit <> expect then
-        Chk.failf "Sim.run: %s access at addr %d was a %s but the reference \
-                   LRU model says %s"
-          what a
+        Chk.failf "Sim.run: L1 (core %d) access at addr %d was a %s but the \
+                   reference LRU model says %s"
+          core addr
           (if hit then "hit" else "miss")
           (if expect then "hit" else "miss")
     end;
     hit
   in
-  let cache_fill real refm a =
-    Cache.fill real a;
-    if check then Ref.Cache.fill refm a
+  let l2_access addr =
+    let hit = Cache.access l2 addr in
+    if check then begin
+      let expect = Ref.Cache.access rl2.(0) addr in
+      if hit <> expect then
+        Chk.failf "Sim.run: L2 access at addr %d was a %s but the reference \
+                   LRU model says %s"
+          addr
+          (if hit then "hit" else "miss")
+          (if expect then "hit" else "miss")
+    end;
+    hit
   in
-  let cache_invalidate real refm a =
-    Cache.invalidate real a;
-    if check then Ref.Cache.invalidate refm a
+  let l2_fill addr =
+    Cache.fill l2 addr;
+    if check then Ref.Cache.fill rl2.(0) addr
+  in
+  let l1_invalidate c addr =
+    Cache.invalidate l1.(c) addr;
+    if check then Ref.Cache.invalidate rl1.(c) addr
   in
   let check_cache_stats ~what real refm =
     if check then begin
@@ -219,38 +477,87 @@ let run_internal ?seed ?plan ~sync_mem ~warmup ~check ?observe ~trace ~trace_pid
           what h m h' m'
     end
   in
-  (* Inter-thread register dependences, grouped by consumer node. *)
+  (* Inter-thread register dependences, grouped by consumer node. The
+     lists are per-run scaffolding; the hot loop reads the CSR arrays
+     flattened from them below (in identical per-consumer order). *)
   let reg_in = Array.make n [] in
-  let mem_in = Array.make n [] in
+  let mem_nonempty = Array.make n false in
   List.iter
-    (fun (e : Ts_ddg.Ddg.edge) -> reg_in.(e.dst) <- (e, K.d_ker k e) :: reg_in.(e.dst))
+    (fun (e : Ts_ddg.Ddg.edge) ->
+      reg_in.(e.dst) <- (e, K.d_ker k e) :: reg_in.(e.dst))
     (K.inter_iter_reg_deps k);
   List.iter
     (fun (e : Ts_ddg.Ddg.edge) ->
       if sync_mem then reg_in.(e.dst) <- (e, K.d_ker k e) :: reg_in.(e.dst)
-      else mem_in.(e.dst) <- (e, K.d_ker k e) :: mem_in.(e.dst))
+      else mem_nonempty.(e.dst) <- true)
     (K.inter_iter_mem_deps k);
   let intra_in = Array.make n [] in
   Array.iter
     (fun (e : Ts_ddg.Ddg.edge) ->
       if K.d_ker k e = 0 then intra_in.(e.dst) <- e :: intra_in.(e.dst))
     g.edges;
+  let n_reg = Array.fold_left (fun acc l -> acc + List.length l) 0 reg_in in
+  let n_intra =
+    Array.fold_left (fun acc l -> acc + List.length l) 0 intra_in
+  in
+  arena_ensure_edges a ~n_reg ~n_intra;
+  let reg_off = a.reg_off
+  and reg_src = a.reg_src
+  and reg_dk = a.reg_dk
+  and intra_off = a.intra_off
+  and intra_src = a.intra_src in
+  let off = ref 0 in
+  for v = 0 to n - 1 do
+    reg_off.(v) <- !off;
+    List.iter
+      (fun ((e : Ts_ddg.Ddg.edge), dk) ->
+        reg_src.(!off) <- e.src;
+        reg_dk.(!off) <- dk;
+        incr off)
+      reg_in.(v)
+  done;
+  reg_off.(n) <- !off;
+  off := 0;
+  for v = 0 to n - 1 do
+    intra_off.(v) <- !off;
+    List.iter
+      (fun (e : Ts_ddg.Ddg.edge) ->
+        intra_src.(!off) <- e.src;
+        incr off)
+      intra_in.(v)
+  done;
+  intra_off.(n) <- !off;
   (* Nodes in issue (row) order within a thread. *)
-  let by_row = List.init n Fun.id in
-  let by_row =
-    List.sort (fun a b -> if k.K.row.(a) <> k.K.row.(b) then compare k.K.row.(a) k.K.row.(b) else compare a b) by_row
+  let by_row_l =
+    List.sort
+      (fun x y ->
+        if k.K.row.(x) <> k.K.row.(y) then compare k.K.row.(x) k.K.row.(y)
+        else compare x y)
+      (List.init n Fun.id)
   in
-  let loads_by_row =
-    List.filter
-      (fun v -> (Ts_ddg.Ddg.node g v).Ts_ddg.Ddg.op = Ts_isa.Opcode.Load)
-      by_row
-  in
-  let n_loads = List.length loads_by_row in
-  let store_ids =
+  let by_row = a.by_row and loads = a.loads and stores = a.stores in
+  List.iteri (fun i v -> by_row.(i) <- v) by_row_l;
+  let n_loads = ref 0 in
+  List.iter
+    (fun v ->
+      if (Ts_ddg.Ddg.node g v).Ts_ddg.Ddg.op = Ts_isa.Opcode.Load then begin
+        loads.(!n_loads) <- v;
+        incr n_loads
+      end)
+    by_row_l;
+  let n_loads = !n_loads in
+  let store_l =
     List.filter
       (fun v -> (Ts_ddg.Ddg.node g v).Ts_ddg.Ddg.op = Ts_isa.Opcode.Store)
       (List.init n Fun.id)
   in
+  let n_stores = ref 0 in
+  List.iter
+    (fun v ->
+      stores.(!n_stores) <- v;
+      incr n_stores)
+    store_l;
+  let n_stores = !n_stores in
   let max_lookback =
     List.fold_left
       (fun acc (e : Ts_ddg.Ddg.edge) -> max acc (K.d_ker k e))
@@ -258,26 +565,37 @@ let run_internal ?seed ?plan ~sync_mem ~warmup ~check ?observe ~trace ~trace_pid
       (K.inter_iter_reg_deps k @ K.inter_iter_mem_deps k)
   in
   let horizon = max ncore (max_lookback + 1) in
-  let hist : hist option array = Array.make horizon None in
-  let mdt = Mdt.create ~horizon:ncore in
-  let rmdt = Ref.Mdt.create ~horizon:ncore in
+  arena_ensure_hist a ~slots:horizon ~n;
+  let h_kind = a.h_kind
+  and h_shift = a.h_shift
+  and h_rec = a.h_rec
+  and h_issue = a.h_issue
+  and h_finish = a.h_finish in
+  (* A grown history ring may carry tags from a smaller previous run past
+     the slots [arena_scrub] wiped; re-wipe at the current width. *)
+  Array.fill h_kind 0 (Array.length h_kind) 0;
+  Mdt.clear a.mdt ~horizon:ncore;
+  let mdt = a.mdt in
+  let rmdt = if check then [| Ref.Mdt.create ~horizon:ncore |] else [||] in
   let mdt_record ~thread ~addr ~finish =
     Mdt.record_store mdt ~thread ~addr ~finish;
     if check then begin
-      Ref.Mdt.record_store rmdt ~thread ~addr ~finish;
-      if Mdt.live_entries mdt <> Ref.Mdt.live_entries rmdt then
+      Ref.Mdt.record_store rmdt.(0) ~thread ~addr ~finish;
+      if Mdt.live_entries mdt <> Ref.Mdt.live_entries rmdt.(0) then
         Chk.failf "Sim.run: after a store by thread %d at addr %d the MDT \
                    holds %d live entries but the reference model holds %d"
-          thread addr (Mdt.live_entries mdt) (Ref.Mdt.live_entries rmdt);
-      if Mdt.peak_entries mdt <> Ref.Mdt.peak_entries rmdt then
+          thread addr (Mdt.live_entries mdt)
+          (Ref.Mdt.live_entries rmdt.(0));
+      if Mdt.peak_entries mdt <> Ref.Mdt.peak_entries rmdt.(0) then
         Chk.failf "Sim.run: MDT peak %d diverged from the reference model's %d"
-          (Mdt.peak_entries mdt) (Ref.Mdt.peak_entries rmdt)
+          (Mdt.peak_entries mdt)
+          (Ref.Mdt.peak_entries rmdt.(0))
     end
   in
   let mdt_conflict ~thread ~addr ~issue =
     let got = Mdt.conflicting_store mdt ~thread ~addr ~issue in
     if check then begin
-      let expect = Ref.Mdt.conflicting_store rmdt ~thread ~addr ~issue in
+      let expect = Ref.Mdt.conflicting_store rmdt.(0) ~thread ~addr ~issue in
       if got <> expect then
         Chk.failf "Sim.run: MDT conflict query (thread %d, addr %d, issue %d) \
                    answered %s but the reference model says %s"
@@ -290,11 +608,12 @@ let run_internal ?seed ?plan ~sync_mem ~warmup ~check ?observe ~trace ~trace_pid
   let mdt_retire ~upto =
     Mdt.retire mdt ~upto;
     if check then begin
-      Ref.Mdt.retire rmdt ~upto;
-      if Mdt.live_entries mdt <> Ref.Mdt.live_entries rmdt then
+      Ref.Mdt.retire rmdt.(0) ~upto;
+      if Mdt.live_entries mdt <> Ref.Mdt.live_entries rmdt.(0) then
         Chk.failf "Sim.run: after retiring below thread %d the MDT holds %d \
                    live entries but the reference model holds %d"
-          upto (Mdt.live_entries mdt) (Ref.Mdt.live_entries rmdt)
+          upto (Mdt.live_entries mdt)
+          (Ref.Mdt.live_entries rmdt.(0))
     end
   in
   let pairs_per_iter = K.send_recv_pairs_per_iter k in
@@ -303,33 +622,48 @@ let run_internal ?seed ?plan ~sync_mem ~warmup ~check ?observe ~trace ~trace_pid
      thread's commit drains the buffer (or when a squash invalidates it).
      Later threads both issue stores and commit after earlier threads'
      *starts* but not after their *commits*, so events cannot be swept in
-     thread order directly; instead they accumulate in [wb_pending] and
-     are folded into the running occupancy once the sweep point (the
-     newest thread's start, a monotonically non-decreasing bound below
-     every future event) passes them. Releases sort before allocations at
-     the same instant, so a drain concurrent with an issue never inflates
-     the peak. *)
-  let wb_pending = ref [] in
+     thread order directly; instead they accumulate in the arena's event
+     heap and are folded into the running occupancy once the sweep point
+     (the newest thread's start, a monotonically non-decreasing bound
+     below every future event) passes them. The heap key is
+     [instant*2 + (1 iff allocation)], so releases sort before
+     allocations at the same instant and a drain concurrent with an
+     issue never inflates the peak. *)
   let wb_cur = ref 0 in
   let wb_peak = ref 0 in
   let wb_finalize upto =
-    let ready, rest = List.partition (fun (t, _) -> t < upto) !wb_pending in
-    wb_pending := rest;
-    List.iter
-      (fun (_, d) ->
-        wb_cur := !wb_cur + d;
-        if !wb_cur > !wb_peak then wb_peak := !wb_cur)
-      (List.sort compare ready)
+    let bound = if upto > max_int asr 1 then max_int else upto lsl 1 in
+    while a.wb_len > 0 && Array.unsafe_get a.wb_heap 0 < bound do
+      let key = wb_pop a in
+      let d = if key land 1 = 1 then 1 else -1 in
+      wb_cur := !wb_cur + d;
+      if !wb_cur > !wb_peak then wb_peak := !wb_cur
+    done
   in
-  let wb_stores (te : thread_exec) ~drain =
-    Array.iteri
-      (fun v (nd : Ts_ddg.Ddg.node) ->
-        if nd.op = Ts_isa.Opcode.Store then
-          wb_pending := (te.issue_of.(v), 1) :: (drain, -1) :: !wb_pending)
-      g.nodes
+  let wb_stores ~base ~drain =
+    for i = 0 to n_stores - 1 do
+      let v = stores.(i) in
+      wb_push a ((h_issue.(base + v) lsl 1) lor 1);
+      wb_push a (drain lsl 1)
+    done
   in
   (* accumulators *)
-  let stall_tbl : (int * int, int) Hashtbl.t = Hashtbl.create 16 in
+  let stall_add src dst cycles =
+    let idx = (src * n) + dst in
+    let cur = a.stall_cnt.(idx) in
+    if cur = 0 then begin
+      if a.stall_ntouched >= Array.length a.stall_touched then begin
+        let bigger =
+          Array.make (grown (a.stall_ntouched + 1) (Array.length a.stall_touched)) 0
+        in
+        Array.blit a.stall_touched 0 bigger 0 a.stall_ntouched;
+        a.stall_touched <- bigger
+      end;
+      a.stall_touched.(a.stall_ntouched) <- idx;
+      a.stall_ntouched <- a.stall_ntouched + 1
+    end;
+    a.stall_cnt.(idx) <- cur + cycles
+  in
   let sync_stall = ref 0 in
   let spawn_stall = ref 0 in
   let squashes = ref 0 in
@@ -384,24 +718,34 @@ let run_internal ?seed ?plan ~sync_mem ~warmup ~check ?observe ~trace ~trace_pid
     let base = 8 * ncore / gcd 8 ncore in
     base * ((horizon + base - 1) / base)
   in
+  if a.win_len <> w_len then begin
+    a.win_len <- w_len;
+    a.win_pool <- []
+  end;
   let max_stage = Array.fold_left max 0 k.K.stage in
   (* Address memoisation for the fast path: [Address_plan.addr] rolls a
      seeded coin per incoming memory-dependence edge on every call, which
      dominates the per-thread cost once the timing replay is gone. All
-     coins are pre-rolled here — the rare realised redirects land in
-     [redirect], everything else is the node's own affine stream, computed
-     arithmetically. [addr_of] is exact: it reproduces [Address_plan.addr]
-     including the first-realised-edge-wins redirect order. *)
+     coins are pre-rolled here — the rare realised redirects land in the
+     per-consumer sorted [redir_*] CSR segments, everything else is the
+     node's own affine stream, computed arithmetically. [addr_of] is
+     exact: it reproduces [Address_plan.addr] including the
+     first-realised-edge-wins redirect order. *)
   let own_streams =
     if fast_ok then Array.init n (fun v -> Address_plan.stream plan ~node:v)
     else [||]
   in
-  let redirect : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
   let has_mem_in = Array.make n false in
+  let redir_off = a.redir_off
+  and redir_iter = ref a.redir_iter
+  and redir_addr = ref a.redir_addr in
   (* Iterations where a probabilistic memory-dependence coin fires; the
      loads they redirect run in threads [i, i + max_stage]. *)
   let coin_iters =
-    if not fast_ok then [||]
+    if not fast_ok then begin
+      Array.fill redir_off 0 (n + 1) 0;
+      [||]
+    end
     else begin
       let acc = ref [] in
       (* incoming Mem edges per consumer, in edge-index order — the order
@@ -415,6 +759,10 @@ let run_internal ?seed ?plan ~sync_mem ~warmup ~check ?observe ~trace ~trace_pid
           end)
         g.edges;
       Array.iteri (fun v l -> by_dst.(v) <- List.rev l) by_dst;
+      (* Realised (iter, addr) redirects per consumer, ascending by iter:
+         collected per dst (reversed), then flattened into the CSR. *)
+      let per_dst = Array.make n [] in
+      let n_redir = ref 0 in
       Array.iteri
         (fun dst edges ->
           if edges <> [] then
@@ -425,41 +773,75 @@ let run_internal ?seed ?plan ~sync_mem ~warmup ~check ?observe ~trace ~trace_pid
                     if Address_plan.realised plan ~edge_index:idx ~iter:it
                     then begin
                       acc := it :: !acc;
-                      if not (Hashtbl.mem redirect (dst, it)) then
-                        Hashtbl.replace redirect (dst, it)
-                          (Address_plan.addr plan ~node:dst ~iter:it)
+                      per_dst.(dst) <-
+                        (it, Address_plan.addr plan ~node:dst ~iter:it)
+                        :: per_dst.(dst);
+                      incr n_redir
                     end
                     else first rest
               in
               first edges
             done)
         by_dst;
+      arena_ensure_redir a !n_redir;
+      redir_iter := a.redir_iter;
+      redir_addr := a.redir_addr;
+      let ri = !redir_iter and ra = !redir_addr in
+      let off = ref 0 in
+      for v = 0 to n - 1 do
+        (* [per_dst.(v)] is descending by iter; fill its segment from the
+           back so the CSR segment ends up ascending. *)
+        let seg = List.length per_dst.(v) in
+        redir_off.(v) <- !off;
+        let at = ref (!off + seg - 1) in
+        List.iter
+          (fun (it, addr) ->
+            ri.(!at) <- it;
+            ra.(!at) <- addr;
+            decr at)
+          per_dst.(v);
+        off := !off + seg
+      done;
+      redir_off.(n) <- !off;
       Array.of_list (List.sort_uniq compare !acc)
     end
   in
+  let redir_iter = !redir_iter and redir_addr = !redir_addr in
   let addr_of ~node ~iter =
     if not fast_ok then Address_plan.addr plan ~node ~iter
-    else
-      match
-        if has_mem_in.(node) then Hashtbl.find_opt redirect (node, iter)
-        else None
-      with
-      | Some a -> a
-      | None -> (
-          match own_streams.(node) with
-          | Some (base, stride, ws) -> base + (stride * iter mod ws)
-          | None -> Address_plan.addr plan ~node ~iter)
+    else begin
+      let redirected =
+        if has_mem_in.(node) then begin
+          let rec bs lo hi =
+            if lo >= hi then min_int
+            else
+              let m = (lo + hi) / 2 in
+              let it = redir_iter.(m) in
+              if it = iter then redir_addr.(m)
+              else if it < iter then bs (m + 1) hi
+              else bs lo m
+          in
+          bs redir_off.(node) redir_off.(node + 1)
+        end
+        else min_int
+      in
+      if redirected <> min_int then redirected
+      else
+        match own_streams.(node) with
+        | Some (base, stride, ws) -> base + (stride * iter mod ws)
+        | None -> Address_plan.addr plan ~node ~iter
+    end
   in
   (* Is any coin iteration inside [lo, hi]? *)
   let coin_in lo hi =
     let len = Array.length coin_iters in
     len > 0
     &&
-    let rec bs a b =
-      if a >= b then a
+    let rec bs x b =
+      if x >= b then x
       else
-        let m = (a + b) / 2 in
-        if coin_iters.(m) < lo then bs (m + 1) b else bs a m
+        let m = (x + b) / 2 in
+        if coin_iters.(m) < lo then bs (m + 1) b else bs x m
     in
     let idx = bs 0 len in
     idx < len && coin_iters.(idx) <= hi
@@ -491,12 +873,12 @@ let run_internal ?seed ?plan ~sync_mem ~warmup ~check ?observe ~trace ~trace_pid
         match if fast_ok then own_streams.(v) else None with
         | Some (_, stride, ws) -> Some (v, ws / gcd stride ws)
         | None -> None)
-      store_ids
+      store_l
   in
   let analytic_mdt =
     fast_ok
-    && (not (List.exists (fun v -> has_mem_in.(v)) store_ids))
-    && List.length store_periods = List.length store_ids
+    && (not (List.exists (fun v -> has_mem_in.(v)) store_l))
+    && List.length store_periods = n_stores
     && List.for_all (fun (_, pv) -> pv >= horizon) store_periods
   in
   let store_pv = Array.make n 0 in
@@ -535,6 +917,7 @@ let run_internal ?seed ?plan ~sync_mem ~warmup ~check ?observe ~trace ~trace_pid
     av_live := !av_live - removed;
     if upto > !av_u then av_u := upto
   in
+  let rec_cap = a.cap_n in
   let fresh_rec () =
     {
       r_valid = false;
@@ -545,12 +928,19 @@ let run_internal ?seed ?plan ~sync_mem ~warmup ~check ?observe ~trace ~trace_pid
       r_squashed = false;
       r_coin = false;
       r_stalls = [];
-      r_finish = Array.make n 0;
-      r_issue = Array.make n 0;
-      r_lats = Array.make n 0;
+      r_finish = Array.make rec_cap 0;
+      r_issue = Array.make rec_cap 0;
+      r_lats = Array.make rec_cap 0;
     }
   in
-  let fresh_window () = Array.init w_len (fun _ -> fresh_rec ()) in
+  let fresh_window () =
+    match a.win_pool with
+    | w :: rest ->
+        a.win_pool <- rest;
+        Array.iter (fun r -> r.r_valid <- false) w;
+        w
+    | [] -> Array.init w_len (fun _ -> fresh_rec ())
+  in
   let wprev = ref (if fast_ok then fresh_window () else [||]) in
   let wcur = ref (if fast_ok then fresh_window () else [||]) in
   let prev_clean = ref false in
@@ -565,31 +955,34 @@ let run_internal ?seed ?plan ~sync_mem ~warmup ~check ?observe ~trace ~trace_pid
   let extrap_count = ref 0 in
   let mismatch_count = ref 0 in
   let analytic_l1_hits = ref 0 in
-  let lat_buf = Array.make n 0 in
+  let lat_buf = a.lat_buf in
   (* Every L1 line each load's stream can touch, per (iteration mod ncore)
      residue: the stream revisits addresses with period ws / gcd(stride,
      ws), and a load's iterations on one core share a residue class. *)
   let line_sets =
     lazy
-      (List.map
+      (List.filter_map
          (fun v ->
-           match Address_plan.stream plan ~node:v with
-           | None -> (v, Array.make ncore [])
-           | Some (base, stride, ws) ->
-               let pv = ws / gcd stride ws in
-               let l = pv * ncore / gcd pv ncore in
-               let per_res = Array.make ncore [] in
-               let seen = Hashtbl.create 64 in
-               for t = 0 to l - 1 do
-                 let a = base + (stride * t mod ws) in
-                 let key = (t mod ncore, a / cfg.line) in
-                 if not (Hashtbl.mem seen key) then begin
-                   Hashtbl.replace seen key ();
-                   per_res.(t mod ncore) <- a :: per_res.(t mod ncore)
-                 end
-               done;
-               (v, per_res))
-         loads_by_row)
+           if (Ts_ddg.Ddg.node g v).Ts_ddg.Ddg.op <> Ts_isa.Opcode.Load then
+             None
+           else
+             match Address_plan.stream plan ~node:v with
+             | None -> Some (v, Array.make ncore [])
+             | Some (base, stride, ws) ->
+                 let pv = ws / gcd stride ws in
+                 let l = pv * ncore / gcd pv ncore in
+                 let per_res = Array.make ncore [] in
+                 let seen = Hashtbl.create 64 in
+                 for t = 0 to l - 1 do
+                   let addr = base + (stride * t mod ws) in
+                   let key = (t mod ncore, addr / cfg.line) in
+                   if not (Hashtbl.mem seen key) then begin
+                     Hashtbl.replace seen key ();
+                     per_res.(t mod ncore) <- addr :: per_res.(t mod ncore)
+                   end
+                 done;
+                 Some (v, per_res))
+         by_row_l)
   in
   let residency_ok () =
     List.for_all
@@ -599,19 +992,22 @@ let run_internal ?seed ?plan ~sync_mem ~warmup ~check ?observe ~trace ~trace_pid
         for c = 0 to ncore - 1 do
           let rr = (((c - stage) mod ncore) + ncore) mod ncore in
           List.iter
-            (fun a -> if not (Cache.probe l1.(c) a) then ok := false)
+            (fun addr -> if not (Cache.probe l1.(c) addr) then ok := false)
             per_res.(rr)
         done;
         !ok)
       (Lazy.force line_sets)
   in
-  let past_finish j v =
-    if j < 0 then None
+  (* Producer finish-time lookback over the history ring; [min_int] for
+     "no such thread" (live-in). *)
+  let past_finish_i jj v =
+    if jj < 0 then min_int
     else
-      match hist.(j mod horizon) with
-      | Some (Hreal te) -> Some te.finish_of.(v)
-      | Some (Hvirt (r, shift)) -> Some (r.r_finish.(v) + shift)
-      | None -> None
+      let s = jj mod horizon in
+      match Array.unsafe_get h_kind s with
+      | 0 -> min_int
+      | 1 -> Array.unsafe_get h_finish ((s * n) + v)
+      | _ -> (Array.unsafe_get h_rec s).r_finish.(v) + Array.unsafe_get h_shift s
   in
   (* Thread-timing memoisation (see [Memo_tbl]): every cross-thread
      arrival a RECV fold can read, deduplicated. *)
@@ -651,17 +1047,17 @@ let run_internal ?seed ?plan ~sync_mem ~warmup ~check ?observe ~trace ~trace_pid
      skipped under [fast_ok] (the L2 fill always happens — it drives L2
      evictions loads do see). *)
   let inval_needed =
-    let a = Array.make n true in
+    let ar = Array.make n true in
     if fast_ok then begin
-      Array.fill a 0 n false;
+      Array.fill ar 0 n false;
       Array.iter
         (fun (e : Ts_ddg.Ddg.edge) ->
-          if e.kind = Ts_ddg.Ddg.Mem then a.(e.src) <- true)
+          if e.kind = Ts_ddg.Ddg.Mem then ar.(e.src) <- true)
         g.edges
     end;
-    a
+    ar
   in
-  let memo : memo_val Memo_tbl.t = Memo_tbl.create 256 in
+  let memo = a.memo in
   let memo_cap = 4096 in
   let memo_hits = ref 0 in
   (* Replay this thread's load accesses against the real caches, in the
@@ -669,39 +1065,53 @@ let run_internal ?seed ?plan ~sync_mem ~warmup ~check ?observe ~trace ~trace_pid
      latencies in [lat_buf]. *)
   let fill_lats j =
     let core = j mod ncore in
-    List.iter
-      (fun v ->
-        let a = addr_of ~node:v ~iter:(j - k.K.stage.(v)) in
-        lat_buf.(v) <-
-          (if cache_access ~what:l1_what.(core) l1.(core) rl1.(core) a then
-             cfg.l1_hit
-           else if cache_access ~what:"L2" l2 rl2 a then cfg.l2_hit
-           else cfg.mem_latency))
-      loads_by_row
+    for i = 0 to n_loads - 1 do
+      let v = loads.(i) in
+      let addr = addr_of ~node:v ~iter:(j - k.K.stage.(v)) in
+      lat_buf.(v) <-
+        (if l1_access core addr then cfg.l1_hit
+         else if l2_access addr then cfg.l2_hit
+         else cfg.mem_latency)
+    done
   in
-  let memo_key j start =
-    let ni = Array.length memo_inputs in
-    let key = Array.make (ni + n_loads) 0 in
-    for i = 0 to ni - 1 do
+  (* The memo key is assembled in an exact-length scratch (so structural
+     equality sees only live slots) and copied only on table insert. *)
+  let n_inputs = Array.length memo_inputs in
+  let key_scratch = Array.make (n_inputs + n_loads) 0 in
+  let memo_key_fill j start =
+    for i = 0 to n_inputs - 1 do
       let src, dk, thr = memo_inputs.(i) in
-      key.(i) <-
-        (match past_finish (j - dk) src with
-        | None -> thr (* live-in: available at loop entry, dominated *)
-        | Some f ->
-            let r = f - start in
-            if r < thr then thr else r)
+      let f = past_finish_i (j - dk) src in
+      key_scratch.(i) <-
+        (if f = min_int then thr (* live-in: available at loop entry *)
+         else
+           let r = f - start in
+           if r < thr then thr else r)
     done;
-    List.iteri (fun i v -> key.(ni + i) <- lat_buf.(v)) loads_by_row;
-    key
+    for i = 0 to n_loads - 1 do
+      key_scratch.(n_inputs + i) <- lat_buf.(loads.(i))
+    done
   in
-  (* Execute one thread; [recv] false on re-execution (values present).
-     [lats] supplies precomputed load latencies (the caller already
-     replayed the cache accesses); otherwise loads access the caches and
-     the observed latency is stored into [lat_out]. Returns the RECV
-     stalls (blame, cycles, instant) for the caller to account. *)
-  let exec_thread ?lats ~lat_out j start ~recv =
-    let core = j mod ncore in
-    let issue_of = Array.make n 0 and finish_of = Array.make n 0 in
+  (* Per-thread results, threaded through run-local cells instead of a
+     freshly allocated record per thread. [cur_stalls] is chronological;
+     the empty list is the common (and allocation-free) case. *)
+  let cur_start = ref 0 in
+  let cur_end = ref 0 in
+  let cur_spawn = ref 0 in
+  let cur_squashed = ref false in
+  let cur_stalls = ref [] in
+  (* Execute one thread into its history-ring slot; [recv] false on
+     re-execution (values present). [use_lats] short-circuits the load
+     cache accesses with the latencies already in [lat_buf] (the caller
+     replayed them); otherwise loads access the caches and the observed
+     latency lands in [lat_buf]. Leaves start/end/stalls in the cells
+     above. *)
+  let exec_thread ~use_lats j ~base start ~recv =
+    cur_start := start;
+    (* Intra-thread dataflow reads default to 0 for not-yet-issued
+       producers (matching a zero-initialised scratch thread), so the
+       reused slot's finish plane must be wiped first. *)
+    Array.fill h_finish base n 0;
     let end_exec = ref start in
     let stalls = ref [] in
     (* Schedule replay with blocking receives: instructions issue at their
@@ -711,69 +1121,73 @@ let run_internal ?seed ?plan ~sync_mem ~warmup ~check ?observe ~trace ~trace_pid
        semantics under which Definition 2's sync(x, y) is the per-thread
        serialisation that the Section 4.2 cost model assumes. Cache misses,
        in contrast, are absorbed out-of-order (lockup-free caches): they
-       delay only their dataflow consumers, via [intra_ready]. *)
+       delay only their dataflow consumers, via the intra-dep fold. *)
     let shift = ref 0 in
-    List.iter
-      (fun v ->
-        let nd = Ts_ddg.Ddg.node g v in
-        let sched = start + k.K.row.(v) in
-        let intra_ready =
-          List.fold_left
-            (fun acc (e : Ts_ddg.Ddg.edge) -> max acc finish_of.(e.src))
-            0 intra_in.(v)
+    let core = j mod ncore in
+    for idx = 0 to n - 1 do
+      let v = Array.unsafe_get by_row idx in
+      let nd = Ts_ddg.Ddg.node g v in
+      let sched = start + k.K.row.(v) in
+      let intra_ready = ref 0 in
+      for i = intra_off.(v) to intra_off.(v + 1) - 1 do
+        let f = Array.unsafe_get h_finish (base + Array.unsafe_get intra_src i) in
+        if f > !intra_ready then intra_ready := f
+      done;
+      let inter_arrival = ref 0 and blame_src = ref (-1) in
+      if recv then
+        for i = reg_off.(v) to reg_off.(v + 1) - 1 do
+          let src = Array.unsafe_get reg_src i in
+          let dk = Array.unsafe_get reg_dk i in
+          let f = past_finish_i (j - dk) src in
+          if f <> min_int then begin
+            let arr = f + (dk * p.c_reg_com) in
+            if arr > !inter_arrival then begin
+              inter_arrival := arr;
+              blame_src := src
+            end
+          end
+        done;
+      let slot = sched + !shift in
+      let ready = if slot > !intra_ready then slot else !intra_ready in
+      if recv && !inter_arrival > ready then begin
+        let cycles = !inter_arrival - ready in
+        (* The blocked RECV pushes the rest of the thread back. Delays of
+           several RECVs overlap rather than add — while the front end
+           sits at one empty queue the other queues fill — so the
+           thread-level shift is the max of the individual delays
+           (measured from each instruction's own slot), exactly the
+           max(C_spn, C_ci, C_delay) structure of the Section 4.2 cost
+           model. *)
+        if !inter_arrival - sched > !shift then shift := !inter_arrival - sched;
+        let blamed =
+          if !blame_src >= 0 then Some (!blame_src, v) else None
         in
-        let inter_arrival, blamed =
-          if not recv then (0, None)
-          else
-            List.fold_left
-              (fun ((acc, blame) as cur) ((e : Ts_ddg.Ddg.edge), dk) ->
-                match past_finish (j - dk) e.src with
-                | None -> cur (* live-in: available at loop entry *)
-                | Some f ->
-                    let arr = f + (dk * p.c_reg_com) in
-                    if arr > acc then (arr, Some (e.src, e.dst)) else (acc, blame))
-              (0, None) reg_in.(v)
-        in
-        let slot = sched + !shift in
-        let ready = max slot intra_ready in
-        if recv && inter_arrival > ready then begin
-          let cycles = inter_arrival - ready in
-          (* The blocked RECV pushes the rest of the thread back. Delays of
-             several RECVs overlap rather than add — while the front end
-             sits at one empty queue the other queues fill — so the
-             thread-level shift is the max of the individual delays
-             (measured from each instruction's own slot), exactly the
-             max(C_spn, C_ci, C_delay) structure of the Section 4.2 cost
-             model. *)
-          shift := max !shift (inter_arrival - sched);
-          stalls := (blamed, cycles, ready) :: !stalls
-        end;
-        let issue = max ready inter_arrival in
-        let latency =
-          match nd.op with
-          | Ts_isa.Opcode.Load -> (
-              match lats with
-              | Some l -> l.(v)
-              | None ->
-                  let a =
-                    addr_of ~node:v ~iter:(j - k.K.stage.(v))
-                  in
-                  let lat =
-                    if cache_access ~what:l1_what.(core) l1.(core) rl1.(core) a
-                    then cfg.l1_hit
-                    else if cache_access ~what:"L2" l2 rl2 a then cfg.l2_hit
-                    else cfg.mem_latency
-                  in
-                  lat_out.(v) <- lat;
-                  lat)
-          | Ts_isa.Opcode.Store -> nd.latency
-          | _ -> nd.latency
-        in
-        issue_of.(v) <- issue;
-        finish_of.(v) <- issue + latency;
-        if finish_of.(v) > !end_exec then end_exec := finish_of.(v))
-      by_row;
-    ({ start; issue_of; finish_of; end_exec = !end_exec }, List.rev !stalls)
+        stalls := (blamed, cycles, ready) :: !stalls
+      end;
+      let issue = if ready > !inter_arrival then ready else !inter_arrival in
+      let latency =
+        match nd.op with
+        | Ts_isa.Opcode.Load ->
+            if use_lats then Array.unsafe_get lat_buf v
+            else begin
+              let addr = addr_of ~node:v ~iter:(j - k.K.stage.(v)) in
+              let lat =
+                if l1_access core addr then cfg.l1_hit
+                else if l2_access addr then cfg.l2_hit
+                else cfg.mem_latency
+              in
+              Array.unsafe_set lat_buf v lat;
+              lat
+            end
+        | _ -> nd.latency
+      in
+      Array.unsafe_set h_issue (base + v) issue;
+      let fin = issue + latency in
+      Array.unsafe_set h_finish (base + v) fin;
+      if fin > !end_exec then end_exec := fin
+    done;
+    cur_end := !end_exec;
+    cur_stalls := List.rev !stalls
   in
   let account_stalls ~core ~j stalls =
     List.iter
@@ -789,63 +1203,62 @@ let run_internal ?seed ?plan ~sync_mem ~warmup ~check ?observe ~trace ~trace_pid
                   [ ("producer", J.Int src); ("consumer", J.Int dst) ]
               | None -> []);
         match blamed with
-        | Some key ->
-            let cur = try Hashtbl.find stall_tbl key with Not_found -> 0 in
-            Hashtbl.replace stall_tbl key (cur + cycles)
+        | Some (src, dst) -> stall_add src dst cycles
         | None -> ())
       stalls
   in
-  let emit_exec_span ~core ~j name (te : thread_exec) ~end_ts =
-    Trace.begin_span trace ~pid:trace_pid ~tid:core ~ts:te.start name
+  let emit_exec_span ~core ~j name ~ts0 ~ts1 =
+    Trace.begin_span trace ~pid:trace_pid ~tid:core ~ts:ts0 name
       ~args:[ ("thread", J.Int j) ];
-    Trace.end_span trace ~pid:trace_pid ~tid:core ~ts:end_ts name
+    Trace.end_span trace ~pid:trace_pid ~tid:core ~ts:ts1 name
   in
-  (* One exactly simulated thread: the seed simulator's loop body. [lats]
-     short-circuits the load cache accesses when the fast path already
-     replayed them for this thread. *)
+  (* One exactly simulated thread: the seed simulator's loop body.
+     [lats] true means the fast path already replayed this thread's load
+     accesses into [lat_buf]. *)
   let exact_step j ~lats =
     let measured = j >= warmup in
     let core = j mod ncore in
+    let base = j mod horizon * n in
     let spawn_ready = !prev_spawn_base + p.c_spawn in
     let start = max spawn_ready core_free.(core) in
     let spawn_cycles = max 0 (core_free.(core) - spawn_ready) in
+    cur_spawn := spawn_cycles;
     if measured && spawn_cycles > 0 then
       spawn_stall := !spawn_stall + spawn_cycles;
-    let te, stalls =
-      if fast_ok && (not check) && not (coin_affects j) then begin
-        (* Coin-free thread: timing is a pure function of the arrival
-           offsets and the load latencies (see [Memo_tbl]). Replay the
-           loads first — the latency vector is half the key. *)
-        (match lats with Some _ -> () | None -> fill_lats j);
-        let key = memo_key j start in
-        match Memo_tbl.find_opt memo key with
-        | Some m ->
-            incr memo_hits;
-            ( {
-                start;
-                issue_of = Array.map (fun x -> x + start) m.mv_issue;
-                finish_of = Array.map (fun x -> x + start) m.mv_finish;
-                end_exec = m.mv_end + start;
-              },
-              List.map (fun (b, c, ts) -> (b, c, ts + start)) m.mv_stalls )
-        | None ->
-            let te, stalls =
-              exec_thread ~lats:lat_buf ~lat_out:lat_buf j start ~recv:true
-            in
-            if Memo_tbl.length memo < memo_cap then
-              Memo_tbl.add memo key
-                {
-                  mv_issue = Array.map (fun x -> x - start) te.issue_of;
-                  mv_finish = Array.map (fun x -> x - start) te.finish_of;
-                  mv_end = te.end_exec - start;
-                  mv_stalls =
-                    List.map (fun (b, c, ts) -> (b, c, ts - start)) stalls;
-                };
-            (te, stalls)
-      end
-      else exec_thread ?lats ~lat_out:lat_buf j start ~recv:true
-    in
-    if measured then account_stalls ~core ~j stalls;
+    if fast_ok && (not check) && not (coin_affects j) then begin
+      (* Coin-free thread: timing is a pure function of the arrival
+         offsets and the load latencies (see [Memo_tbl]). Replay the
+         loads first — the latency vector is half the key. *)
+      if not lats then fill_lats j;
+      memo_key_fill j start;
+      match Memo_tbl.find_opt memo key_scratch with
+      | Some m ->
+          incr memo_hits;
+          let mi = m.mv_issue and mf = m.mv_finish in
+          for v = 0 to n - 1 do
+            Array.unsafe_set h_issue (base + v) (Array.unsafe_get mi v + start);
+            Array.unsafe_set h_finish (base + v) (Array.unsafe_get mf v + start)
+          done;
+          cur_start := start;
+          cur_end := m.mv_end + start;
+          cur_stalls :=
+            List.map (fun (b, c, ts) -> (b, c, ts + start)) m.mv_stalls
+      | None ->
+          exec_thread ~use_lats:true j ~base start ~recv:true;
+          if Memo_tbl.length memo < memo_cap then
+            Memo_tbl.add memo (Array.copy key_scratch)
+              {
+                mv_issue =
+                  Array.init n (fun v -> h_issue.(base + v) - start);
+                mv_finish =
+                  Array.init n (fun v -> h_finish.(base + v) - start);
+                mv_end = !cur_end - start;
+                mv_stalls =
+                  List.map (fun (b, c, ts) -> (b, c, ts - start)) !cur_stalls;
+              }
+    end
+    else exec_thread ~use_lats:lats j ~base start ~recv:true;
+    if measured then account_stalls ~core ~j !cur_stalls;
     (* All of this thread's (and every later thread's) write-buffer events
        lie at or after [start]; older events are now final. *)
     wb_finalize start;
@@ -856,81 +1269,82 @@ let run_internal ?seed ?plan ~sync_mem ~warmup ~check ?observe ~trace ~trace_pid
        the probes are skipped — they could only answer [None]. *)
     let viol = ref None in
     if (not fast_ok) || coin_affects j then
-      Array.iteri
-        (fun v (nd : Ts_ddg.Ddg.node) ->
-          if nd.op = Ts_isa.Opcode.Load && mem_in.(v) <> [] then begin
-            let a = addr_of ~node:v ~iter:(j - k.K.stage.(v)) in
-            match mdt_conflict ~thread:j ~addr:a ~issue:te.issue_of.(v) with
-            | Some t_detect ->
-                viol :=
-                  Some
-                    (match !viol with
-                    | None -> t_detect
-                    | Some t -> max t t_detect)
-            | None -> ()
-          end)
-        g.nodes;
-    let te =
-      match !viol with
-      | None ->
-          if traced && measured then
-            emit_exec_span ~core ~j "exec" te ~end_ts:te.end_exec;
-          te
-      | Some t_detect ->
-          if measured then incr squashes;
-          let restart = t_detect + p.c_inv in
-          if check && restart < t_detect + p.c_inv then
-            Chk.failf "Sim.run: thread %d restarts at %d, before detection %d \
-                       + invalidation overhead %d"
-              j restart t_detect p.c_inv;
-          (* The wasted attempt's stores sat in the buffer until the
-             invalidation completed. *)
-          wb_stores te ~drain:restart;
-          if traced && measured then begin
-            (* The wasted first attempt, cut off where the MDT caught the
-               premature load; the re-execution follows after [c_inv]. *)
-            emit_exec_span ~core ~j "exec (squashed)" te ~end_ts:t_detect;
-            Trace.instant trace ~pid:trace_pid ~tid:core ~ts:t_detect "squash"
-              ~args:
-                [
-                  ("thread", J.Int j);
-                  ("detected", J.Int t_detect);
-                  ("restart", J.Int restart);
-                ]
-          end;
-          let te, _ = exec_thread ~lat_out:lat_buf j restart ~recv:false in
-          if traced && measured then
-            emit_exec_span ~core ~j "re-exec" te ~end_ts:te.end_exec;
-          te
-    in
+      for i = 0 to n_loads - 1 do
+        let v = loads.(i) in
+        if mem_nonempty.(v) then begin
+          let addr = addr_of ~node:v ~iter:(j - k.K.stage.(v)) in
+          match
+            mdt_conflict ~thread:j ~addr ~issue:h_issue.(base + v)
+          with
+          | Some t_detect ->
+              viol :=
+                Some
+                  (match !viol with
+                  | None -> t_detect
+                  | Some t -> max t t_detect)
+          | None -> ()
+        end
+      done;
+    (match !viol with
+    | None ->
+        if traced && measured then
+          emit_exec_span ~core ~j "exec" ~ts0:start ~ts1:!cur_end
+    | Some t_detect ->
+        if measured then incr squashes;
+        let restart = t_detect + p.c_inv in
+        if check && restart < t_detect + p.c_inv then
+          Chk.failf "Sim.run: thread %d restarts at %d, before detection %d \
+                     + invalidation overhead %d"
+            j restart t_detect p.c_inv;
+        (* The wasted attempt's stores sat in the buffer until the
+           invalidation completed. *)
+        wb_stores ~base ~drain:restart;
+        if traced && measured then begin
+          (* The wasted first attempt, cut off where the MDT caught the
+             premature load; the re-execution follows after [c_inv]. *)
+          emit_exec_span ~core ~j "exec (squashed)" ~ts0:start ~ts1:t_detect;
+          Trace.instant trace ~pid:trace_pid ~tid:core ~ts:t_detect "squash"
+            ~args:
+              [
+                ("thread", J.Int j);
+                ("detected", J.Int t_detect);
+                ("restart", J.Int restart);
+              ]
+        end;
+        (* Keep the first attempt's RECV stalls: they were already
+           accounted, and the detection-window record wants them. *)
+        let stalls0 = !cur_stalls in
+        exec_thread ~use_lats:false j ~base restart ~recv:false;
+        cur_stalls := stalls0;
+        if traced && measured then
+          emit_exec_span ~core ~j "re-exec" ~ts0:restart ~ts1:!cur_end);
     if check then
-      List.iter
-        (fun v ->
-          if te.issue_of.(v) < te.start then
-            Chk.failf "Sim.run: thread %d issues node %d at %d, before its \
-                       own start %d"
-              j v te.issue_of.(v) te.start;
-          if te.finish_of.(v) < te.issue_of.(v) then
-            Chk.failf "Sim.run: thread %d finishes node %d at %d, before its \
-                       issue %d"
-              j v te.finish_of.(v) te.issue_of.(v))
-        by_row;
+      for idx = 0 to n - 1 do
+        let v = by_row.(idx) in
+        if h_issue.(base + v) < !cur_start then
+          Chk.failf "Sim.run: thread %d issues node %d at %d, before its \
+                     own start %d"
+            j v h_issue.(base + v) !cur_start;
+        if h_finish.(base + v) < h_issue.(base + v) then
+          Chk.failf "Sim.run: thread %d finishes node %d at %d, before its \
+                     issue %d"
+            j v h_finish.(base + v) h_issue.(base + v)
+      done;
     (* Record this thread's stores in the MDT. Under the analytic
        occupancy model the hashtable only takes the entries a
        coin-affected thread could query. *)
     let mdt_real = (not analytic_mdt) || mdt_relevant j in
-    Array.iteri
-      (fun v (nd : Ts_ddg.Ddg.node) ->
-        if nd.op = Ts_isa.Opcode.Store then begin
-          if analytic_mdt then av_record j v;
-          if mdt_real then
-            let a = addr_of ~node:v ~iter:(j - k.K.stage.(v)) in
-            mdt_record ~thread:j ~addr:a ~finish:te.finish_of.(v)
-        end)
-      g.nodes;
+    for i = 0 to n_stores - 1 do
+      let v = stores.(i) in
+      if analytic_mdt then av_record j v;
+      if mdt_real then begin
+        let addr = addr_of ~node:v ~iter:(j - k.K.stage.(v)) in
+        mdt_record ~thread:j ~addr ~finish:h_finish.(base + v)
+      end
+    done;
     (* Sequential head-thread commit; the write buffer drains into L2 and
        invalidates stale L1 copies in the other cores. *)
-    let commit_start = max te.end_exec !last_commit_end in
+    let commit_start = max !cur_end !last_commit_end in
     let commit_end = commit_start + p.c_commit in
     if check then begin
       if commit_start < !last_commit_end then
@@ -938,38 +1352,36 @@ let run_internal ?seed ?plan ~sync_mem ~warmup ~check ?observe ~trace ~trace_pid
                    predecessor commits until %d (sequential commit order \
                    violated)"
           j commit_start !last_commit_end;
-      if commit_start < te.end_exec then
+      if commit_start < !cur_end then
         Chk.failf "Sim.run: thread %d starts committing at %d before it \
                    finished executing at %d"
-          j commit_start te.end_exec;
+          j commit_start !cur_end;
       if commit_end < commit_start + p.c_commit then
         Chk.failf "Sim.run: thread %d commit %d..%d is shorter than the \
                    commit overhead %d"
           j commit_start commit_end p.c_commit
     end;
     last_commit_end := commit_end;
-    wb_stores te ~drain:commit_end;
+    wb_stores ~base ~drain:commit_end;
     if j = warmup - 1 then begin
       warm_end := commit_end;
       Array.iter Cache.reset_stats l1;
       Cache.reset_stats l2;
       if check then begin
         Array.iter Ref.Cache.reset_stats rl1;
-        Ref.Cache.reset_stats rl2
+        Ref.Cache.reset_stats rl2.(0)
       end
     end;
     core_free.(core) <- commit_end;
-    Array.iteri
-      (fun v (nd : Ts_ddg.Ddg.node) ->
-        if nd.op = Ts_isa.Opcode.Store then begin
-          let a = addr_of ~node:v ~iter:(j - k.K.stage.(v)) in
-          cache_fill l2 rl2 a;
-          if inval_needed.(v) then
-            Array.iteri
-              (fun c l1c -> if c <> core then cache_invalidate l1c rl1.(c) a)
-              l1
-        end)
-      g.nodes;
+    for i = 0 to n_stores - 1 do
+      let v = stores.(i) in
+      let addr = addr_of ~node:v ~iter:(j - k.K.stage.(v)) in
+      l2_fill addr;
+      if inval_needed.(v) then
+        for c = 0 to ncore - 1 do
+          if c <> core then l1_invalidate c addr
+        done
+    done;
     if traced && j >= warmup then begin
       Trace.begin_span trace ~pid:trace_pid ~tid:core ~ts:commit_start "commit"
         ~args:[ ("thread", J.Int j) ];
@@ -992,16 +1404,17 @@ let run_internal ?seed ?plan ~sync_mem ~warmup ~check ?observe ~trace ~trace_pid
           {
             index = j;
             core;
-            start = te.start;
-            end_exec = te.end_exec;
+            start = !cur_start;
+            end_exec = !cur_end;
             commit_start;
             commit_end;
             squashed = !viol <> None;
           }
     | None -> ());
-    hist.(j mod horizon) <- Some (Hreal te);
+    h_kind.(j mod horizon) <- 1;
+    cur_squashed := !viol <> None;
     (* Successors respawn from the (possibly re-executed) thread's start. *)
-    prev_spawn_base := te.start;
+    prev_spawn_base := !cur_start;
     if j mod 64 = 63 then begin
       if analytic_mdt then begin
         av_retire j;
@@ -1009,32 +1422,46 @@ let run_internal ?seed ?plan ~sync_mem ~warmup ~check ?observe ~trace ~trace_pid
         if Array.length coin_iters > 0 then Mdt.retire mdt ~upto:(j - horizon)
       end
       else mdt_retire ~upto:(j - horizon)
-    end;
-    (te, stalls, spawn_cycles, !viol <> None)
+    end
   in
   (* ---- fast-path machinery ---- *)
-  let record j ((te : thread_exec), stalls, spawn_cycles, squashed) =
+  let record j =
     let o = j mod w_len in
     let r = (!wcur).(o) in
     r.r_valid <- true;
-    r.r_start <- te.start;
-    r.r_end_exec <- te.end_exec;
+    r.r_start <- !cur_start;
+    r.r_end_exec <- !cur_end;
     r.r_commit_end <- !last_commit_end;
-    r.r_spawn <- spawn_cycles;
-    r.r_squashed <- squashed;
+    r.r_spawn <- !cur_spawn;
+    r.r_squashed <- !cur_squashed;
     r.r_coin <- coin_affects j;
-    r.r_stalls <- stalls;
-    Array.blit te.finish_of 0 r.r_finish 0 n;
-    Array.blit te.issue_of 0 r.r_issue 0 n;
-    List.iter (fun v -> r.r_lats.(v) <- lat_buf.(v)) loads_by_row
+    r.r_stalls <- !cur_stalls;
+    let base = j mod horizon * n in
+    Array.blit h_finish base r.r_finish 0 n;
+    Array.blit h_issue base r.r_issue 0 n;
+    for i = 0 to n_loads - 1 do
+      let v = loads.(i) in
+      r.r_lats.(v) <- lat_buf.(v)
+    done
   in
+  (* [b.(i) = a.(i) + d] over the run's live prefix. *)
   let shift_eq a b d =
     let ok = ref true in
-    Array.iteri (fun i x -> if b.(i) <> x + d then ok := false) a;
+    for i = 0 to n - 1 do
+      if b.(i) <> a.(i) + d then ok := false
+    done;
     !ok
   in
-  let rec stalls_eq a b d =
-    match (a, b) with
+  (* The history slot at [base] against a window record, under shift. *)
+  let slot_shift_eq (rarr : int array) flat base d =
+    let ok = ref true in
+    for i = 0 to n - 1 do
+      if flat.(base + i) <> rarr.(i) + d then ok := false
+    done;
+    !ok
+  in
+  let rec stalls_eq sa sb d =
+    match (sa, sb) with
     | [], [] -> true
     | (ba, ca, ta) :: ra, (bb, cb, tb) :: rb ->
         ba = bb && ca = cb && tb = ta + d && stalls_eq ra rb d
@@ -1063,11 +1490,11 @@ let run_internal ?seed ?plan ~sync_mem ~warmup ~check ?observe ~trace ~trace_pid
       else begin
         (* coin-affected threads ran exactly: their events are already in *)
         if not (coin_affects tt) then
-          List.iter
-            (fun v ->
-              wb_pending :=
-                (r.r_issue.(v) + shift, 1) :: (ce, -1) :: !wb_pending)
-            store_ids;
+          for i = 0 to n_stores - 1 do
+            let v = stores.(i) in
+            wb_push a (((r.r_issue.(v) + shift) lsl 1) lor 1);
+            wb_push a (ce lsl 1)
+          done;
         decr t
       end
     done;
@@ -1094,11 +1521,21 @@ let run_internal ?seed ?plan ~sync_mem ~warmup ~check ?observe ~trace ~trace_pid
              && stalls_eq rp.r_stalls rc.r_stalls d
              && shift_eq rp.r_finish rc.r_finish d
              && shift_eq rp.r_issue rc.r_issue d
-             && List.for_all (fun v -> rp.r_lats.(v) = rc.r_lats.(v)) loads_by_row
+             &&
+             let same = ref true in
+             for i = 0 to n_loads - 1 do
+               let v = loads.(i) in
+               if rp.r_lats.(v) <> rc.r_lats.(v) then same := false
+             done;
+             !same
          end
        done;
        if !ok then begin
          engaged := true;
+         (* The previous engagement's signature (if any) can be pooled:
+            by now the history ring holds only really-executed threads,
+            so nothing references its records. *)
+         if Array.length !sig0 > 0 then a.win_pool <- !sig0 :: a.win_pool;
          sig0 := !wcur;
          sig_base := next - w_len;
          engage_first := next;
@@ -1106,7 +1543,11 @@ let run_internal ?seed ?plan ~sync_mem ~warmup ~check ?observe ~trace ~trace_pid
          sig_allhit :=
            Array.for_all
              (fun r ->
-               List.for_all (fun v -> r.r_lats.(v) = cfg.l1_hit) loads_by_row)
+               let all = ref true in
+               for i = 0 to n_loads - 1 do
+                 if r.r_lats.(loads.(i)) <> cfg.l1_hit then all := false
+               done;
+               !all)
              !sig0;
          incr engage_count;
          wcur := fresh_window ();
@@ -1130,7 +1571,12 @@ let run_internal ?seed ?plan ~sync_mem ~warmup ~check ?observe ~trace ~trace_pid
      full access sequence so a mismatching thread can continue exactly. *)
   let replay_loads j (r : fp_rec) =
     fill_lats j;
-    List.exists (fun v -> lat_buf.(v) <> r.r_lats.(v)) loads_by_row
+    let diff = ref false in
+    for i = 0 to n_loads - 1 do
+      let v = loads.(i) in
+      if lat_buf.(v) <> r.r_lats.(v) then diff := true
+    done;
+    !diff
   in
   (* Apply one extrapolated thread's observable effects. [fills] is false
      only in the proven all-hit regime, where store fills/invalidates
@@ -1147,9 +1593,7 @@ let run_internal ?seed ?plan ~sync_mem ~warmup ~check ?observe ~trace ~trace_pid
         (fun (blamed, cycles, _) ->
           sync_stall := !sync_stall + cycles;
           match blamed with
-          | Some key ->
-              let cur = try Hashtbl.find stall_tbl key with Not_found -> 0 in
-              Hashtbl.replace stall_tbl key (cur + cycles)
+          | Some (src, dst) -> stall_add src dst cycles
           | None -> ())
         r.r_stalls;
     (* No write-buffer events while engaged: the steady state repeats the
@@ -1157,22 +1601,22 @@ let run_internal ?seed ?plan ~sync_mem ~warmup ~check ?observe ~trace ~trace_pid
        shifts uniformly), so the peak cannot move; [disengage]
        re-materialises in-flight pairs if exact execution resumes. *)
     let mdt_real = (not analytic_mdt) || mdt_relevant j in
-    List.iter
-      (fun v ->
-        if analytic_mdt then av_record j v;
-        if mdt_real || fills then begin
-          let a = addr_of ~node:v ~iter:(j - k.K.stage.(v)) in
-          if mdt_real then
-            mdt_record ~thread:j ~addr:a ~finish:(r.r_finish.(v) + shift);
-          if fills then begin
-            cache_fill l2 rl2 a;
-            if inval_needed.(v) then
-              Array.iteri
-                (fun c l1c -> if c <> core then cache_invalidate l1c rl1.(c) a)
-                l1
-          end
-        end)
-      store_ids;
+    for i = 0 to n_stores - 1 do
+      let v = stores.(i) in
+      if analytic_mdt then av_record j v;
+      if mdt_real || fills then begin
+        let addr = addr_of ~node:v ~iter:(j - k.K.stage.(v)) in
+        if mdt_real then
+          mdt_record ~thread:j ~addr ~finish:(r.r_finish.(v) + shift);
+        if fills then begin
+          l2_fill addr;
+          if inval_needed.(v) then
+            for c = 0 to ncore - 1 do
+              if c <> core then l1_invalidate c addr
+            done
+        end
+      end
+    done;
     last_commit_end := commit_end;
     if j = warmup - 1 then begin
       warm_end := commit_end;
@@ -1182,7 +1626,10 @@ let run_internal ?seed ?plan ~sync_mem ~warmup ~check ?observe ~trace ~trace_pid
     core_free.(core) <- commit_end;
     if (not fills) && measured then
       analytic_l1_hits := !analytic_l1_hits + n_loads;
-    hist.(j mod horizon) <- Some (Hvirt (r, shift));
+    let s = j mod horizon in
+    h_kind.(s) <- 2;
+    h_rec.(s) <- r;
+    h_shift.(s) <- shift;
     prev_spawn_base := start;
     if j mod 64 = 63 then begin
       if analytic_mdt then begin
@@ -1201,16 +1648,18 @@ let run_internal ?seed ?plan ~sync_mem ~warmup ~check ?observe ~trace ~trace_pid
       if coin_affects j then begin
         (* A coin-touched iteration can redirect a load and squash: run it
            exactly and stay engaged only if it lands on its prediction. *)
-        let te, _, spawn_cycles, squashed = exact_step j ~lats:None in
+        exact_step j ~lats:false;
+        let base = j mod horizon * n in
         let same =
-          (not squashed) && spawn_cycles = r.r_spawn
-          && te.start = r.r_start + shift
-          && te.end_exec = r.r_end_exec + shift
+          (not !cur_squashed)
+          && !cur_spawn = r.r_spawn
+          && !cur_start = r.r_start + shift
+          && !cur_end = r.r_end_exec + shift
           && !last_commit_end = r.r_commit_end + shift
-          && shift_eq r.r_finish te.finish_of shift
-          && shift_eq r.r_issue te.issue_of shift
+          && slot_shift_eq r.r_finish h_finish base shift
+          && slot_shift_eq r.r_issue h_issue base shift
         in
-        if not same then disengage ~j ~upto:te.start
+        if not same then disengage ~j ~upto:!cur_start
       end
       else if not !allhit then begin
         if replay_loads j r then begin
@@ -1218,8 +1667,8 @@ let run_internal ?seed ?plan ~sync_mem ~warmup ~check ?observe ~trace ~trace_pid
              finish this thread exactly — its cache accesses are already
              done and exact — and drop back to detection. *)
           incr mismatch_count;
-          let te, _, _, _ = exact_step j ~lats:(Some lat_buf) in
-          disengage ~j ~upto:te.start
+          exact_step j ~lats:true;
+          disengage ~j ~upto:!cur_start
         end
         else extrapolate j r shift ~fills:true
       end
@@ -1228,9 +1677,9 @@ let run_internal ?seed ?plan ~sync_mem ~warmup ~check ?observe ~trace ~trace_pid
         try_allhit (j + 1)
     end
     else begin
-      let res = exact_step j ~lats:None in
+      exact_step j ~lats:false;
       if fast_ok then begin
-        record j res;
+        record j;
         if (j + 1) mod w_len = 0 then try_engage (j + 1)
       end
     end
@@ -1246,7 +1695,7 @@ let run_internal ?seed ?plan ~sync_mem ~warmup ~check ?observe ~trace ~trace_pid
     if !last_commit_end < !warm_end then
       Chk.failf "Sim.run: last commit %d precedes the warmup boundary %d"
         !last_commit_end !warm_end;
-    check_cache_stats ~what:"L2" l2 rl2;
+    check_cache_stats ~what:"L2" l2 rl2.(0);
     Array.iteri
       (fun c l1c ->
         check_cache_stats ~what:(Printf.sprintf "L1 (core %d)" c) l1c rl1.(c))
@@ -1284,6 +1733,22 @@ let run_internal ?seed ?plan ~sync_mem ~warmup ~check ?observe ~trace ~trace_pid
           ("squashes", J.Int !squashes);
           ("sync_stall_cycles", J.Int !sync_stall);
         ];
+  (* Return the detection windows to the pool for the next run on this
+     domain. The sets {wprev, wcur} and the signature are distinct arrays
+     whenever non-empty. *)
+  if fast_ok then begin
+    a.win_pool <- !wprev :: !wcur :: a.win_pool;
+    if Array.length !sig0 > 0 then a.win_pool <- !sig0 :: a.win_pool
+  end;
+  let breakdown =
+    let lst = ref [] in
+    for i = a.stall_ntouched - 1 downto 0 do
+      let idx = a.stall_touched.(i) in
+      let c = a.stall_cnt.(idx) in
+      if c > 0 then lst := ((idx / n, idx mod n), c) :: !lst
+    done;
+    List.sort (fun (_, x) (_, y) -> compare y x) !lst
+  in
   {
     cycles = !last_commit_end - !warm_end;
     committed = trip;
@@ -1300,9 +1765,7 @@ let run_internal ?seed ?plan ~sync_mem ~warmup ~check ?observe ~trace ~trace_pid
     l2_misses;
     wb_peak = !wb_peak;
     mdt_peak = final_mdt_peak;
-    stall_breakdown =
-      Hashtbl.fold (fun key v acc -> (key, v) :: acc) stall_tbl []
-      |> List.sort (fun (_, a) (_, b) -> compare b a);
+    stall_breakdown = breakdown;
   }
 
 let check_fast_vs_exact (exact : stats) (fst : stats) =

@@ -280,6 +280,14 @@ let test_e2e_oversized_frame_answered_then_closed () =
 
 let test_e2e_flood_sheds_never_crashes () =
   with_server ~max_inflight:1 ~queue_depth:0 @@ fun addr ->
+  (* Hold every dispatched request inflight long enough for the rest of
+     the pipelined flood to arrive — without this the compute path is
+     fast enough (warm caches, arena simulator) to drain requests as
+     quickly as the client writes them and nothing overflows. *)
+  (match Ts_resil.Fault.parse "serve.request@*:slow300" with
+  | Ok plan -> Ts_resil.Fault.arm plan
+  | Error e -> Alcotest.failf "fault plan: %s" e);
+  Fun.protect ~finally:Ts_resil.Fault.disarm @@ fun () ->
   let c = Client.connect addr in
   Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
   let n = 6 in
@@ -350,6 +358,86 @@ let test_e2e_graceful_shutdown () =
   (* A second stop is harmless. *)
   Server.stop t
 
+let count_fds () = Array.length (Sys.readdir "/proc/self/fd")
+
+let test_e2e_shutdown_under_load_no_fd_leak () =
+  if not (Sys.file_exists "/proc/self/fd") then ()
+  else begin
+    (* Warm everything that lazily allocates (pool domains, scheduler
+       caches) so the fd baseline below is stable. *)
+    ignore
+      (Ts_tms.Tms.schedule_sweep ~params:Ts_isa.Spmt_params.default
+         (Ts_ddg.Parse.of_string dotprod_ddg));
+    let dir = fresh_dir () in
+    let sock = Filename.concat dir "s.sock" in
+    Fun.protect
+      ~finally:(fun () ->
+        Ts_resil.Fault.disarm ();
+        rm dir)
+    @@ fun () ->
+    (* Every compute request sleeps well past the drain deadline, so
+       stopping mid-request forces the graveyard path. *)
+    (match Ts_resil.Fault.parse "serve.request@*:slow600" with
+    | Ok plan -> Ts_resil.Fault.arm plan
+    | Error e -> Alcotest.failf "fault plan: %s" e);
+    let gy0 = cval "serve.graveyard" in
+    let baseline = count_fds () in
+    let cfg =
+      {
+        (Server.default_config (Server.Unix_sock sock)) with
+        Server.drain_timeout_s = 0.05;
+      }
+    in
+    let t = Server.create cfg in
+    let d = Domain.spawn (fun () -> Server.run t) in
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let client_closed = ref false in
+    let close_client () =
+      if not !client_closed then begin
+        client_closed := true;
+        try Unix.close fd with Unix.Unix_error _ -> ()
+      end
+    in
+    Fun.protect ~finally:close_client @@ fun () ->
+    Unix.connect fd (Unix.ADDR_UNIX sock);
+    let accepted0 = cval "serve.accepted" in
+    Pr.write_frame fd (J.to_string (Pr.request_to_json (sched_req ~id:7 ())));
+    (* Wait until the request is actually dispatched to a worker. *)
+    let deadline = Unix.gettimeofday () +. 5.0 in
+    while cval "serve.accepted" = accepted0 && Unix.gettimeofday () < deadline do
+      Unix.sleepf 0.01
+    done;
+    check_bool "request dispatched" true (cval "serve.accepted" > accepted0);
+    (* Stop with the request still sleeping: drain (50 ms) expires long
+       before the 600 ms injected delay, so the connection must take the
+       graveyard path rather than leak. *)
+    Server.stop t;
+    Domain.join d;
+    (* The straggler's response is still written after shutdown... *)
+    (match Pr.read_frame fd with
+    | Some payload ->
+        let r = Result.get_ok (J.parse payload) in
+        check_bool "late response delivered" true (Pr.response_ok r);
+        check_bool "with its id" true (Pr.response_id r = Some 7)
+    | None -> Alcotest.fail "straggler response lost in shutdown");
+    (* ... and then the server closes the fd (EOF, not a hang). *)
+    check_bool "straggler closed after its response" true
+      (match Pr.read_frame fd with
+      | None -> true
+      | Some _ -> false
+      | exception End_of_file -> true);
+    close_client ();
+    check_bool "graveyard counted the straggler" true
+      (cval "serve.graveyard" > gy0);
+    (* Every server-side descriptor — listener, conn, self-pipe — is
+       back: poll briefly, the pipe close trails the conn close. *)
+    let deadline = Unix.gettimeofday () +. 5.0 in
+    while count_fds () > baseline && Unix.gettimeofday () < deadline do
+      Unix.sleepf 0.02
+    done;
+    check_int "no fd growth after shutdown under load" baseline (count_fds ())
+  end
+
 let test_addr_parsing () =
   let ok s expect =
     match Server.addr_of_string s with
@@ -387,4 +475,6 @@ let suite =
       test_e2e_flood_sheds_never_crashes;
     Alcotest.test_case "e2e: metrics exposition" `Quick test_e2e_metrics_exposition;
     Alcotest.test_case "e2e: graceful shutdown" `Quick test_e2e_graceful_shutdown;
+    Alcotest.test_case "e2e: shutdown under load leaks no fds" `Quick
+      test_e2e_shutdown_under_load_no_fd_leak;
   ]
