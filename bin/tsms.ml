@@ -23,9 +23,66 @@ let loop_arg =
   let doc = "Loop description in the .ddg format (see Ts_ddg.Parse)." in
   Arg.(required & pos 0 (some file) None & info [] ~docv:"LOOP.ddg" ~doc)
 
+(* --cores accepts either a bare core count or a heterogeneous mix; both
+   are validated (1..max_ncore) at parse time so a bad value is a CLI
+   error, not a library exception later. *)
+let mix_conv =
+  let parse s =
+    match Ts_isa.Spmt_params.mix_of_string s with
+    | Ok m -> Ok m
+    | Error e -> Error (`Msg e)
+  in
+  let print ppf m =
+    Format.pp_print_string ppf
+      (Ts_isa.Spmt_params.mix_to_string
+         (Ts_isa.Spmt_params.apply_mix Ts_isa.Spmt_params.default m))
+  in
+  Arg.conv (parse, print) ~docv:"MIX"
+
 let ncore_arg =
-  let doc = "Number of SpMT cores." in
-  Arg.(value & opt int 4 & info [ "cores" ] ~docv:"N" ~doc)
+  let doc =
+    "SpMT machine: a core count (e.g. $(b,4)) or a heterogeneous mix of \
+     '+'-separated groups of $(b,fast)/$(b,slow) cores in ring order (e.g. \
+     $(b,2fast+2slow), $(b,fast+3slow)). At most 64 cores."
+  in
+  Arg.(value & opt mix_conv (4, [||]) & info [ "cores" ] ~docv:"MIX" ~doc)
+
+let placement_conv =
+  let parse s =
+    match Ts_isa.Placement.policy_of_string s with
+    | Some p -> Ok p
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf
+               "unknown placement policy %S (expected round-robin, locality \
+                or sync)"
+               s))
+  in
+  Arg.conv (parse, Ts_isa.Placement.pp_policy) ~docv:"POLICY"
+
+let placement_arg =
+  let doc =
+    "Thread-to-core allocation policy: $(b,round-robin) (the paper's thread \
+     j on core j mod N), $(b,locality) (weighted ring walk that loads fast \
+     cores harder on asymmetric mixes) or $(b,sync) (round-robin over the \
+     fastest tier only). All three coincide on homogeneous machines."
+  in
+  Arg.(
+    value
+    & opt placement_conv Ts_isa.Placement.Round_robin
+    & info [ "placement" ] ~docv:"POLICY" ~doc)
+
+(* Print the compiled thread→core map — but only when it differs from the
+   paper's machine, keeping the default homogeneous round-robin output
+   byte-identical to what it always was. *)
+let print_placement placement (params : Ts_isa.Spmt_params.t) =
+  if
+    placement <> Ts_isa.Placement.Round_robin
+    || Ts_isa.Spmt_params.heterogeneous params
+  then
+    Printf.printf "placement %s\n"
+      (Ts_isa.Placement.describe (Ts_isa.Placement.make placement params))
 
 let p_max_arg =
   let doc = "Misspeculation threshold P_max for TMS (0..1)." in
@@ -373,12 +430,13 @@ let schedule_cmd =
     in
     Arg.(value & opt (some string) None & info [ "search-log" ] ~docv:"FILE" ~doc)
   in
-  let run jobs loop ncore p_max code unroll search_log obs =
+  let run jobs loop mix placement p_max code unroll search_log obs =
     apply_jobs jobs;
     apply_obs obs;
     let g = or_die (read_loop loop) in
     let g = if unroll > 1 then Ts_ddg.Unroll.by g ~factor:unroll else g in
-    let params = Ts_isa.Spmt_params.with_ncore Ts_isa.Spmt_params.default ncore in
+    let params = Ts_isa.Spmt_params.apply_mix Ts_isa.Spmt_params.default mix in
+    print_placement placement params;
     Printf.printf "loop %s: %d instructions, ResII=%d, RecII=%d, MII=%d, LDP=%d, SCCs=%d\n\n"
       g.Ts_ddg.Ddg.name (Ts_ddg.Ddg.n_nodes g) (Ts_ddg.Mii.res_ii g)
       (Ts_ddg.Mii.rec_ii g) (Ts_ddg.Mii.mii g) (Ts_ddg.Mii.ldp g)
@@ -390,8 +448,8 @@ let schedule_cmd =
         print_kernel "SMS" sms.Ts_sms.Sms.kernel ~c_reg_com:params.c_reg_com;
         let tms =
           match p_max with
-          | Some p -> Ts_tms.Tms.schedule ~trace ~p_max:p ~params g
-          | None -> Ts_tms.Tms.schedule_sweep ~trace ~params g
+          | Some p -> Ts_tms.Tms.schedule ~trace ~placement ~p_max:p ~params g
+          | None -> Ts_tms.Tms.schedule_sweep ~trace ~placement ~params g
         in
         print_kernel "TMS" tms.Ts_tms.Tms.kernel ~c_reg_com:params.c_reg_com;
         Printf.printf
@@ -408,8 +466,8 @@ let schedule_cmd =
   let doc = "Schedule a loop with SMS and TMS and print both kernels." in
   Cmd.v (Cmd.info "schedule" ~doc)
     Term.(
-      const run $ jobs_arg $ loop_arg $ ncore_arg $ p_max_arg $ code_arg
-      $ unroll_arg $ search_log_arg $ obs_term)
+      const run $ jobs_arg $ loop_arg $ ncore_arg $ placement_arg $ p_max_arg
+      $ code_arg $ unroll_arg $ search_log_arg $ obs_term)
 
 let simulate_cmd =
   let trip_arg =
@@ -425,17 +483,22 @@ let simulate_cmd =
   let timeline_arg =
     Arg.(value & flag & info [ "timeline" ] ~doc:"Draw an ASCII execution timeline of the TMS run.")
   in
-  let run jobs loop ncore trip warmup timeline trace_file obs =
+  let run jobs loop mix placement trip warmup timeline trace_file obs =
     apply_jobs jobs;
     apply_obs obs;
     let g = or_die (read_loop loop) in
-    let cfg = Ts_spmt.Config.with_ncore Ts_spmt.Config.default ncore in
-    let params = cfg.Ts_spmt.Config.params in
+    let params = Ts_isa.Spmt_params.apply_mix Ts_isa.Spmt_params.default mix in
+    let cfg =
+      Ts_spmt.Config.with_placement
+        { Ts_spmt.Config.default with params }
+        placement
+    in
+    let ncore = params.Ts_isa.Spmt_params.ncore in
     or_invalid @@ fun () ->
     supervised ~obs @@ fun () ->
     let plan = Ts_spmt.Address_plan.create g in
     let sms = Ts_sms.Sms.schedule g in
-    let tms = Ts_tms.Tms.schedule_sweep ~params g in
+    let tms = Ts_tms.Tms.schedule_sweep ~placement ~params g in
     let report tag (st : Ts_spmt.Sim.stats) =
       Printf.printf
         "%-6s %8d cycles (%6.2f/iter)  sync stalls %7d  SEND/RECV %6d  squashes %4d (%.3f%%)\n"
@@ -446,6 +509,7 @@ let simulate_cmd =
     in
     Printf.printf "simulating %s for %d iterations on %d cores (warmup %d):\n"
       g.Ts_ddg.Ddg.name trip ncore warmup;
+    print_placement placement params;
     with_trace trace_file (fun trace ->
         (* One trace process per scheduler variant, one track per core. *)
         if Ts_obs.Trace.enabled trace then begin
@@ -473,8 +537,8 @@ let simulate_cmd =
   let doc = "Schedule a loop and simulate SMS/TMS/single-threaded execution." in
   Cmd.v (Cmd.info "simulate" ~doc)
     Term.(
-      const run $ jobs_arg $ loop_arg $ ncore_arg $ trip_arg $ warmup_arg
-      $ timeline_arg $ trace_arg $ obs_term)
+      const run $ jobs_arg $ loop_arg $ ncore_arg $ placement_arg $ trip_arg
+      $ warmup_arg $ timeline_arg $ trace_arg $ obs_term)
 
 let dot_cmd =
   let run loop =
@@ -531,22 +595,30 @@ let suite_cmd =
       $ task_timeout_arg $ fault_plan_arg $ obs_term)
 
 let compare_cmd =
-  let run jobs loop ncore trace_file obs =
+  let run jobs loop mix placement trace_file obs =
     apply_jobs jobs;
     apply_obs obs;
     let g = or_die (read_loop loop) in
-    let cfg = Ts_spmt.Config.with_ncore Ts_spmt.Config.default ncore in
-    let params = cfg.Ts_spmt.Config.params in
+    let params = Ts_isa.Spmt_params.apply_mix Ts_isa.Spmt_params.default mix in
+    let cfg =
+      Ts_spmt.Config.with_placement
+        { Ts_spmt.Config.default with params }
+        placement
+    in
+    let ncore = params.Ts_isa.Spmt_params.ncore in
     let plan = Ts_spmt.Address_plan.create g in
     let trip = 2000 and warmup = 512 in
     let variants =
       [
         ("sms", (Ts_sms.Sms.schedule g).Ts_sms.Sms.kernel);
         ("ims", (Ts_sms.Ims.schedule g).Ts_sms.Ims.kernel);
-        ("ts-sms", (Ts_tms.Tms.schedule_sweep ~params g).Ts_tms.Tms.kernel);
-        ("ts-ims", (Ts_tms.Tms_ims.schedule ~params g).Ts_tms.Tms.kernel);
+        ( "ts-sms",
+          (Ts_tms.Tms.schedule_sweep ~placement ~params g).Ts_tms.Tms.kernel );
+        ( "ts-ims",
+          (Ts_tms.Tms_ims.schedule ~placement ~params g).Ts_tms.Tms.kernel );
       ]
     in
+    print_placement placement params;
     let open Ts_base.Tablefmt in
     let t =
       create
@@ -580,7 +652,9 @@ let compare_cmd =
   in
   let doc = "Compare all four schedulers (and the single core) on one loop." in
   Cmd.v (Cmd.info "compare" ~doc)
-    Term.(const run $ jobs_arg $ loop_arg $ ncore_arg $ trace_arg $ obs_term)
+    Term.(
+      const run $ jobs_arg $ loop_arg $ ncore_arg $ placement_arg $ trace_arg
+      $ obs_term)
 
 let check_cmd =
   let seeds_arg =
@@ -656,7 +730,8 @@ let check_cmd =
 let experiments_cmd =
   let names_arg =
     let doc =
-      "Experiments to run: table1 fig2 table2 fig4 table3 fig5 fig6 ablation, or 'all'."
+      "Experiments to run: table1 fig2 table2 fig4 table3 fig5 fig6 ablation \
+       unroll schedulers scaling hetero, or 'all'."
     in
     Arg.(value & pos_all string [ "all" ] & info [] ~docv:"NAME" ~doc)
   in
@@ -876,7 +951,8 @@ let client_cmd =
       (need "stats.squashes" (jint stj "squashes"))
       (need "stats.misspec_rate" (jfloat stj "misspec_rate") *. 100.0)
   in
-  let run connect op loop ncore p_max unroll trip warmup req_retries deadline raw =
+  let run connect op loop mix placement p_max unroll trip warmup req_retries
+      deadline raw =
     let addr = addr_conv "--connect" connect in
     let need_loop () =
       match loop with
@@ -895,10 +971,12 @@ let client_cmd =
       match op with
       | `Schedule ->
           Ts_serve.Protocol.Schedule
-            { Ts_serve.Protocol.ddg = read_text (need_loop ()); cores = ncore; p_max; unroll }
+            { Ts_serve.Protocol.ddg = read_text (need_loop ()); cores = mix;
+              placement; p_max; unroll }
       | `Simulate ->
           Ts_serve.Protocol.Simulate
-            { Ts_serve.Protocol.s_ddg = read_text (need_loop ()); s_cores = ncore; trip; warmup }
+            { Ts_serve.Protocol.s_ddg = read_text (need_loop ());
+              s_cores = mix; s_placement = placement; trip; warmup }
       | `Metrics -> Ts_serve.Protocol.Metrics
       | `Health -> Ts_serve.Protocol.Health
       | `Ping -> Ts_serve.Protocol.Ping
@@ -937,7 +1015,7 @@ let client_cmd =
               let g = or_die (read_loop (need_loop ())) in
               let g = if unroll > 1 then Ts_ddg.Unroll.by g ~factor:unroll else g in
               let params =
-                Ts_isa.Spmt_params.with_ncore Ts_isa.Spmt_params.default ncore
+                Ts_isa.Spmt_params.apply_mix Ts_isa.Spmt_params.default mix
               in
               render_schedule g ~c_reg_com:params.Ts_isa.Spmt_params.c_reg_com resp
           | `Simulate -> render_simulate ~trip resp)
@@ -949,9 +1027,9 @@ let client_cmd =
   in
   Cmd.v (Cmd.info "client" ~doc)
     Term.(
-      const run $ connect_arg $ op_arg $ loop_opt_arg $ ncore_arg $ p_max_arg
-      $ unroll_arg $ trip_arg $ warmup_arg $ req_retries_arg $ deadline_arg
-      $ raw_arg)
+      const run $ connect_arg $ op_arg $ loop_opt_arg $ ncore_arg
+      $ placement_arg $ p_max_arg $ unroll_arg $ trip_arg $ warmup_arg
+      $ req_retries_arg $ deadline_arg $ raw_arg)
 
 let () =
   let doc = "thread-sensitive modulo scheduling for SpMT multicores (ICPP'08 reproduction)" in

@@ -26,7 +26,16 @@ let default_config =
        uniform-memory simulation: [0.32, 1.89], median 1.00. *)
     tol_rel = 4.0;
     tol_abs = 100.0;
-    points = [ { ncore = 2; c_reg_com = 1 }; { ncore = 4; c_reg_com = 3 }; { ncore = 8; c_reg_com = 8 } ];
+    points =
+      [
+        (* ncore = 1 is the degenerate single-core machine: T_lb/ncore
+           dominates F and the ring has one stop — historically a class
+           of wedge bugs on its own. *)
+        { ncore = 1; c_reg_com = 3 };
+        { ncore = 2; c_reg_com = 1 };
+        { ncore = 4; c_reg_com = 3 };
+        { ncore = 8; c_reg_com = 8 };
+      ];
     unit_rounds = 40;
     shrink_budget = 150;
   }

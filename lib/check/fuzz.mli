@@ -41,7 +41,8 @@ type config = {
 }
 
 val default_config : config
-(** 200 seeds, trip 96, warmup 16, points [(2,1); (4,3); (8,8)], and the
+(** 200 seeds, trip 96, warmup 16, points [(1,3); (2,1); (4,3); (8,8)]
+    (the first being the degenerate single-core machine), and the
     tolerance band documented in EXPERIMENTS.md. *)
 
 type failure = {

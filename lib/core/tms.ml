@@ -369,7 +369,11 @@ let result_event trace (r : result) =
         ]
 
 let schedule ?(trace = Trace.null) ?(p_max = default_p_max) ?max_ii ?point_memo
-    ~params g =
+    ?(placement = Ts_isa.Placement.Round_robin) ~params g =
+  (* Definition 2 under the placement: the search prices the worst
+     distance-1 hop cost and target-core speed of the compiled map
+     ([effective_params] is the identity for round-robin). *)
+  let params = Ts_isa.Placement.effective_params placement params in
   Ts_obs.Prof.span "tms.search" @@ fun () ->
   let mii = Ts_ddg.Mii.mii g in
   let ii_max =
@@ -605,7 +609,8 @@ let schedule ?(trace = Trace.null) ?(p_max = default_p_max) ?max_ii ?point_memo
   r
 
 let schedule_sweep ?(trace = Trace.null) ?(p_maxes = [ 0.01; 0.05; 0.25 ])
-    ?point_memo ~params g =
+    ?point_memo ?(placement = Ts_isa.Placement.Round_robin) ~params g =
+  let params = Ts_isa.Placement.effective_params placement params in
   let n = 1000 in
   (* A shared point memo pays off twice here: the per-P_max searches walk
      the same (II, C_delay) grid, and most attempts' C2 envelopes cover

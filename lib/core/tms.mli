@@ -111,11 +111,21 @@ val schedule :
   ?p_max:float ->
   ?max_ii:int ->
   ?point_memo:point_memo ->
+  ?placement:Ts_isa.Placement.policy ->
   params:Ts_isa.Spmt_params.t ->
   Ts_ddg.Ddg.t ->
   result
 (** Run TMS. [max_ii] bounds the II grid (default
     {!Ts_ddg.Mii.ii_upper_bound}).
+
+    [placement] (default {!Ts_isa.Placement.Round_robin}) makes the
+    search price Definition 2 under the given thread-to-core map: the
+    params are first passed through
+    {!Ts_isa.Placement.effective_params}, so C1 admission and the F
+    objective see the worst distance-1 ring-hop cost and target-core
+    speed. Round-robin is the identity — results (and warm-start keys)
+    are unchanged. When combining with a caching provider, key on the
+    effective params.
 
     [point_memo] warm-starts the grid walk from previously recorded
     attempt outcomes; hits are counted on [tms.warm.point_hits] and the
@@ -218,6 +228,7 @@ val schedule_sweep :
   ?trace:Ts_obs.Trace.t ->
   ?p_maxes:float list ->
   ?point_memo:point_memo ->
+  ?placement:Ts_isa.Placement.policy ->
   params:Ts_isa.Spmt_params.t ->
   Ts_ddg.Ddg.t ->
   result

@@ -21,7 +21,8 @@ let m_warm_hits =
   Ts_obs.Metrics.counter Ts_obs.Metrics.default "tms.warm.point_hits"
 
 let schedule ?(trace = Ts_obs.Trace.null) ?(p_max = Tms.default_p_max) ?max_ii
-    ?point_memo ~params g =
+    ?point_memo ?(placement = Ts_isa.Placement.Round_robin) ~params g =
+  let params = Ts_isa.Placement.effective_params placement params in
   Ts_obs.Prof.span "tms_ims.search" @@ fun () ->
   let mii = Ts_ddg.Mii.mii g in
   let ii_max =

@@ -25,6 +25,7 @@ val schedule :
   ?p_max:float ->
   ?max_ii:int ->
   ?point_memo:Tms.point_memo ->
+  ?placement:Ts_isa.Placement.policy ->
   params:Ts_isa.Spmt_params.t ->
   Ts_ddg.Ddg.t ->
   result

@@ -56,11 +56,12 @@ let ablation () = Ablation.render (Ablation.compute ~cfg (Lazy.force doacross))
 let unroll () = Unrolling.render (Unrolling.compute ~cfg ())
 let schedulers () = Schedulers.render (Schedulers.compute ~cfg)
 let scaling () = Scaling.render (Scaling.compute ())
+let hetero () = Scaling.render_hetero (Scaling.compute_hetero ())
 
 let all_names =
   [
     "table1"; "fig2"; "table2"; "fig4"; "table3"; "fig5"; "fig6"; "ablation";
-    "unroll"; "schedulers"; "scaling";
+    "unroll"; "schedulers"; "scaling"; "hetero";
   ]
 
 let run ?limit ~names print =
@@ -81,6 +82,7 @@ let run ?limit ~names print =
         | "unroll" -> unroll ()
         | "schedulers" -> schedulers ()
         | "scaling" -> scaling ()
+        | "hetero" -> hetero ()
         | other ->
             invalid_arg
               (Printf.sprintf "Experiments.run: unknown experiment %S" other)

@@ -29,11 +29,16 @@ val schedulers : unit -> string
 val scaling : unit -> string
 (** Core-count scaling and the cost model's serial floor ({!Scaling}). *)
 
+val hetero : unit -> string
+(** Placement policy × core-mix ablation on heterogeneous (big.LITTLE)
+    rings ({!Scaling.compute_hetero}). *)
+
 val run :
   ?limit:int -> names:string list -> (string -> unit) -> unit
 (** Run the named experiments ("table1", "fig2", "table2", "fig4",
     "table3", "fig5", "fig6", "ablation", "unroll", "schedulers",
-    "scaling" or "all"), feeding each rendered block to the printer. Raises
+    "scaling", "hetero" or "all"), feeding each rendered block to the
+    printer. Raises
     [Invalid_argument] on an unknown name. [limit] caps loops per
     benchmark in the suite experiments. *)
 

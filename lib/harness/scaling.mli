@@ -17,9 +17,48 @@ type row = {
   model_floor : float;  (** the cost model's serial floor for the TMS schedule *)
 }
 
+val first_loop :
+  where:string -> Ts_workload.Doacross.selected -> Ts_ddg.Ddg.t option
+(** The benchmark's representative loop, or [None] (after a once-per-run
+    warning naming the bench and [where]) when the selection is empty —
+    the guard the harness drivers share instead of a bare [List.hd]. *)
+
 val compute : ?ncores:int list -> unit -> row list
 (** Default core counts: 2, 4, 8, 16. One representative loop per DOACROSS
     benchmark; schedules are re-derived per core count (the cost model
-    depends on [ncore]). *)
+    depends on [ncore]). An empty benchmark selection is skipped with a
+    warning rather than dying with [Failure "hd"]. *)
 
 val render : row list -> string
+
+(** {1 Placement × core-mix ablation}
+
+    The heterogeneous-machine counterpart: each DOACROSS loop is
+    scheduled and simulated on each core mix under each thread-to-core
+    allocation policy. On the asymmetric mixes the policies produce
+    different placement maps — locality's weighted ring walk loads the
+    fast cores harder, sync keeps the dependence chain off the slow tier
+    entirely — and the CPI column quantifies what each buys over the
+    paper's round-robin. *)
+
+type hrow = {
+  h_bench : string;
+  h_mix : string;  (** {!Ts_isa.Spmt_params.mix_of_string} grammar *)
+  h_policy : Ts_isa.Placement.policy;
+  h_map : string;  (** one period of the compiled thread→core map *)
+  h_cpi : float;  (** TMS cycles per iteration under the policy *)
+  h_sync_stalls : int;
+  h_spawn_stalls : int;
+}
+
+val default_mixes : string list
+(** ["4"] (the paper's machine) and ["2fast+2slow"]. *)
+
+val compute_hetero :
+  ?mixes:string list -> ?policies:Ts_isa.Placement.policy list -> unit ->
+  hrow list
+(** Schedules come from {!Ts_harness.Cached.tms_sweep} against the
+    policy's {!Ts_isa.Placement.effective_params}; simulation runs under
+    the policy itself. *)
+
+val render_hetero : hrow list -> string

@@ -16,7 +16,9 @@ let compute ~cfg =
   let trip = 1500 and warmup = Defaults.warmup in
   List.concat_map
     (fun (sel : Ts_workload.Doacross.selected) ->
-      let g = List.hd sel.loops in
+      match Scaling.first_loop ~where:"Schedulers.compute" sel with
+      | None -> []
+      | Some g ->
       let variants =
         [
           ("sms", (Cached.sms g).Ts_sms.Sms.kernel);

@@ -16,7 +16,9 @@ let compute ?(factors = [ 1; 2; 3; 4 ]) ~cfg () =
   let iterations = 2400 in
   List.concat_map
     (fun (sel : Ts_workload.Doacross.selected) ->
-      let g0 = List.hd sel.loops in
+      match Scaling.first_loop ~where:"Unrolling.compute" sel with
+      | None -> []
+      | Some g0 ->
       List.filter_map
         (fun factor ->
           let g = Ts_ddg.Unroll.by g0 ~factor in

@@ -1,16 +1,186 @@
+type core = { issue_width : int; lat_scale : int }
+
+let default_core = { issue_width = 0; lat_scale = 1 }
+let fast_core = { issue_width = 4; lat_scale = 1 }
+let slow_core = { issue_width = 2; lat_scale = 2 }
+
 type t = {
   ncore : int;
   c_reg_com : int;
   c_spawn : int;
   c_commit : int;
   c_inv : int;
+  cores : core array;
 }
 
-let default = { ncore = 4; c_reg_com = 3; c_spawn = 3; c_commit = 2; c_inv = 15 }
+let max_ncore = 64
+
+let check_ncore ~who ncore =
+  if ncore < 1 || ncore > max_ncore then
+    invalid_arg
+      (Printf.sprintf "%s: ncore must be in [1, %d], got %d" who max_ncore
+         ncore)
+
+let default =
+  {
+    ncore = 4;
+    c_reg_com = 3;
+    c_spawn = 3;
+    c_commit = 2;
+    c_inv = 15;
+    cores = [||];
+  }
+
 let two_core = { default with ncore = 2 }
-let with_ncore t ncore = { t with ncore }
+let heterogeneous t = t.cores <> [||]
+let core_desc t i = if t.cores = [||] then default_core else t.cores.(i)
+
+(* All-default descriptor arrays normalise to [[||]] so that spelling the
+   homogeneous machine out explicitly cannot disable the homogeneous fast
+   paths downstream. *)
+let normalise cores =
+  if Array.for_all (fun c -> c = default_core) cores then [||] else cores
+
+let check_descs ~who cores =
+  Array.iter
+    (fun c ->
+      if c.issue_width < 0 || c.lat_scale < 1 then
+        invalid_arg
+          (Printf.sprintf
+             "%s: malformed core descriptor (issue_width %d, lat_scale %d)"
+             who c.issue_width c.lat_scale))
+    cores
+
+let with_cores t cores =
+  let ncore = Array.length cores in
+  check_ncore ~who:"Spmt_params.with_cores" ncore;
+  check_descs ~who:"Spmt_params.with_cores" cores;
+  { t with ncore; cores = normalise (Array.copy cores) }
+
+let with_ncore t ncore =
+  check_ncore ~who:"Spmt_params.with_ncore" ncore;
+  let cores =
+    if t.cores = [||] then [||]
+    else
+      (* Re-tile an explicit mix onto the new core count. *)
+      let n = Array.length t.cores in
+      normalise (Array.init ncore (fun i -> t.cores.(i mod n)))
+  in
+  { t with ncore; cores }
+
+let validate ~who t =
+  check_ncore ~who t.ncore;
+  if t.cores <> [||] && Array.length t.cores <> t.ncore then
+    invalid_arg
+      (Printf.sprintf "%s: %d core descriptors for ncore = %d" who
+         (Array.length t.cores) t.ncore);
+  check_descs ~who t.cores
+
+(* ---- core-mix grammar ------------------------------------------------- *)
+
+let kind_of_string = function
+  | "fast" -> Some fast_core
+  | "slow" -> Some slow_core
+  | _ -> None
+
+let mix_of_string s =
+  let s = String.trim s in
+  if s = "" then Error "empty core specification"
+  else
+    match int_of_string_opt s with
+    | Some n ->
+        if n < 1 || n > max_ncore then
+          Error
+            (Printf.sprintf "core count must be in [1, %d], got %d" max_ncore n)
+        else Ok (n, [||])
+    | None -> (
+        let parse_group g =
+          let g = String.trim g in
+          let digits = ref 0 in
+          while
+            !digits < String.length g
+            &&
+            match g.[!digits] with '0' .. '9' -> true | _ -> false
+          do
+            incr digits
+          done;
+          let count =
+            if !digits = 0 then Some 1
+            else int_of_string_opt (String.sub g 0 !digits)
+          in
+          let kind = String.sub g !digits (String.length g - !digits) in
+          match (count, kind_of_string kind) with
+          | Some n, Some c when n >= 1 -> Ok (n, c)
+          | _ ->
+              Error
+                (Printf.sprintf
+                   "bad core group %S (expected e.g. \"2fast\" or \"slow\")" g)
+        in
+        let rec go acc = function
+          | [] -> Ok (List.rev acc)
+          | g :: rest -> (
+              match parse_group g with
+              | Ok p -> go (p :: acc) rest
+              | Error _ as e -> e)
+        in
+        match go [] (String.split_on_char '+' s) with
+        | Error e -> Error e
+        | Ok parsed ->
+            let total = List.fold_left (fun a (n, _) -> a + n) 0 parsed in
+            if total < 1 || total > max_ncore then
+              Error
+                (Printf.sprintf "core mix %S has %d cores (allowed: 1-%d)" s
+                   total max_ncore)
+            else begin
+              let cores = Array.make total default_core in
+              let i = ref 0 in
+              List.iter
+                (fun (n, c) ->
+                  for _ = 1 to n do
+                    cores.(!i) <- c;
+                    incr i
+                  done)
+                parsed;
+              Ok (total, normalise cores)
+            end)
+
+let apply_mix t (ncore, cores) =
+  if cores = [||] then with_ncore { t with cores = [||] } ncore
+  else with_cores t cores
+
+let mix_to_string t =
+  if t.cores = [||] then string_of_int t.ncore
+  else begin
+    let buf = Buffer.create 16 in
+    let flush_run kind n =
+      if n > 0 then begin
+        if Buffer.length buf > 0 then Buffer.add_char buf '+';
+        Buffer.add_string buf (string_of_int n);
+        Buffer.add_string buf kind
+      end
+    in
+    let name c =
+      if c = fast_core then "fast"
+      else if c = slow_core then "slow"
+      else Printf.sprintf "w%dx%d" c.issue_width c.lat_scale
+    in
+    let run_kind = ref (name t.cores.(0)) and run_len = ref 0 in
+    Array.iter
+      (fun c ->
+        let k = name c in
+        if k = !run_kind then incr run_len
+        else begin
+          flush_run !run_kind !run_len;
+          run_kind := k;
+          run_len := 1
+        end)
+      t.cores;
+    flush_run !run_kind !run_len;
+    Buffer.contents buf
+  end
 
 let pp ppf t =
   Format.fprintf ppf
-    "{ ncore = %d; c_reg_com = %d; c_spawn = %d; c_commit = %d; c_inv = %d }"
+    "{ ncore = %d; c_reg_com = %d; c_spawn = %d; c_commit = %d; c_inv = %d%s }"
     t.ncore t.c_reg_com t.c_spawn t.c_commit t.c_inv
+    (if t.cores = [||] then "" else "; cores = " ^ mix_to_string t)

@@ -115,12 +115,19 @@ let read_frame ?(max_frame = default_max_frame) fd =
 
 type sched_args = {
   ddg : string;
-  cores : int;
+  cores : int * Ts_isa.Spmt_params.core array;
+  placement : Ts_isa.Placement.policy;
   p_max : float option;
   unroll : int;
 }
 
-type sim_args = { s_ddg : string; s_cores : int; trip : int; warmup : int }
+type sim_args = {
+  s_ddg : string;
+  s_cores : int * Ts_isa.Spmt_params.core array;
+  s_placement : Ts_isa.Placement.policy;
+  trip : int;
+  warmup : int;
+}
 
 type op =
   | Schedule of sched_args
@@ -142,17 +149,34 @@ let is_control = function
 
 let opt name v f = match v with None -> [] | Some x -> [ (name, f x) ]
 
+(* A homogeneous machine goes on the wire as the bare core count (the
+   historical shape, so old servers keep working); a heterogeneous one as
+   the mix string. The optional "placement" member is likewise omitted
+   for round-robin. *)
+let cores_json (n, mix) =
+  if mix = [||] then Json.Int n
+  else
+    Json.Str
+      (Ts_isa.Spmt_params.mix_to_string
+         (Ts_isa.Spmt_params.apply_mix Ts_isa.Spmt_params.default (n, mix)))
+
+let placement_members pol =
+  if pol = Ts_isa.Placement.Round_robin then []
+  else [ ("placement", Json.Str (Ts_isa.Placement.policy_to_string pol)) ]
+
 let request_to_json r =
   let op_members =
     match r.op with
     | Schedule a ->
         [ ("op", Json.Str "schedule"); ("ddg", Json.Str a.ddg);
-          ("cores", Json.Int a.cores); ("unroll", Json.Int a.unroll) ]
+          ("cores", cores_json a.cores); ("unroll", Json.Int a.unroll) ]
+        @ placement_members a.placement
         @ opt "p_max" a.p_max (fun p -> Json.Float p)
     | Simulate a ->
         [ ("op", Json.Str "simulate"); ("ddg", Json.Str a.s_ddg);
-          ("cores", Json.Int a.s_cores); ("trip", Json.Int a.trip);
+          ("cores", cores_json a.s_cores); ("trip", Json.Int a.trip);
           ("warmup", Json.Int a.warmup) ]
+        @ placement_members a.s_placement
     | Metrics -> [ ("op", Json.Str "metrics") ]
     | Health -> [ ("op", Json.Str "health") ]
     | Ping -> [ ("op", Json.Str "ping") ]
@@ -194,16 +218,43 @@ let request_of_json j =
         | _ -> Ok ()
       in
       let cores () =
-        match mem_int "cores" j with
-        | None -> Ok 4
-        | Some n when n >= 1 -> Ok n
-        | Some _ -> Error "\"cores\" must be >= 1"
+        (* Validated here, at the trust boundary: a request can neither
+           under- nor over-size the machine (the simulator allocates
+           per-core state proportional to this). *)
+        match Json.member "cores" j with
+        | None -> Ok (4, [||])
+        | Some (Json.Int n) ->
+            if n >= 1 && n <= Ts_isa.Spmt_params.max_ncore then Ok (n, [||])
+            else
+              Error
+                (Printf.sprintf "\"cores\" must be in [1, %d]"
+                   Ts_isa.Spmt_params.max_ncore)
+        | Some (Json.Str s) -> (
+            match Ts_isa.Spmt_params.mix_of_string s with
+            | Ok m -> Ok m
+            | Error e -> Error (Printf.sprintf "\"cores\": %s" e))
+        | Some _ -> Error "\"cores\" must be an int or a core-mix string"
+      in
+      let placement () =
+        match Json.member "placement" j with
+        | None -> Ok Ts_isa.Placement.Round_robin
+        | Some (Json.Str s) -> (
+            match Ts_isa.Placement.policy_of_string s with
+            | Some p -> Ok p
+            | None ->
+                Error
+                  (Printf.sprintf
+                     "\"placement\": unknown policy %S (round-robin, locality \
+                      or sync)"
+                     s))
+        | Some _ -> Error "\"placement\" must be a string"
       in
       let* op =
         match opname with
         | "schedule" ->
             let* ddg = required "ddg" (mem_str "ddg" j) in
             let* cores = cores () in
+            let* placement = placement () in
             let* unroll =
               match mem_int "unroll" j with
               | None -> Ok 1
@@ -216,10 +267,11 @@ let request_of_json j =
                   Error "\"p_max\" must be in (0, 1]"
               | p -> Ok p
             in
-            Ok (Schedule { ddg; cores; p_max; unroll })
+            Ok (Schedule { ddg; cores; placement; p_max; unroll })
         | "simulate" ->
             let* s_ddg = required "ddg" (mem_str "ddg" j) in
             let* s_cores = cores () in
+            let* s_placement = placement () in
             let* trip =
               match mem_int "trip" j with None -> Ok 2000 | n -> pos_int "trip" n
             in
@@ -232,7 +284,7 @@ let request_of_json j =
               | Some n when n >= 0 -> Ok n
               | Some _ -> Error "\"warmup\" must be >= 0"
             in
-            Ok (Simulate { s_ddg; s_cores; trip; warmup })
+            Ok (Simulate { s_ddg; s_cores; s_placement; trip; warmup })
         | "metrics" -> Ok Metrics
         | "health" -> Ok Health
         | "ping" -> Ok Ping

@@ -11,7 +11,9 @@
 
     {v { "id": 7, "op": "schedule",
          "ddg": "loop dotprod\n...",      // the .ddg text, verbatim
-         "cores": 4,                      // optional, default 4
+         "cores": 4,                      // optional, default 4; also a
+                                          // mix string: "2fast+2slow"
+         "placement": "locality",         // optional, default round-robin
          "p_max": 0.05,                   // optional, default: sweep
          "unroll": 1,                     // optional, default 1
          "trip": 2000, "warmup": 512,     // simulate only
@@ -93,12 +95,26 @@ val read_frame : ?max_frame:int -> Unix.file_descr -> string option
 
 type sched_args = {
   ddg : string;  (** the loop in .ddg text format *)
-  cores : int;
+  cores : int * Ts_isa.Spmt_params.core array;
+      (** parsed machine: count plus per-core descriptors ([[||]] =
+          homogeneous). On the wire, ["cores"] is either a bare count
+          (the historical shape) or a {!Ts_isa.Spmt_params.mix_of_string}
+          string like ["2fast+2slow"]; both are validated against
+          [[1, max_ncore]] at decode time. *)
+  placement : Ts_isa.Placement.policy;
+      (** optional ["placement"] member ("round-robin", "locality" or
+          "sync"); omitted means round-robin. *)
   p_max : float option;  (** [None] = the paper's P_max sweep *)
   unroll : int;
 }
 
-type sim_args = { s_ddg : string; s_cores : int; trip : int; warmup : int }
+type sim_args = {
+  s_ddg : string;
+  s_cores : int * Ts_isa.Spmt_params.core array;
+  s_placement : Ts_isa.Placement.policy;
+  trip : int;
+  warmup : int;
+}
 
 type op =
   | Schedule of sched_args

@@ -255,13 +255,18 @@ let exec_request (r : Protocol.request) =
             else g
           in
           let params =
-            Ts_isa.Spmt_params.with_ncore Ts_isa.Spmt_params.default
+            Ts_isa.Spmt_params.apply_mix Ts_isa.Spmt_params.default
               a.Protocol.cores
+          in
+          (* The cache keys on the params it is given, so hand it the
+             placement's effective machine (identity for round-robin). *)
+          let eff =
+            Ts_isa.Placement.effective_params a.Protocol.placement params
           in
           let run () =
             match a.Protocol.p_max with
-            | Some p -> Ts_harness.Cached.tms ~p_max:p ~params g
-            | None -> Ts_harness.Cached.tms_sweep ~params g
+            | Some p -> Ts_harness.Cached.tms ~p_max:p ~params:eff g
+            | None -> Ts_harness.Cached.tms_sweep ~params:eff g
           in
           let label = Printf.sprintf "serve/%d/%s" id g.Ts_ddg.Ddg.name in
           (match
@@ -281,12 +286,23 @@ let exec_request (r : Protocol.request) =
                    (if f.Ts_resil.Supervise.attempts = 1 then "" else "s")))
       | Protocol.Simulate a ->
           let g = parse_ddg a.Protocol.s_ddg in
-          let cfg =
-            Ts_spmt.Config.with_ncore Ts_spmt.Config.default a.Protocol.s_cores
+          let params =
+            Ts_isa.Spmt_params.apply_mix Ts_isa.Spmt_params.default
+              a.Protocol.s_cores
           in
-          let params = cfg.Ts_spmt.Config.params in
+          let cfg =
+            Ts_spmt.Config.with_placement
+              { Ts_spmt.Config.default with params }
+              a.Protocol.s_placement
+          in
           let run () =
-            let tms = Ts_harness.Cached.tms_sweep ~params g in
+            let tms =
+              Ts_harness.Cached.tms_sweep
+                ~params:
+                  (Ts_isa.Placement.effective_params a.Protocol.s_placement
+                     params)
+                g
+            in
             let st =
               Ts_harness.Cached.sim ~warmup:a.Protocol.warmup cfg
                 tms.Ts_tms.Tms.kernel ~trip:a.Protocol.trip

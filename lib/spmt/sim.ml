@@ -376,7 +376,29 @@ let run_internal ?seed ?plan ~sync_mem ~warmup ~check ?observe ~trace ~trace_pid
   let g = k.K.g in
   let n = Ts_ddg.Ddg.n_nodes g in
   let p = cfg.Config.params in
+  Ts_isa.Spmt_params.validate ~who:"Sim.run" p;
   let ncore = p.ncore in
+  (* The compiled thread→core map. [uniform_rr] — round-robin placement on
+     a homogeneous machine — is the paper's configuration and the only one
+     the steady-state machinery below (windows, memoisation, residency)
+     reasons about; everything else runs the exact path. *)
+  let place = Ts_isa.Placement.make cfg.Config.placement p in
+  let place_period = Ts_isa.Placement.period place in
+  let place_seq = Ts_isa.Placement.seq place in
+  let core_of j = Array.unsafe_get place_seq (j mod place_period) in
+  let uniform_rr =
+    cfg.Config.placement = Ts_isa.Placement.Round_robin
+    && not (Ts_isa.Spmt_params.heterogeneous p)
+  in
+  let core_width =
+    Array.init ncore (fun i ->
+        (Ts_isa.Spmt_params.core_desc p i).Ts_isa.Spmt_params.issue_width)
+  in
+  let core_scale =
+    Array.init ncore (fun i ->
+        (Ts_isa.Spmt_params.core_desc p i).Ts_isa.Spmt_params.lat_scale)
+  in
+  let has_width = Array.exists (fun w -> w > 0) core_width in
   reject_legacy_trace_env ();
   let traced = Trace.enabled trace in
   if traced then begin
@@ -385,13 +407,18 @@ let run_internal ?seed ?plan ~sync_mem ~warmup ~check ?observe ~trace ~trace_pid
     done;
     Trace.instant trace ~pid:trace_pid ~ts:0 "sim.start"
       ~args:
-        [
-          ("loop", J.Str g.Ts_ddg.Ddg.name);
-          ("trip", J.Int trip);
-          ("warmup", J.Int warmup);
-          ("ncore", J.Int ncore);
-          ("ii", J.Int k.K.ii);
-        ]
+        ([
+           ("loop", J.Str g.Ts_ddg.Ddg.name);
+           ("trip", J.Int trip);
+           ("warmup", J.Int warmup);
+           ("ncore", J.Int ncore);
+           ("ii", J.Int k.K.ii);
+         ]
+        @
+        (* Only the non-paper machines announce their placement, so
+           default-config trace goldens stay stable. *)
+        (if uniform_rr then []
+         else [ ("placement", J.Str (Ts_isa.Placement.describe place)) ]))
   end;
   let plan =
     match plan with Some pl -> pl | None -> Address_plan.create ?seed g
@@ -701,12 +728,27 @@ let run_internal ?seed ?plan ~sync_mem ~warmup ~check ?observe ~trace ~trace_pid
      miss, store fills/invalidates touch disjoint lines) and threads are
      extrapolated arithmetically. *)
   let fast_ok =
-    fast && (not traced) && Option.is_none observe
+    fast && uniform_rr && (not traced)
+    && Option.is_none observe
     && not
          (Array.exists
             (fun (e : Ts_ddg.Ddg.edge) ->
               e.kind = Ts_ddg.Ddg.Mem && e.prob >= 1.0)
             g.edges)
+  in
+  (* Distance-[dk] arrival cost per consumer period position. Round-robin
+     keeps the legacy [dk * c_reg_com] thread-forwarding model inline (and
+     bit-identical); explicit policies read the placement's physical
+     ring-hop table. *)
+  let comm_tbl =
+    if uniform_rr then [||]
+    else
+      Array.init
+        (place_period * (max_lookback + 1))
+        (fun idx ->
+          let pos = idx / (max_lookback + 1)
+          and dk = idx mod (max_lookback + 1) in
+          Ts_isa.Placement.comm_cycles place ~dk ~dst:pos)
   in
   (* Window length: a multiple of ncore (an offset must stay on one core
      across windows), at least the history horizon (so matching windows
@@ -1064,7 +1106,7 @@ let run_internal ?seed ?plan ~sync_mem ~warmup ~check ?observe ~trace ~trace_pid
      same thread-then-row order exact execution would, leaving the
      latencies in [lat_buf]. *)
   let fill_lats j =
-    let core = j mod ncore in
+    let core = core_of j in
     for i = 0 to n_loads - 1 do
       let v = loads.(i) in
       let addr = addr_of ~node:v ~iter:(j - k.K.stage.(v)) in
@@ -1100,6 +1142,10 @@ let run_internal ?seed ?plan ~sync_mem ~warmup ~check ?observe ~trace ~trace_pid
   let cur_spawn = ref 0 in
   let cur_squashed = ref false in
   let cur_stalls = ref [] in
+  (* Per-cycle issue counts for finite-width cores; reset per thread. *)
+  let iw_tbl : (int, int) Hashtbl.t =
+    Hashtbl.create (if has_width then 64 else 1)
+  in
   (* Execute one thread into its history-ring slot; [recv] false on
      re-execution (values present). [use_lats] short-circuits the load
      cache accesses with the latencies already in [lat_buf] (the caller
@@ -1123,7 +1169,13 @@ let run_internal ?seed ?plan ~sync_mem ~warmup ~check ?observe ~trace ~trace_pid
        in contrast, are absorbed out-of-order (lockup-free caches): they
        delay only their dataflow consumers, via the intra-dep fold. *)
     let shift = ref 0 in
-    let core = j mod ncore in
+    let core = core_of j in
+    let lat_scale = Array.unsafe_get core_scale core in
+    let width = Array.unsafe_get core_width core in
+    if has_width then Hashtbl.reset iw_tbl;
+    let comm_base =
+      if uniform_rr then 0 else j mod place_period * (max_lookback + 1)
+    in
     for idx = 0 to n - 1 do
       let v = Array.unsafe_get by_row idx in
       let nd = Ts_ddg.Ddg.node g v in
@@ -1140,7 +1192,12 @@ let run_internal ?seed ?plan ~sync_mem ~warmup ~check ?observe ~trace ~trace_pid
           let dk = Array.unsafe_get reg_dk i in
           let f = past_finish_i (j - dk) src in
           if f <> min_int then begin
-            let arr = f + (dk * p.c_reg_com) in
+            let arr =
+              f
+              +
+              if uniform_rr then dk * p.c_reg_com
+              else Array.unsafe_get comm_tbl (comm_base + dk)
+            in
             if arr > !inter_arrival then begin
               inter_arrival := arr;
               blame_src := src
@@ -1165,6 +1222,29 @@ let run_internal ?seed ?plan ~sync_mem ~warmup ~check ?observe ~trace ~trace_pid
         stalls := (blamed, cycles, ready) :: !stalls
       end;
       let issue = if ready > !inter_arrival then ready else !inter_arrival in
+      (* Finite issue width (heterogeneous cores only): at most [width]
+         instructions may start per cycle, so an over-subscribed cycle
+         slides the instruction forward. A structural slide is absorbed
+         out-of-order like a cache miss — it delays dataflow consumers
+         through the finish times, not the in-order front end. *)
+      let issue =
+        if width = 0 then issue
+        else begin
+          let c = ref issue in
+          while
+            match Hashtbl.find_opt iw_tbl !c with
+            | Some used -> used >= width
+            | None -> false
+          do
+            incr c
+          done;
+          let used =
+            match Hashtbl.find_opt iw_tbl !c with Some u -> u | None -> 0
+          in
+          Hashtbl.replace iw_tbl !c (used + 1);
+          !c
+        end
+      in
       let latency =
         match nd.op with
         | Ts_isa.Opcode.Load ->
@@ -1179,7 +1259,7 @@ let run_internal ?seed ?plan ~sync_mem ~warmup ~check ?observe ~trace ~trace_pid
               Array.unsafe_set lat_buf v lat;
               lat
             end
-        | _ -> nd.latency
+        | _ -> nd.latency * lat_scale
       in
       Array.unsafe_set h_issue (base + v) issue;
       let fin = issue + latency in
@@ -1217,7 +1297,7 @@ let run_internal ?seed ?plan ~sync_mem ~warmup ~check ?observe ~trace ~trace_pid
      accesses into [lat_buf]. *)
   let exact_step j ~lats =
     let measured = j >= warmup in
-    let core = j mod ncore in
+    let core = core_of j in
     let base = j mod horizon * n in
     let spawn_ready = !prev_spawn_base + p.c_spawn in
     let start = max spawn_ready core_free.(core) in
@@ -1583,7 +1663,7 @@ let run_internal ?seed ?plan ~sync_mem ~warmup ~check ?observe ~trace ~trace_pid
      touch lines no load can ever read (disjoint stream regions) and the
      caches are no longer consulted at all. *)
   let extrapolate j (r : fp_rec) shift ~fills =
-    let core = j mod ncore in
+    let core = core_of j in
     let measured = j >= warmup in
     let start = r.r_start + shift in
     let commit_end = r.r_commit_end + shift in

@@ -130,8 +130,12 @@ val run :
     (offsets, latencies) pairs skip the instruction-level replay even when
     the cache behaviour never becomes periodic. The fast path quietly
     disables itself under
-    [trace]/[observe] (which need every thread) and for
-    always-realised memory dependences. Combining [fast] with [check]
+    [trace]/[observe] (which need every thread), for
+    always-realised memory dependences, and off the uniform round-robin
+    machine (a heterogeneous core mix or a non-round-robin
+    {!Config.placement}): the detection windows, memo keys and residency
+    arguments all assume thread [j] runs on core [j mod ncore] at unit
+    speed. Combining [fast] with [check]
     runs {e both} paths on the same address plan and raises
     {!Ts_check.Invariant.Check_failed} on any stats field divergence.
     Engagement, extrapolation, mismatch and memo-hit counters land on

@@ -297,7 +297,7 @@ let test_experiment_names_resolve () =
       | "table1" -> Ts_harness.Experiments.run ~names:[ name ] ignore
       | _ -> () (* doacross-based ones run in their own tests *))
     Ts_harness.Experiments.all_names;
-  check_int "names stable" 11 (List.length Ts_harness.Experiments.all_names)
+  check_int "names stable" 12 (List.length Ts_harness.Experiments.all_names)
 
 let suite =
   [

@@ -18,6 +18,7 @@ let () =
       ("tms-equiv", Test_equiv.suite);
       ("cache+mdt", Test_cache_mdt.suite);
       ("sim", Test_sim.suite);
+      ("placement", Test_placement.suite);
       ("workload", Test_workload.suite);
       ("harness", Test_harness.suite);
       ("persist", Test_persist.suite);

@@ -1,0 +1,246 @@
+(* Heterogeneous machine model and thread-to-core placement policies:
+   parameter validation at the library boundary, the core-mix grammar,
+   the compiled placement maps, the non-round-robin communication model,
+   and the simulator under asymmetric (big.LITTLE) rings. *)
+
+module P = Ts_isa.Spmt_params
+module Pl = Ts_isa.Placement
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let raises_invalid what f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" what
+  | exception Invalid_argument _ -> ()
+
+let mix s =
+  match P.mix_of_string s with
+  | Ok m -> m
+  | Error e -> Alcotest.failf "mix %S rejected: %s" s e
+
+let hetero_params s = P.apply_mix P.default (mix s)
+
+(* --- ncore validation (library boundary + smart constructors) --- *)
+
+let test_ncore_validation () =
+  raises_invalid "with_ncore 0" (fun () -> P.with_ncore P.default 0);
+  raises_invalid "with_ncore -3" (fun () -> P.with_ncore P.default (-3));
+  raises_invalid "with_ncore 65" (fun () -> P.with_ncore P.default 65);
+  check_int "ncore 1 accepted" 1 (P.with_ncore P.default 1).P.ncore;
+  check_int "ncore 64 accepted" 64 (P.with_ncore P.default 64).P.ncore;
+  raises_invalid "Config.with_ncore 0" (fun () ->
+      Ts_spmt.Config.with_ncore Ts_spmt.Config.default 0);
+  raises_invalid "Config.with_ncore 65" (fun () ->
+      Ts_spmt.Config.with_ncore Ts_spmt.Config.default 65);
+  (* A record-hacked params (bypassing the smart constructors) is caught
+     by the simulator's boundary validation, not simulated garbage. *)
+  let bad = { P.default with P.ncore = 0 } in
+  raises_invalid "Sim.run on ncore = 0" (fun () ->
+      Ts_spmt.Sim.run
+        { Ts_spmt.Config.default with Ts_spmt.Config.params = bad }
+        (Ts_sms.Sms.schedule (Ts_workload.Motivating.ddg ())).Ts_sms.Sms.kernel
+        ~trip:8);
+  let short = { P.default with P.cores = [| P.fast_core |] } in
+  raises_invalid "validate on mismatched descriptor count" (fun () ->
+      P.validate ~who:"test" short)
+
+let test_mix_grammar () =
+  (match mix "4" with
+  | 4, [||] -> ()
+  | n, c -> Alcotest.failf "\"4\" parsed to (%d, %d descs)" n (Array.length c));
+  let n, cores = mix "2fast+2slow" in
+  check_int "2fast+2slow count" 4 n;
+  check_bool "descriptors" true
+    (cores = [| P.fast_core; P.fast_core; P.slow_core; P.slow_core |]);
+  let n, cores = mix "fast+slow" in
+  check_int "bare kinds count 1 each" 2 n;
+  check_bool "fast then slow" true (cores = [| P.fast_core; P.slow_core |]);
+  List.iter
+    (fun s ->
+      match P.mix_of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "mix %S accepted" s)
+    [ ""; "0"; "65"; "0fast"; "banana"; "2fast+"; "33fast+32slow"; "-2" ];
+  (* Rendering roundtrips through the same grammar. *)
+  check_string "mix_to_string hetero" "2fast+2slow"
+    (P.mix_to_string (hetero_params "2fast+2slow"));
+  check_string "mix_to_string homog" "4" (P.mix_to_string P.default);
+  (* Spelling the homogeneous machine out explicitly normalises away, so
+     it cannot disable the homogeneous fast paths. *)
+  check_bool "all-default array normalises" false
+    (P.heterogeneous
+       (P.with_cores P.default (Array.make 4 P.default_core)))
+
+(* --- placement maps and the communication model --- *)
+
+let test_policies_degenerate_on_homogeneous () =
+  List.iter
+    (fun pol ->
+      let t = Pl.make pol P.default in
+      check_int "period = ncore" 4 (Pl.period t);
+      check_bool "identity map" true (Pl.seq t = [| 0; 1; 2; 3 |]))
+    Pl.all
+
+let test_policy_maps_on_big_little () =
+  let p = hetero_params "2fast+2slow" in
+  check_bool "rr map" true (Pl.seq (Pl.make Pl.Round_robin p) = [| 0; 1; 2; 3 |]);
+  check_bool "locality map" true
+    (Pl.seq (Pl.make Pl.Locality p) = [| 0; 1; 2; 3; 0; 1 |]);
+  check_bool "sync map" true (Pl.seq (Pl.make Pl.Sync_aware p) = [| 0; 1 |]);
+  check_int "locality reaches all cores" 4 (Pl.cores_used (Pl.make Pl.Locality p));
+  check_int "sync uses the fast tier only" 2
+    (Pl.cores_used (Pl.make Pl.Sync_aware p))
+
+let test_comm_model () =
+  let p = hetero_params "2fast+2slow" in
+  let rr = Pl.make Pl.Round_robin p in
+  (* Round-robin keeps the paper's thread-forwarding model verbatim. *)
+  check_int "rr dk=1" 3 (Pl.comm_cycles rr ~dk:1 ~dst:5);
+  check_int "rr dk=3" 9 (Pl.comm_cycles rr ~dk:3 ~dst:7);
+  let loc = Pl.make Pl.Locality p in
+  (* [0 1 2 3 0 1]: thread 1 (fast core 1) hears thread 0 (core 0) over
+     one hop; thread 2 (slow core 2) pays the receiver's slowdown. *)
+  check_int "1-hop to fast" 3 (Pl.comm_cycles loc ~dk:1 ~dst:1);
+  check_int "1-hop to slow" 4 (Pl.comm_cycles loc ~dk:1 ~dst:2);
+  (* Same-core forwarding (thread 4 on core 0 hears thread 3 on core 3:
+     1 hop; thread 0->4 is dk=4: both on core 0, register forward). *)
+  check_int "same-core forward" 1 (Pl.comm_cycles loc ~dk:4 ~dst:4);
+  (* The cost model's view: round-robin is the identity, the others fold
+     the worst distance-1 cost and the reachable core count in. *)
+  check_bool "rr effective = identity" true
+    (Pl.effective_params Pl.Round_robin p = p);
+  let eff = Pl.effective_params Pl.Locality p in
+  check_int "locality effective ncore" 4 eff.P.ncore;
+  (* Worst distance-1 cost in the period is the wrap: position 5 (core 1)
+     feeding position 0 (core 0) is 3 ring hops = 9 cycles. *)
+  check_int "locality effective c_reg_com" 9 eff.P.c_reg_com;
+  check_bool "effective params are homogeneous" false (P.heterogeneous eff);
+  let effs = Pl.effective_params Pl.Sync_aware p in
+  check_int "sync effective ncore" 2 effs.P.ncore
+
+let test_policy_strings () =
+  List.iter
+    (fun pol ->
+      check_bool "roundtrip" true
+        (Pl.policy_of_string (Pl.policy_to_string pol) = Some pol))
+    Pl.all;
+  check_bool "rr alias" true (Pl.policy_of_string "rr" = Some Pl.Round_robin);
+  check_bool "locality-aware alias" true
+    (Pl.policy_of_string "locality-aware" = Some Pl.Locality);
+  check_bool "sync-aware alias" true
+    (Pl.policy_of_string "sync-aware" = Some Pl.Sync_aware);
+  check_bool "unknown" true (Pl.policy_of_string "bogus" = None)
+
+(* --- simulator: core-count extremes (both engines) --- *)
+
+let stats_equal (a : Ts_spmt.Sim.stats) (b : Ts_spmt.Sim.stats) = a = b
+
+let run_extreme ~ncore g =
+  let params = P.with_ncore P.default ncore in
+  let cfg = Ts_spmt.Config.with_ncore Ts_spmt.Config.default ncore in
+  List.iter
+    (fun (engine, k) ->
+      let trip = 300 in
+      let exact = Ts_spmt.Sim.run ~warmup:64 cfg k ~trip in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s ncore=%d commits every iteration" engine ncore)
+        true
+        (exact.Ts_spmt.Sim.committed = trip && exact.Ts_spmt.Sim.cycles > 0);
+      let fast = Ts_spmt.Sim.run ~warmup:64 ~fast:true cfg k ~trip in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s ncore=%d fast = exact" engine ncore)
+        true (stats_equal exact fast))
+    [
+      ("tms", (Ts_tms.Tms.schedule_sweep ~params g).Ts_tms.Tms.kernel);
+      ("tms-ims", (Ts_tms.Tms_ims.schedule ~params g).Ts_tms.Tms.kernel);
+    ]
+
+let test_single_core () = run_extreme ~ncore:1 (Ts_workload.Motivating.ddg ())
+let test_sixty_four_cores () = run_extreme ~ncore:64 (Ts_workload.Motivating.ddg ())
+
+(* --- simulator: heterogeneous rings --- *)
+
+let test_placements_coincide_on_homogeneous () =
+  let g = Ts_workload.Motivating.ddg () in
+  let params = P.default in
+  let k = (Ts_tms.Tms.schedule_sweep ~params g).Ts_tms.Tms.kernel in
+  let stats pol =
+    Ts_spmt.Sim.run ~warmup:64
+      (Ts_spmt.Config.with_placement Ts_spmt.Config.default pol)
+      k ~trip:300
+  in
+  let rr = stats Pl.Round_robin in
+  check_bool "locality = rr on homogeneous" true
+    (stats_equal rr (stats Pl.Locality));
+  check_bool "sync = rr on homogeneous" true
+    (stats_equal rr (stats Pl.Sync_aware))
+
+let test_slow_tier_costs_cycles () =
+  let g = Ts_workload.Motivating.ddg () in
+  let k = (Ts_tms.Tms.schedule_sweep ~params:P.two_core g).Ts_tms.Tms.kernel in
+  let cycles s =
+    let params = hetero_params s in
+    (Ts_spmt.Sim.run ~warmup:64
+       { Ts_spmt.Config.default with Ts_spmt.Config.params }
+       k ~trip:300)
+      .Ts_spmt.Sim.cycles
+  in
+  check_bool "2slow no faster than 2fast" true (cycles "2slow" >= cycles "2fast")
+
+let equake_loop () =
+  match
+    List.find_opt
+      (fun (s : Ts_workload.Doacross.selected) -> s.bench = "equake")
+      Ts_workload.Doacross.all
+  with
+  | Some { loops = g :: _; _ } -> g
+  | _ -> Alcotest.fail "equake loop missing from the DOACROSS selection"
+
+let test_locality_beats_rr_on_equake () =
+  (* The acceptance experiment: on 2fast+2slow, locality produces a
+     different placement than round-robin and a lower CPI (it also does
+     on lucas and fma3d; art trades slightly the other way — the
+     ablation table carries the full picture). *)
+  let g = equake_loop () in
+  let params = hetero_params "2fast+2slow" in
+  let trip = 1500 and warmup = Ts_harness.Defaults.warmup in
+  let run pol =
+    let k =
+      (Ts_tms.Tms.schedule_sweep ~placement:pol ~params g).Ts_tms.Tms.kernel
+    in
+    Ts_spmt.Sim.run ~warmup
+      (Ts_spmt.Config.with_placement
+         { Ts_spmt.Config.default with Ts_spmt.Config.params }
+         pol)
+      k ~trip
+  in
+  let rr = run Pl.Round_robin and loc = run Pl.Locality in
+  check_bool "placements differ" true
+    (Pl.seq (Pl.make Pl.Round_robin params) <> Pl.seq (Pl.make Pl.Locality params));
+  check_bool "locality CPI < round-robin CPI" true
+    (loc.Ts_spmt.Sim.cycles < rr.Ts_spmt.Sim.cycles);
+  check_bool "locality cuts sync stalls" true
+    (loc.Ts_spmt.Sim.sync_stall_cycles < rr.Ts_spmt.Sim.sync_stall_cycles)
+
+let suite =
+  [
+    Alcotest.test_case "params: ncore validation" `Quick test_ncore_validation;
+    Alcotest.test_case "params: core-mix grammar" `Quick test_mix_grammar;
+    Alcotest.test_case "placement: degenerate on homogeneous" `Quick
+      test_policies_degenerate_on_homogeneous;
+    Alcotest.test_case "placement: big.LITTLE maps" `Quick
+      test_policy_maps_on_big_little;
+    Alcotest.test_case "placement: communication model" `Quick test_comm_model;
+    Alcotest.test_case "placement: policy strings" `Quick test_policy_strings;
+    Alcotest.test_case "sim: ncore=1 degrades gracefully" `Quick
+      test_single_core;
+    Alcotest.test_case "sim: ncore=64" `Quick test_sixty_four_cores;
+    Alcotest.test_case "sim: placements coincide on homogeneous" `Quick
+      test_placements_coincide_on_homogeneous;
+    Alcotest.test_case "sim: slow tier costs cycles" `Quick
+      test_slow_tier_costs_cycles;
+    Alcotest.test_case "sim: locality beats round-robin on equake" `Slow
+      test_locality_beats_rr_on_equake;
+  ]

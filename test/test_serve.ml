@@ -114,7 +114,11 @@ let test_request_json_roundtrip () =
   let req =
     {
       Pr.id = 42;
-      op = Pr.Schedule { Pr.ddg = dotprod_ddg; cores = 8; p_max = Some 0.05; unroll = 2 };
+      op =
+        Pr.Schedule
+          { Pr.ddg = dotprod_ddg; cores = (8, [||]);
+            placement = Ts_isa.Placement.Round_robin; p_max = Some 0.05;
+            unroll = 2 };
       max_retries = Some 1;
       deadline_ms = Some 500;
     }
@@ -122,6 +126,55 @@ let test_request_json_roundtrip () =
   match Pr.request_of_json (Pr.request_to_json req) with
   | Ok r -> check_bool "roundtrip preserves the request" true (r = req)
   | Error e -> Alcotest.failf "roundtrip failed: %s" e
+
+let test_request_json_hetero () =
+  (* A heterogeneous machine + explicit placement survive the wire
+     ("cores" goes out as the mix string, "placement" as the policy
+     name), and out-of-range or malformed machines are rejected at
+     decode time — the trust boundary, not the simulator. *)
+  let mix =
+    match Ts_isa.Spmt_params.mix_of_string "2fast+2slow" with
+    | Ok m -> m
+    | Error e -> Alcotest.failf "mix rejected: %s" e
+  in
+  let req =
+    {
+      Pr.id = 7;
+      op =
+        Pr.Simulate
+          { Pr.s_ddg = dotprod_ddg; s_cores = mix;
+            s_placement = Ts_isa.Placement.Locality; trip = 300;
+            warmup = 64 };
+      max_retries = None;
+      deadline_ms = None;
+    }
+  in
+  (match Pr.request_of_json (Pr.request_to_json req) with
+  | Ok r -> check_bool "hetero roundtrip" true (r = req)
+  | Error e -> Alcotest.failf "hetero roundtrip failed: %s" e);
+  let decode members =
+    Pr.request_of_json
+      (J.Obj
+         ([ ("id", J.Int 1); ("op", J.Str "simulate");
+            ("ddg", J.Str dotprod_ddg) ]
+         @ members))
+  in
+  (match decode [ ("cores", J.Str "2fast+2slow") ] with
+  | Ok { Pr.op = Pr.Simulate a; _ } ->
+      check_bool "mix string accepted" true (a.Pr.s_cores = mix)
+  | Ok _ -> Alcotest.fail "parsed to a different op"
+  | Error e -> Alcotest.failf "mix string rejected: %s" e);
+  List.iter
+    (fun (what, members) ->
+      match decode members with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%s accepted" what)
+    [
+      ("cores = 0", [ ("cores", J.Int 0) ]);
+      ("cores = 65", [ ("cores", J.Int 65) ]);
+      ("cores = \"banana\"", [ ("cores", J.Str "banana") ]);
+      ("placement = \"bogus\"", [ ("placement", J.Str "bogus") ]);
+    ]
 
 (* ---- in-process daemon ------------------------------------------------- *)
 
@@ -170,7 +223,10 @@ let with_server ?(max_inflight = 2) ?(queue_depth = 8) ?lru ?(store = false) f =
 let sched_req ?(id = 1) ?p_max () =
   {
     Pr.id;
-    op = Pr.Schedule { Pr.ddg = dotprod_ddg; cores = 4; p_max; unroll = 1 };
+    op =
+      Pr.Schedule
+        { Pr.ddg = dotprod_ddg; cores = (4, [||]);
+          placement = Ts_isa.Placement.Round_robin; p_max; unroll = 1 };
     max_retries = None;
     deadline_ms = None;
   }
@@ -462,6 +518,8 @@ let suite =
     Alcotest.test_case "oversized prefix rejected, bounded" `Quick
       test_oversized_prefix_bounded;
     Alcotest.test_case "request json roundtrip" `Quick test_request_json_roundtrip;
+    Alcotest.test_case "request json: hetero machine + placement" `Quick
+      test_request_json_hetero;
     Alcotest.test_case "addr parsing" `Quick test_addr_parsing;
     Alcotest.test_case "e2e: schedule = direct result" `Quick
       test_e2e_schedule_matches_direct;
